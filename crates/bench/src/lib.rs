@@ -1,0 +1,17 @@
+//! # impossible-bench
+//!
+//! Criterion benchmark harness: one group per figure/claim of the paper
+//! (see `benches/experiments.rs` and the experiment index in `DESIGN.md`).
+//! The benches measure the cost of each *reproduction* — algorithm runs and
+//! refuter runs alike — and sweep the parameter that each bound is stated
+//! in (`n`, `t`, `k`, ring size, header modulus...).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Standard sweep sizes used across the benchmark groups, so that series
+/// are comparable between benches.
+pub const RING_SIZES: [usize; 4] = [8, 16, 32, 64];
+
+/// Fault budgets swept by the consensus benches.
+pub const FAULT_BUDGETS: [usize; 3] = [1, 2, 3];

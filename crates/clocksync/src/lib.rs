@@ -1,0 +1,27 @@
+//! # impossible-clocksync
+//!
+//! Clock synchronization under message-delay uncertainty — the
+//! Lundelius–Lynch result [77] of §2.2.6: on a complete graph with delays
+//! in `[lo, hi]` (uncertainty `u = hi − lo`), software clocks can be
+//! synchronized to within `u·(1 − 1/n)` and **no closer** — a tight bound
+//! proved by the *shifting* argument ("this diagram can be stretched ...
+//! and everything will still look the same to all the processes").
+//!
+//! * [`model`] — drifting-offset hardware clocks, one full clock-exchange
+//!   round, and the midpoint-estimate averaging algorithm (the upper
+//!   bound).
+//! * [`shifting`] — the executable lower bound: construct the worst-case
+//!   delay pattern, shift one process's timeline by the full uncertainty,
+//!   verify (mechanically) that every process's observations are identical,
+//!   and watch the same adjustment decisions produce skew `u·(1 − 1/n)` in
+//!   one of the two indistinguishable worlds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod model;
+pub mod shifting;
+
+pub use model::{run_exchange, ClockParams, SyncOutcome};
+pub use shifting::demonstrate_lower_bound;

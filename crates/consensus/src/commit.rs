@@ -1,0 +1,206 @@
+//! Two-phase commit and the Dwork–Skeen message bound [48].
+//!
+//! The commit problem is binary consensus with the *commit rule*: abort if
+//! anyone votes abort; commit if all vote commit and nothing fails.
+//! Dwork–Skeen proved every failure-free committing execution needs `2n − 2`
+//! messages — "there must be a path of messages from every process to every
+//! other (or a wrong decision could result)". Centralized 2PC meets the
+//! bound exactly: `n − 1` votes in, `n − 1` decisions out.
+//!
+//! The FLP corollary the survey highlights — commit is unsolvable
+//! asynchronously — shows up here as 2PC's *blocking* anomaly: crash the
+//! coordinator mid-broadcast and some participants are stuck forever
+//! ([`run_2pc`] reports them).
+
+use impossible_core::pigeonhole::bounds;
+use impossible_msgpass::sync::{Fault, SyncNet, SyncProcess};
+use impossible_msgpass::topology::Topology;
+
+/// 2PC wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitMsg {
+    /// Participant's vote.
+    Vote(bool),
+    /// Coordinator's verdict.
+    Decision(bool),
+}
+
+/// A 2PC process; process 0 is the coordinator.
+#[derive(Debug, Clone)]
+pub struct TwoPhase {
+    me: usize,
+    n: usize,
+    vote: bool,
+    votes_seen: usize,
+    yes_seen: usize,
+    decision: Option<bool>,
+}
+
+impl TwoPhase {
+    /// A process with its local vote.
+    pub fn new(me: usize, n: usize, vote: bool) -> Self {
+        TwoPhase {
+            me,
+            n,
+            vote,
+            votes_seen: 0,
+            yes_seen: 0,
+            decision: None,
+        }
+    }
+
+    /// The outcome, if known (`None` = blocked / still waiting).
+    pub fn decision(&self) -> Option<bool> {
+        self.decision
+    }
+}
+
+impl SyncProcess for TwoPhase {
+    type Msg = CommitMsg;
+
+    fn send(&self, round: usize) -> Vec<(usize, CommitMsg)> {
+        match (round, self.me) {
+            // Round 1: participants send votes to the coordinator.
+            (1, me) if me != 0 => vec![(0, CommitMsg::Vote(self.vote))],
+            // Round 2: coordinator broadcasts the verdict.
+            (2, 0) => {
+                let verdict = self.decision.expect("coordinator decided in round 1");
+                (1..self.n).map(|j| (j, CommitMsg::Decision(verdict))).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn receive(&mut self, round: usize, inbox: Vec<(usize, CommitMsg)>) {
+        for (_, m) in inbox {
+            match m {
+                CommitMsg::Vote(v) => {
+                    self.votes_seen += 1;
+                    if v {
+                        self.yes_seen += 1;
+                    }
+                }
+                CommitMsg::Decision(d) => self.decision = Some(d),
+            }
+        }
+        if self.me == 0 && round == 1 {
+            // All votes are in (failure-free) or missing votes count as no.
+            let all_yes = self.vote && self.yes_seen == self.votes_seen && self.votes_seen == self.n - 1;
+            self.decision = Some(all_yes);
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.decision.is_some()
+    }
+}
+
+/// Result of a 2PC run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRun {
+    /// Outcomes per process (`None` = blocked).
+    pub outcomes: Vec<Option<bool>>,
+    /// Messages delivered.
+    pub messages: usize,
+    /// The Dwork–Skeen bound `2n − 2` for this population.
+    pub bound: u64,
+    /// Participants left blocked (undecided) at the end.
+    pub blocked: Vec<usize>,
+}
+
+/// Run 2PC. `coordinator_crash = Some(prefix)` crashes the coordinator in
+/// round 2 after its decision reached only the first `prefix` participants.
+pub fn run_2pc(votes: &[bool], coordinator_crash: Option<usize>) -> CommitRun {
+    let n = votes.len();
+    assert!(n >= 2);
+    let procs: Vec<TwoPhase> = votes
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| TwoPhase::new(i, n, v))
+        .collect();
+    let mut net = SyncNet::new(Topology::complete(n), procs);
+    if let Some(prefix) = coordinator_crash {
+        net = net.with_fault(
+            0,
+            Fault::Crash {
+                round: 2,
+                deliver_prefix: prefix,
+            },
+        );
+    }
+    net.run(2);
+    let outcomes: Vec<Option<bool>> = (0..n)
+        .map(|i| {
+            if net.is_crashed(i) {
+                None
+            } else {
+                net.processes()[i].decision()
+            }
+        })
+        .collect();
+    let blocked = (1..n)
+        .filter(|&i| !net.is_crashed(i) && outcomes[i].is_none())
+        .collect();
+    CommitRun {
+        outcomes,
+        messages: net.metrics().messages,
+        bound: bounds::commit_min_messages(n as u64),
+        blocked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_yes_commits_with_exactly_2n_minus_2_messages() {
+        for n in 2..=8 {
+            let run = run_2pc(&vec![true; n], None);
+            assert!(run.outcomes.iter().all(|o| *o == Some(true)));
+            assert_eq!(run.messages as u64, run.bound, "n={n}");
+        }
+    }
+
+    #[test]
+    fn any_no_vote_aborts() {
+        for naysayer in 0..4 {
+            let mut votes = vec![true; 4];
+            votes[naysayer] = false;
+            let run = run_2pc(&votes, None);
+            assert!(
+                run.outcomes.iter().all(|o| *o == Some(false)),
+                "naysayer {naysayer}: {:?}",
+                run.outcomes
+            );
+        }
+    }
+
+    #[test]
+    fn coordinator_crash_mid_broadcast_blocks_participants() {
+        // The blocking anomaly: verdict reaches only 1 of 3 participants.
+        let run = run_2pc(&[true, true, true, true], Some(1));
+        assert_eq!(run.outcomes[1], Some(true)); // the lucky one committed
+        assert_eq!(run.blocked, vec![2, 3]); // the rest are stuck
+    }
+
+    #[test]
+    fn crash_before_any_decision_blocks_everyone() {
+        let run = run_2pc(&[true, true, true], Some(0));
+        assert_eq!(run.blocked, vec![1, 2]);
+    }
+
+    #[test]
+    fn blocked_participants_cannot_be_wrong_only_stuck() {
+        // Safety is never violated: committed and aborted never coexist.
+        for prefix in 0..3 {
+            let run = run_2pc(&[true, true, true, false], Some(prefix));
+            let outcomes: Vec<bool> = run.outcomes.iter().flatten().copied().collect();
+            assert!(
+                outcomes.iter().all(|&o| o == outcomes[0]),
+                "prefix {prefix}: {:?}",
+                run.outcomes
+            );
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The Byzantine firing squad problem ([31], Coan–Dolev–Dwork–Stockmeyer).
+//!
+//! A "start" signal arrives at some process at an arbitrary round; all
+//! correct processes must later **fire simultaneously** (same round), and
+//! must not fire at all if no signal arrived. Simultaneity is what makes it
+//! harder than consensus — it is, in knowledge terms, *common knowledge*
+//! of the signal (Dwork–Moses), so it inherits the `t + 1` round cost after
+//! the signal propagates.
+//!
+//! Implementation: signal relay + FloodSet-style confirmation for `t + 1`
+//! rounds, then fire at a round computed from the earliest signed-off
+//! start round everyone agrees on. The checker verifies simultaneity
+//! across crash patterns — and the tests show a naive "fire when you hear"
+//! protocol firing raggedly, which is exactly the anomaly the problem
+//! forbids.
+
+use impossible_msgpass::sync::{Fault, SyncNet, SyncProcess};
+use impossible_msgpass::topology::Topology;
+use std::collections::BTreeSet;
+
+/// Wire format: the set of start-round claims seen so far.
+pub type SquadMsg = BTreeSet<usize>;
+
+/// A firing-squad process (crash-fault version).
+#[derive(Debug, Clone)]
+pub struct Squad {
+    me: usize,
+    n: usize,
+    t: usize,
+    /// Round at which the external signal hits this process (None = never).
+    signal_round: Option<usize>,
+    /// Start-round claims gathered.
+    claims: BTreeSet<usize>,
+    /// The round this process fired, if it has.
+    pub fired_at: Option<usize>,
+    naive: bool,
+}
+
+impl Squad {
+    /// A process that will receive the external signal at `signal_round`
+    /// (1-based), or never.
+    pub fn new(me: usize, n: usize, t: usize, signal_round: Option<usize>) -> Self {
+        Squad {
+            me,
+            n,
+            t,
+            signal_round,
+            claims: BTreeSet::new(),
+            fired_at: None,
+            naive: false,
+        }
+    }
+
+    /// The naive variant: fire as soon as you learn of the signal
+    /// (violates simultaneity — for the contrast tests).
+    pub fn naive(mut self) -> Self {
+        self.naive = true;
+        self
+    }
+
+    fn fire_round(&self) -> Option<usize> {
+        // Fire t + 2 rounds after the earliest claimed start: by then the
+        // claim has flooded (1 round) and been confirmed (t + 1 rounds).
+        self.claims.iter().next().map(|s| s + self.t + 2)
+    }
+}
+
+impl SyncProcess for Squad {
+    type Msg = SquadMsg;
+
+    fn send(&self, round: usize) -> Vec<(usize, SquadMsg)> {
+        // The signal is noticed at the END of round s (in `receive`), so the
+        // first relay goes out in round s + 1 — the one-round propagation
+        // lag that makes the naive variant ragged.
+        let claims = self.claims.clone();
+        if claims.is_empty() || round == 0 {
+            return Vec::new();
+        }
+        (0..self.n)
+            .filter(|&j| j != self.me)
+            .map(|j| (j, claims.clone()))
+            .collect()
+    }
+
+    fn receive(&mut self, round: usize, inbox: Vec<(usize, SquadMsg)>) {
+        if let Some(s) = self.signal_round {
+            if round >= s {
+                self.claims.insert(s);
+            }
+        }
+        for (_, claims) in inbox {
+            self.claims.extend(claims);
+        }
+        if self.fired_at.is_none() {
+            let due = if self.naive {
+                // Fire immediately upon learning — ragged.
+                (!self.claims.is_empty()).then_some(round)
+            } else {
+                self.fire_round().filter(|&f| round >= f).map(|_| {
+                    self.fire_round().expect("claims nonempty")
+                })
+            };
+            if let Some(r) = due {
+                self.fired_at = Some(r.max(round));
+            }
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.fired_at.is_some()
+    }
+}
+
+/// Outcome of a firing-squad run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SquadRun {
+    /// Firing rounds of the non-crashed processes.
+    pub fired_at: Vec<Option<usize>>,
+}
+
+impl SquadRun {
+    /// All non-crashed processes fired in the same round.
+    pub fn simultaneous(&self) -> bool {
+        let mut rounds = self.fired_at.iter().flatten();
+        match rounds.next() {
+            None => true,
+            Some(r) => self.fired_at.iter().flatten().all(|x| x == r),
+        }
+    }
+
+    /// Did anyone fire?
+    pub fn fired(&self) -> bool {
+        self.fired_at.iter().any(|r| r.is_some())
+    }
+}
+
+/// Run the squad: the signal arrives at `signal_to` in round `signal_round`;
+/// crash faults as given; `naive` switches the broken variant in.
+pub fn run_squad(
+    n: usize,
+    t: usize,
+    signal: Option<(usize, usize)>,
+    crashes: &[(usize, usize, usize)],
+    naive: bool,
+) -> SquadRun {
+    let procs: Vec<Squad> = (0..n)
+        .map(|i| {
+            let sr = signal.and_then(|(p, r)| (p == i).then_some(r));
+            let s = Squad::new(i, n, t, sr);
+            if naive {
+                s.naive()
+            } else {
+                s
+            }
+        })
+        .collect();
+    let mut net = SyncNet::new(Topology::complete(n), procs);
+    for &(p, round, prefix) in crashes {
+        net = net.with_fault(
+            p,
+            Fault::Crash {
+                round,
+                deliver_prefix: prefix,
+            },
+        );
+    }
+    let horizon = signal.map(|(_, r)| r).unwrap_or(1) + t + 4;
+    net.run(horizon);
+    SquadRun {
+        fired_at: (0..n)
+            .map(|i| {
+                if net.is_crashed(i) {
+                    None
+                } else {
+                    net.processes()[i].fired_at
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_signal_no_fire() {
+        let run = run_squad(4, 1, None, &[], false);
+        assert!(!run.fired());
+    }
+
+    #[test]
+    fn fires_simultaneously_when_signalled() {
+        for start in 1..=3usize {
+            let run = run_squad(4, 1, Some((2, start)), &[], false);
+            assert!(run.fired(), "start {start}");
+            assert!(run.simultaneous(), "start {start}: {:?}", run.fired_at);
+        }
+    }
+
+    #[test]
+    fn simultaneity_survives_crashes() {
+        // The signal holder crashes while broadcasting its claim (round 2,
+        // partial prefix); a second crash follows.
+        for prefix in 0..4usize {
+            let run = run_squad(5, 2, Some((0, 1)), &[(0, 2, prefix), (1, 3, 2)], false);
+            assert!(
+                run.simultaneous(),
+                "prefix {prefix}: {:?}",
+                run.fired_at
+            );
+            // prefix 0: the claim dies with the holder — silence is fine;
+            // prefix > 0: someone heard, so everyone correct must fire
+            // together.
+            if prefix > 0 {
+                assert!(run.fired(), "prefix {prefix}: claim reached someone");
+            } else {
+                assert!(!run.fired(), "prefix 0: claim never escaped");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_protocol_fires_raggedly() {
+        // "Fire when you hear": the signal holder fires a round before the
+        // others — the violation the problem statement is about.
+        let run = run_squad(4, 1, Some((2, 1)), &[], true);
+        assert!(run.fired());
+        assert!(
+            !run.simultaneous(),
+            "naive firing must be ragged: {:?}",
+            run.fired_at
+        );
+    }
+
+    #[test]
+    fn firing_round_respects_the_t_plus_one_cost() {
+        // The squad cannot fire earlier than signal + t + 2 (flood +
+        // confirm) — simultaneity costs the consensus rounds, as the
+        // reduction from weak Byzantine agreement in [31] predicts.
+        for t in 1..=3usize {
+            let run = run_squad(2 * t + 3, t, Some((0, 1)), &[], false);
+            let round = run.fired_at.iter().flatten().next().expect("fired");
+            assert_eq!(*round, 1 + t + 2, "t={t}");
+        }
+    }
+}

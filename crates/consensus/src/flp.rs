@@ -1,0 +1,714 @@
+//! Asynchronous consensus candidates under the bivalence engine — the
+//! executable FLP theorem [55] (Figures 2 and 3 of the survey).
+//!
+//! FLP says every 1-resilient asynchronous consensus protocol fails
+//! somewhere: *decide eagerly and you break agreement; wait and a single
+//! crash stops you forever*. [`AsyncCandidate`] expresses message-driven
+//! protocols (with null steps, as in FLP's model); [`FlpSystem`] compiles a
+//! candidate into a finite transition system; [`check_candidate`] then hands
+//! it to the [`ValenceEngine`] and to the non-termination lasso search, and
+//! reports which horn of the dilemma kills it.
+//!
+//! The [`Arbiter`] candidate is the pedagogical centerpiece: it is
+//! agreement-safe but schedule-dependent, so the engine exhibits a
+//! **bivalent initial configuration**, a **critical configuration** whose
+//! every successor is univalent (Figure 3), a **decider process**
+//! (Figure 2), and the admissible non-deciding execution when the arbiter
+//! crashes.
+
+use impossible_core::ids::ProcessId;
+use impossible_core::system::{DecisionSystem, System};
+use impossible_core::valence::{ValenceEngine, ValenceReport};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// An asynchronous message-driven protocol with null steps.
+pub trait AsyncCandidate {
+    /// Per-process local state.
+    type Local: Clone + Eq + Hash + Ord + Debug;
+    /// Message payload.
+    type M: Clone + Eq + Hash + Ord + Debug;
+
+    /// Number of processes.
+    fn n(&self) -> usize;
+
+    /// Initial local state (no messages sent yet; the first step sends).
+    fn init(&self, i: usize, input: u64) -> Self::Local;
+
+    /// One atomic step of process `i`: `incoming` is `Some((from, msg))`
+    /// for a delivery, `None` for a null step. Returns the new local state
+    /// and outgoing messages.
+    fn on_step(
+        &self,
+        i: usize,
+        local: &Self::Local,
+        incoming: Option<(usize, &Self::M)>,
+    ) -> (Self::Local, Vec<(usize, Self::M)>);
+
+    /// The decision recorded in `local`, if any.
+    fn decision(&self, local: &Self::Local) -> Option<u64>;
+}
+
+/// Global configuration: locals plus the multiset of in-flight messages
+/// (kept sorted for canonical hashing).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FlpState<L, M> {
+    /// Per-process local states.
+    pub locals: Vec<L>,
+    /// In-flight messages `(from, to, payload)`, sorted.
+    pub pending: Vec<(usize, usize, M)>,
+}
+
+/// Scheduler choices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum FlpAction {
+    /// Process takes a null step (includes the start step).
+    Null(usize),
+    /// Deliver the `index`-th pending message (in sorted order) addressed
+    /// to `to`.
+    Deliver {
+        /// Recipient.
+        to: usize,
+        /// Index among the pending messages addressed to `to`.
+        index: usize,
+    },
+}
+
+/// A candidate compiled to a transition system over all binary inputs.
+pub struct FlpSystem<'a, C: AsyncCandidate> {
+    candidate: &'a C,
+    /// The initial input vectors to consider.
+    inputs: Vec<Vec<u64>>,
+}
+
+impl<'a, C: AsyncCandidate> FlpSystem<'a, C> {
+    /// System over every binary input vector.
+    pub fn all_binary(candidate: &'a C) -> Self {
+        let n = candidate.n();
+        let inputs = (0..(1u64 << n))
+            .map(|mask| (0..n).map(|i| (mask >> i) & 1).collect())
+            .collect();
+        FlpSystem { candidate, inputs }
+    }
+
+    /// System over the given input vectors only.
+    pub fn with_inputs(candidate: &'a C, inputs: Vec<Vec<u64>>) -> Self {
+        FlpSystem { candidate, inputs }
+    }
+
+    fn pending_for(state: &FlpState<C::Local, C::M>, to: usize) -> Vec<usize> {
+        state
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, t, _))| *t == to)
+            .map(|(k, _)| k)
+            .collect()
+    }
+}
+
+impl<'a, C: AsyncCandidate> System for FlpSystem<'a, C> {
+    type State = FlpState<C::Local, C::M>;
+    type Action = FlpAction;
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        self.inputs
+            .iter()
+            .map(|input| FlpState {
+                locals: (0..self.candidate.n())
+                    .map(|i| self.candidate.init(i, input[i]))
+                    .collect(),
+                pending: Vec::new(),
+            })
+            .collect()
+    }
+
+    fn enabled(&self, state: &Self::State) -> Vec<FlpAction> {
+        let n = self.candidate.n();
+        let mut acts: Vec<FlpAction> = (0..n).map(FlpAction::Null).collect();
+        for to in 0..n {
+            for index in 0..Self::pending_for(state, to).len() {
+                acts.push(FlpAction::Deliver { to, index });
+            }
+        }
+        acts
+    }
+
+    fn step(&self, state: &Self::State, action: &FlpAction) -> Self::State {
+        let mut next = state.clone();
+        let (p, incoming) = match action {
+            FlpAction::Null(p) => (*p, None),
+            FlpAction::Deliver { to, index } => {
+                let k = Self::pending_for(state, *to)[*index];
+                let (from, _, msg) = next.pending.remove(k);
+                (*to, Some((from, msg)))
+            }
+        };
+        let (local, outgoing) = self.candidate.on_step(
+            p,
+            &state.locals[p],
+            incoming.as_ref().map(|(f, m)| (*f, m)),
+        );
+        next.locals[p] = local;
+        for (to, m) in outgoing {
+            next.pending.push((p, to, m));
+        }
+        next.pending.sort();
+        next
+    }
+
+    fn owner(&self, action: &FlpAction) -> Option<ProcessId> {
+        Some(ProcessId(match action {
+            FlpAction::Null(p) => *p,
+            FlpAction::Deliver { to, .. } => *to,
+        }))
+    }
+
+    fn num_processes(&self) -> Option<usize> {
+        Some(self.candidate.n())
+    }
+}
+
+impl<'a, C: AsyncCandidate> DecisionSystem for FlpSystem<'a, C> {
+    fn decisions(&self, state: &Self::State) -> Vec<(ProcessId, u64)> {
+        state
+            .locals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| self.candidate.decision(l).map(|v| (ProcessId(i), v)))
+            .collect()
+    }
+}
+
+/// A non-terminating admissible execution: the `failed` process takes no
+/// step, every other process keeps stepping, no message addressed to a live
+/// process is left undelivered, and some live process never decides.
+#[derive(Debug, Clone)]
+pub struct NonTermination<S> {
+    /// The crashed process.
+    pub failed: usize,
+    /// A reachable configuration that the run loops at.
+    pub head: S,
+    /// The repeatable action cycle.
+    pub cycle: Vec<FlpAction>,
+}
+
+/// Search for a [`NonTermination`] witness with a single crashed process.
+pub fn find_nontermination<C: AsyncCandidate>(
+    sys: &FlpSystem<'_, C>,
+    failed: usize,
+    max_states: usize,
+) -> Option<NonTermination<FlpState<C::Local, C::M>>> {
+    // Reachable graph avoiding actions of the failed process entirely
+    // (it crashes at time zero).
+    let n = sys.candidate.n();
+    let mut order: Vec<FlpState<C::Local, C::M>> = Vec::new();
+    let mut index: HashMap<FlpState<C::Local, C::M>, usize> = HashMap::new();
+    let mut succ: Vec<Vec<(FlpAction, usize)>> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for s in sys.initial_states() {
+        if !index.contains_key(&s) {
+            index.insert(s.clone(), order.len());
+            order.push(s);
+            succ.push(Vec::new());
+            queue.push_back(order.len() - 1);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        let state = order[i].clone();
+        for a in sys.enabled(&state) {
+            if sys.owner(&a) == Some(ProcessId(failed)) {
+                continue;
+            }
+            let t = sys.step(&state, &a);
+            let ti = match index.get(&t) {
+                Some(&ti) => ti,
+                None => {
+                    if order.len() >= max_states {
+                        continue;
+                    }
+                    index.insert(t.clone(), order.len());
+                    order.push(t);
+                    succ.push(Vec::new());
+                    queue.push_back(order.len() - 1);
+                    order.len() - 1
+                }
+            };
+            succ[i].push((a, ti));
+        }
+    }
+
+    // Eligible loop states: some live process undecided, and no pending
+    // message addressed to a live process (else the loop would starve a
+    // delivery and be inadmissible).
+    let live: Vec<usize> = (0..n).filter(|&p| p != failed).collect();
+    let eligible: Vec<bool> = order
+        .iter()
+        .map(|s| {
+            let undecided = live
+                .iter()
+                .any(|&p| sys.candidate.decision(&s.locals[p]).is_none());
+            let clean = s.pending.iter().all(|(_, to, _)| *to == failed);
+            undecided && clean
+        })
+        .collect();
+
+    let bit: HashMap<usize, u32> = live.iter().enumerate().map(|(k, &p)| (p, 1 << k)).collect();
+    let full: u32 = (1 << live.len()) - 1;
+
+    for (h, ok) in eligible.iter().enumerate() {
+        if !ok {
+            continue;
+        }
+        let mut parent: HashMap<(usize, u32), (usize, u32, FlpAction)> = HashMap::new();
+        let mut seen: HashSet<(usize, u32)> = HashSet::new();
+        let mut q: VecDeque<(usize, u32)> = VecDeque::new();
+        seen.insert((h, 0));
+        q.push_back((h, 0));
+        let mut goal = None;
+        'bfs: while let Some((s, mask)) = q.pop_front() {
+            for (a, t) in &succ[s] {
+                if !eligible[*t] {
+                    continue;
+                }
+                let owner = match sys.owner(a) {
+                    Some(p) => p.index(),
+                    None => continue,
+                };
+                let nmask = mask | bit[&owner];
+                let node = (*t, nmask);
+                if seen.insert(node) {
+                    parent.insert(node, (s, mask, a.clone()));
+                    if *t == h && nmask == full {
+                        goal = Some(node);
+                        break 'bfs;
+                    }
+                    q.push_back(node);
+                }
+            }
+        }
+        if let Some(g) = goal {
+            let mut cycle = Vec::new();
+            let mut cur = g;
+            while cur != (h, 0) {
+                let (ps, pm, a) = parent[&cur].clone();
+                cycle.push(a);
+                cur = (ps, pm);
+            }
+            cycle.reverse();
+            return Some(NonTermination {
+                failed,
+                head: order[h].clone(),
+                cycle,
+            });
+        }
+    }
+    None
+}
+
+/// The verdict of the FLP dilemma on a candidate.
+#[derive(Debug)]
+pub enum FlpVerdict<S> {
+    /// Two processes decide differently in a reachable configuration.
+    AgreementViolation(S),
+    /// A unanimous-input instance can reach a decision other than the input.
+    ValidityViolation {
+        /// The unanimous input value.
+        input: u64,
+        /// A decision value reachable from it.
+        decided: u64,
+    },
+    /// A single crash admits an admissible non-deciding execution.
+    NonTerminating(NonTermination<S>),
+    /// Nothing found within bounds — impossible for a real candidate, per
+    /// FLP; indicates the exploration bound was too small.
+    CleanWithinBounds,
+}
+
+/// Run the full dilemma check: valence analysis for safety, lasso search for
+/// 1-resilient termination.
+pub fn check_candidate<C: AsyncCandidate>(
+    candidate: &C,
+    max_states: usize,
+) -> FlpVerdict<FlpState<C::Local, C::M>> {
+    let sys = FlpSystem::all_binary(candidate);
+    let report = ValenceEngine::new(&sys).max_states(max_states).analyze();
+    if let Some(s) = report.agreement_violations.first() {
+        return FlpVerdict::AgreementViolation(s.clone());
+    }
+    // Validity on unanimous instances.
+    for v in [0u64, 1] {
+        let unanimous = FlpSystem::with_inputs(candidate, vec![vec![v; candidate.n()]]);
+        let r = ValenceEngine::new(&unanimous).max_states(max_states).analyze();
+        for init in unanimous.initial_states() {
+            if let Some(val) = r.valence.get(&init) {
+                if let Some(bad) = val.0.iter().find(|&&d| d != v) {
+                    return FlpVerdict::ValidityViolation {
+                        input: v,
+                        decided: *bad,
+                    };
+                }
+            }
+        }
+    }
+    for failed in 0..candidate.n() {
+        if let Some(nt) = find_nontermination(&sys, failed, max_states) {
+            return FlpVerdict::NonTerminating(nt);
+        }
+    }
+    FlpVerdict::CleanWithinBounds
+}
+
+/// Run the bivalence analysis on a candidate (for the Figure 2–3 artifacts).
+pub fn analyze<C: AsyncCandidate>(
+    candidate: &C,
+    max_states: usize,
+) -> ValenceReport<FlpState<C::Local, C::M>> {
+    let sys = FlpSystem::all_binary(candidate);
+    ValenceEngine::new(&sys).max_states(max_states).analyze()
+}
+
+// ---------------------------------------------------------------------
+// Candidates
+// ---------------------------------------------------------------------
+
+/// The arbiter protocol: clients send claims to process 0, which decides the
+/// first claim delivered and broadcasts the verdict. Agreement-safe and
+/// schedule-dependent (bivalent!), but the arbiter is a single point of
+/// failure — exactly FLP's "decider" structure.
+#[derive(Debug, Clone)]
+pub struct Arbiter {
+    n: usize,
+}
+
+impl Arbiter {
+    /// An arbiter system with `n ≥ 2` processes (process 0 arbitrates).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        Arbiter { n }
+    }
+}
+
+/// Local state for [`Arbiter`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArbiterLocal {
+    input: u64,
+    started: bool,
+    decided: Option<u64>,
+}
+
+/// Messages for [`Arbiter`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArbiterMsg {
+    /// A client's claim carrying its input.
+    Claim(u64),
+    /// The arbiter's verdict.
+    Verdict(u64),
+}
+
+impl AsyncCandidate for Arbiter {
+    type Local = ArbiterLocal;
+    type M = ArbiterMsg;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn init(&self, _i: usize, input: u64) -> ArbiterLocal {
+        ArbiterLocal {
+            input,
+            started: false,
+            decided: None,
+        }
+    }
+
+    fn on_step(
+        &self,
+        i: usize,
+        local: &ArbiterLocal,
+        incoming: Option<(usize, &ArbiterMsg)>,
+    ) -> (ArbiterLocal, Vec<(usize, ArbiterMsg)>) {
+        let mut l = local.clone();
+        let mut out = Vec::new();
+        match incoming {
+            None => {
+                if !l.started {
+                    l.started = true;
+                    if i != 0 {
+                        out.push((0, ArbiterMsg::Claim(l.input)));
+                    }
+                }
+            }
+            Some((_, ArbiterMsg::Claim(v))) => {
+                if i == 0 && l.decided.is_none() {
+                    l.decided = Some(*v);
+                    for j in 1..self.n {
+                        out.push((j, ArbiterMsg::Verdict(*v)));
+                    }
+                }
+            }
+            Some((_, ArbiterMsg::Verdict(v))) => {
+                if l.decided.is_none() {
+                    l.decided = Some(*v);
+                }
+            }
+        }
+        (l, out)
+    }
+
+    fn decision(&self, local: &ArbiterLocal) -> Option<u64> {
+        local.decided
+    }
+}
+
+/// The eager protocol: every process broadcasts its input and decides the
+/// first value it hears. Terminates wait-free — and breaks agreement.
+#[derive(Debug, Clone)]
+pub struct FirstWins {
+    n: usize,
+}
+
+impl FirstWins {
+    /// A `FirstWins` instance on `n ≥ 2` processes.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        FirstWins { n }
+    }
+}
+
+impl AsyncCandidate for FirstWins {
+    type Local = ArbiterLocal;
+    type M = u64;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn init(&self, _i: usize, input: u64) -> ArbiterLocal {
+        ArbiterLocal {
+            input,
+            started: false,
+            decided: None,
+        }
+    }
+
+    fn on_step(
+        &self,
+        i: usize,
+        local: &ArbiterLocal,
+        incoming: Option<(usize, &u64)>,
+    ) -> (ArbiterLocal, Vec<(usize, u64)>) {
+        let mut l = local.clone();
+        let mut out = Vec::new();
+        match incoming {
+            None => {
+                if !l.started {
+                    l.started = true;
+                    for j in 0..self.n {
+                        if j != i {
+                            out.push((j, l.input));
+                        }
+                    }
+                }
+            }
+            Some((_, v)) => {
+                if l.decided.is_none() {
+                    l.decided = Some(*v);
+                }
+            }
+        }
+        (l, out)
+    }
+
+    fn decision(&self, local: &ArbiterLocal) -> Option<u64> {
+        local.decided
+    }
+}
+
+/// The patient protocol: broadcast, wait to hear from **everyone**, decide
+/// the minimum. Agreement-safe and valid — and a single crash stalls it
+/// forever.
+#[derive(Debug, Clone)]
+pub struct WaitForAll {
+    n: usize,
+}
+
+impl WaitForAll {
+    /// A `WaitForAll` instance on `n ≥ 2` processes.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        WaitForAll { n }
+    }
+}
+
+/// Local state for [`WaitForAll`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WaitLocal {
+    input: u64,
+    started: bool,
+    heard: Vec<Option<u64>>,
+    decided: Option<u64>,
+}
+
+impl AsyncCandidate for WaitForAll {
+    type Local = WaitLocal;
+    type M = u64;
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn init(&self, i: usize, input: u64) -> WaitLocal {
+        let mut heard = vec![None; self.n];
+        heard[i] = Some(input);
+        WaitLocal {
+            input,
+            started: false,
+            heard,
+            decided: None,
+        }
+    }
+
+    fn on_step(
+        &self,
+        i: usize,
+        local: &WaitLocal,
+        incoming: Option<(usize, &u64)>,
+    ) -> (WaitLocal, Vec<(usize, u64)>) {
+        let mut l = local.clone();
+        let mut out = Vec::new();
+        match incoming {
+            None => {
+                if !l.started {
+                    l.started = true;
+                    for j in 0..self.n {
+                        if j != i {
+                            out.push((j, l.input));
+                        }
+                    }
+                }
+            }
+            Some((from, v)) => {
+                l.heard[from] = Some(*v);
+            }
+        }
+        if l.decided.is_none() && l.heard.iter().all(|h| h.is_some()) {
+            l.decided = Some(l.heard.iter().flatten().min().copied().expect("nonempty"));
+        }
+        (l, out)
+    }
+
+    fn decision(&self, local: &WaitLocal) -> Option<u64> {
+        local.decided
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use impossible_core::valence::ValenceEngine;
+
+    #[test]
+    fn arbiter_has_bivalent_initial_configurations() {
+        // Mixed client inputs: the schedule (which claim reaches the
+        // arbiter first) picks the outcome — FLP Lemma 2's structure.
+        let report = analyze(&Arbiter::new(3), 500_000);
+        assert!(report.agreement_violations.is_empty());
+        assert!(
+            !report.bivalent_initials.is_empty(),
+            "mixed-input initials must be bivalent"
+        );
+        assert!(!report.univalent_initials.is_empty()); // unanimous ones
+    }
+
+    #[test]
+    fn arbiter_has_critical_configuration_figure_3() {
+        let report = analyze(&Arbiter::new(3), 500_000);
+        assert!(
+            !report.critical.is_empty(),
+            "a configuration with both claims pending at the arbiter is \
+             bivalent with all successors univalent"
+        );
+    }
+
+    #[test]
+    fn arbiter_has_a_decider_figure_2() {
+        let arb = Arbiter::new(3);
+        let sys = FlpSystem::all_binary(&arb);
+        let decider = ValenceEngine::new(&sys)
+            .max_states(500_000)
+            .find_decider()
+            .expect("the arbiter is a decider");
+        assert_eq!(decider.process, ProcessId(0));
+    }
+
+    #[test]
+    fn arbiter_crash_yields_admissible_nondeciding_run() {
+        let arb = Arbiter::new(3);
+        let sys = FlpSystem::all_binary(&arb);
+        let nt = find_nontermination(&sys, 0, 500_000)
+            .expect("killing the arbiter must stall the clients");
+        assert_eq!(nt.failed, 0);
+        // The cycle is pure null steps of the live clients.
+        assert!(nt
+            .cycle
+            .iter()
+            .all(|a| matches!(a, FlpAction::Null(p) if *p != 0)));
+    }
+
+    #[test]
+    fn first_wins_breaks_agreement() {
+        match check_candidate(&FirstWins::new(2), 500_000) {
+            FlpVerdict::AgreementViolation(state) => {
+                let d: Vec<_> = state.locals.iter().map(|l| l.decided).collect();
+                assert!(d.contains(&Some(0)) && d.contains(&Some(1)));
+            }
+            other => panic!("expected agreement violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_for_all_stalls_on_one_crash() {
+        match check_candidate(&WaitForAll::new(2), 500_000) {
+            FlpVerdict::NonTerminating(nt) => {
+                assert!(nt.cycle.iter().all(|a| matches!(a, FlpAction::Null(_))));
+            }
+            other => panic!("expected non-termination, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_for_all_n3_also_stalls() {
+        match check_candidate(&WaitForAll::new(3), 800_000) {
+            FlpVerdict::NonTerminating(_) => {}
+            other => panic!("expected non-termination, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arbiter_is_caught_by_the_dilemma_too() {
+        // Safe but not 1-resilient: the checker lands on the termination horn.
+        match check_candidate(&Arbiter::new(3), 500_000) {
+            FlpVerdict::NonTerminating(nt) => assert_eq!(nt.failed, 0),
+            other => panic!("expected non-termination via arbiter crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_candidate_is_clean() {
+        // The FLP theorem, empirically: every candidate fails some horn.
+        assert!(!matches!(
+            check_candidate(&FirstWins::new(3), 500_000),
+            FlpVerdict::CleanWithinBounds
+        ));
+        assert!(!matches!(
+            check_candidate(&WaitForAll::new(2), 500_000),
+            FlpVerdict::CleanWithinBounds
+        ));
+        assert!(!matches!(
+            check_candidate(&Arbiter::new(2), 500_000),
+            FlpVerdict::CleanWithinBounds
+        ));
+    }
+}

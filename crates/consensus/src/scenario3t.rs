@@ -1,0 +1,59 @@
+//! The `n ≤ 3t` refuter — Figure 1 applied to concrete candidates.
+//!
+//! "Suppose that p, q, and r comprise a 3-process solution that can tolerate
+//! 1 fault. Consider a system composed of two copies each of p, q and r
+//! joined into a ring..." — [`refute_3t`] performs exactly that composition
+//! for **any** [`RoundProtocol`] and returns the violated obligation as a
+//! [`Certificate`]. The headline test feeds the genuine EIG algorithm,
+//! instantiated at `n = 3, t = 1`, to its own impossibility proof.
+
+use impossible_core::cert::{Certificate, Technique};
+use impossible_core::scenario::{RoundProtocol, ScenarioRing, ScenarioVerdict};
+
+/// Run the Fischer–Lynch–Merritt composition against `candidate` (claiming
+/// to tolerate `t` Byzantine faults with its `n ≤ 3t` processes).
+///
+/// Returns the refutation certificate, or `None` in the impossible case
+/// that every obligation held (meaning the candidate is not a protocol for
+/// the claimed task at all, or `n > 3t` and the claim is actually true).
+pub fn refute_3t<P: RoundProtocol>(candidate: &P, t: usize) -> Option<Certificate> {
+    match ScenarioRing::classic(candidate, t).check() {
+        ScenarioVerdict::Contradiction(c) => Some(Certificate::new(
+            Technique::Scenario,
+            format!(
+                "candidate solves {}-process Byzantine agreement with t = {t}",
+                candidate.n()
+            ),
+            c.to_string(),
+        )),
+        ScenarioVerdict::ObligationsHold => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eig::Eig;
+
+    #[test]
+    fn eig_at_n3_t1_is_refuted_by_its_own_proof() {
+        // The genuine PSL algorithm, instantiated below the 3t+1 threshold,
+        // composed into the hexagon: some window obligation must break.
+        let cert = refute_3t(&Eig::new(3, 1), 1).expect("n = 3t must contradict");
+        assert_eq!(cert.technique, Technique::Scenario);
+        assert!(cert.witness.contains("window"));
+    }
+
+    #[test]
+    fn eig_at_n6_t2_is_refuted() {
+        let cert = refute_3t(&Eig::new(6, 2), 2).expect("n = 3t must contradict");
+        assert_eq!(cert.technique, Technique::Scenario);
+    }
+
+    #[test]
+    fn certificate_mentions_the_claim() {
+        let cert = refute_3t(&Eig::new(3, 1), 1).unwrap();
+        assert!(cert.claim.contains("3-process"));
+        assert!(cert.to_string().contains("REFUTED"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Impossibility certificates.
+//!
+//! The survey insists that "it is not possible to fake an impossibility
+//! proof". The executable analogue: every engine in this workspace, when it
+//! refutes a candidate algorithm, produces a [`Certificate`] — a concrete
+//! object (a bad execution, a broken obligation, a symmetric run) that a
+//! human or another program can independently re-check. Certificates are
+//! what the experiment harness prints, and what the tests assert on.
+
+use std::fmt;
+
+/// The proof technique that produced a certificate — the paper's §3.1
+/// taxonomy, verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Pigeonhole on shared-memory values (Cremers–Hibbard, Burns et al.).
+    Pigeonhole,
+    /// Scenario composition (Fischer–Lynch–Merritt, Figure 1).
+    Scenario,
+    /// Chain of indistinguishable executions (t+1 rounds, Two Generals).
+    Chain,
+    /// Bivalence analysis (FLP, Figures 2–3).
+    Bivalence,
+    /// Communication-diagram stretching (sessions, clock sync).
+    Stretching,
+    /// Symmetry / crossing-sequence (rings, Figure 4).
+    Symmetry,
+    /// Distance: information needs k messages to travel distance k.
+    Distance,
+    /// Message stealing (data-link protocols).
+    MessageStealing,
+    /// Reduction from a previously refuted problem.
+    Reducibility,
+    /// Finite-state counting arguments.
+    FiniteState,
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Technique::Pigeonhole => "pigeonhole",
+            Technique::Scenario => "scenario",
+            Technique::Chain => "chain",
+            Technique::Bivalence => "bivalence",
+            Technique::Stretching => "stretching",
+            Technique::Symmetry => "symmetry",
+            Technique::Distance => "distance",
+            Technique::MessageStealing => "message stealing",
+            Technique::Reducibility => "reducibility",
+            Technique::FiniteState => "finite state",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A refutation certificate: which technique fired, against what claim, and
+/// the concrete witness (rendered, plus any structured payload the caller
+/// keeps separately).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The proof technique.
+    pub technique: Technique,
+    /// The claim refuted, e.g. "candidate X solves 1-resilient consensus".
+    pub claim: String,
+    /// Human-readable witness description (a rendered bad execution, a
+    /// violated obligation, ...).
+    pub witness: String,
+}
+
+impl Certificate {
+    /// Build a certificate.
+    pub fn new(
+        technique: Technique,
+        claim: impl Into<String>,
+        witness: impl Into<String>,
+    ) -> Self {
+        Certificate {
+            technique,
+            claim: claim.into(),
+            witness: witness.into(),
+        }
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "REFUTED [{} argument]: {}", self.technique, self.claim)?;
+        write!(f, "  witness: {}", self.witness)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn technique_names_render() {
+        assert_eq!(Technique::Bivalence.to_string(), "bivalence");
+        assert_eq!(Technique::MessageStealing.to_string(), "message stealing");
+    }
+
+    #[test]
+    fn certificate_renders_claim_and_witness() {
+        let c = Certificate::new(
+            Technique::Scenario,
+            "3 processes tolerate 1 Byzantine fault",
+            "hexagon run decided 0 at p0q0 and 1 at q1r1",
+        );
+        let s = c.to_string();
+        assert!(s.contains("REFUTED [scenario argument]"));
+        assert!(s.contains("hexagon"));
+    }
+
+    #[test]
+    fn certificates_compare() {
+        let a = Certificate::new(Technique::Chain, "x", "y");
+        let b = Certificate::new(Technique::Chain, "x", "y");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,92 @@
+//! Process identifiers.
+//!
+//! Every model in the workspace names its participants with [`ProcessId`], a
+//! newtype over a dense index. The survey's proofs constantly quantify over
+//! "the process that cannot distinguish two executions"; a shared identifier
+//! type lets the proof engines in this crate talk about processes from any
+//! substrate (shared memory, message passing, registers) uniformly.
+
+use std::fmt;
+
+/// Identifier of a process: a dense index in `0..n`.
+///
+/// `ProcessId` is deliberately *not* the process's "name" in the sense of
+/// leader-election ID spaces — those are values held *by* processes (see
+/// `impossible-election`). `ProcessId` is the modeller's external index, the
+/// thing an adversary or a proof refers to.
+///
+/// # Examples
+///
+/// ```
+/// use impossible_core::ProcessId;
+/// let p = ProcessId(2);
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(format!("{p}"), "p2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The dense index of this process.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterator over the ids `p0..p(n-1)`.
+    ///
+    /// ```
+    /// use impossible_core::ProcessId;
+    /// let ids: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(ids, vec![ProcessId(0), ProcessId(1), ProcessId(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = ProcessId> {
+        (0..n).map(ProcessId)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(ProcessId(7).to_string(), "p7");
+        assert_eq!(ProcessId(7).index(), 7);
+    }
+
+    #[test]
+    fn all_yields_dense_range() {
+        let ids: Vec<_> = ProcessId::all(4).collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[0], ProcessId(0));
+        assert_eq!(ids[3], ProcessId(3));
+    }
+
+    #[test]
+    fn hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(ProcessId(1));
+        set.insert(ProcessId(1));
+        assert_eq!(set.len(), 1);
+        assert!(ProcessId(0) < ProcessId(1));
+    }
+
+    #[test]
+    fn from_usize() {
+        let p: ProcessId = 3usize.into();
+        assert_eq!(p, ProcessId(3));
+    }
+}

@@ -1,0 +1,412 @@
+//! Symmetry arguments — Figure 4 of the paper and the Angluin folk theorem.
+//!
+//! Two flavours of symmetry drive the network lower bounds the paper surveys:
+//!
+//! 1. **Anonymous symmetry** (Angluin [7]): in a ring of indistinguishable
+//!    deterministic processes, "anything that one process can do, the others
+//!    symmetric to it might do also" — so no leader can ever be elected.
+//!    [`LockstepRing`] runs an anonymous deterministic protocol in lockstep
+//!    and certifies that all processes stay in identical states forever
+//!    (up to the period of the ring's input labelling).
+//!
+//! 2. **Comparison symmetry** (Frederickson–Lynch [58], Attiya–Snir–Warmuth
+//!    [14]): even with distinct IDs, a *comparison-based* algorithm behaves
+//!    identically at positions whose ID neighbourhoods are order-equivalent.
+//!    The ring `0,4,2,6,1,5,3,7` (Figure 4, the bit-reversal ring) maximizes
+//!    such symmetry: adjacent segments of length `2^k` are order-equivalent,
+//!    forcing Ω(n log n) messages. [`bit_reversal_ring`] constructs the ring,
+//!    [`order_equivalent`] decides order-equivalence, and
+//!    [`comparison_symmetry_classes`] computes the orbit structure the lower
+//!    bound counts with.
+
+use std::collections::HashMap;
+
+/// The bit-reversal ring of size `n = 2^k`: position `i` holds the ID whose
+/// binary representation is `i` reversed in `k` bits. For `k = 3` this is the
+/// paper's Figure 4 ring `0,4,2,6,1,5,3,7`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use impossible_core::symmetry::bit_reversal_ring;
+/// assert_eq!(bit_reversal_ring(8), vec![0, 4, 2, 6, 1, 5, 3, 7]);
+/// ```
+pub fn bit_reversal_ring(n: usize) -> Vec<u64> {
+    assert!(n.is_power_of_two() && n > 0, "n must be a power of two");
+    let k = n.trailing_zeros();
+    (0..n)
+        .map(|i| {
+            let mut r = 0usize;
+            for b in 0..k {
+                if i & (1 << b) != 0 {
+                    r |= 1 << (k - 1 - b);
+                }
+            }
+            r as u64
+        })
+        .collect()
+}
+
+/// Are two sequences of **distinct** values order-equivalent (same pattern of
+/// `<` / `>` comparisons at every index pair)?
+///
+/// Comparison-based algorithms cannot distinguish order-equivalent
+/// neighbourhoods — the engine of the Ω(n log n) bounds.
+///
+/// # Examples
+///
+/// ```
+/// use impossible_core::symmetry::order_equivalent;
+/// assert!(order_equivalent(&[1, 9, 4], &[10, 70, 23]));
+/// assert!(!order_equivalent(&[1, 9, 4], &[9, 1, 4]));
+/// ```
+pub fn order_equivalent(a: &[u64], b: &[u64]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    for i in 0..a.len() {
+        for j in (i + 1)..a.len() {
+            if (a[i] < a[j]) != (b[i] < b[j]) || (a[i] > a[j]) != (b[i] > b[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// The radius-`k` neighbourhood of ring position `i`: the IDs at positions
+/// `i-k ..= i+k`, in ring order.
+pub fn neighborhood(ring: &[u64], i: usize, k: usize) -> Vec<u64> {
+    let n = ring.len();
+    (0..=2 * k).map(|d| ring[(i + n + d - k) % n]).collect()
+}
+
+/// Partition ring positions into classes whose radius-`k` neighbourhoods are
+/// pairwise order-equivalent. A comparison-based synchronous algorithm must
+/// treat all members of a class identically for the first `k` rounds — so if
+/// one sends a message, **all** do. Large classes at large `k` are what make
+/// the Figure 4 ring expensive.
+///
+/// Returns the classes as position lists, largest first.
+pub fn comparison_symmetry_classes(ring: &[u64], k: usize) -> Vec<Vec<usize>> {
+    let n = ring.len();
+    let hoods: Vec<Vec<u64>> = (0..n).map(|i| neighborhood(ring, i, k)).collect();
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        match classes
+            .iter_mut()
+            .find(|c| order_equivalent(&hoods[c[0]], &hoods[i]))
+        {
+            Some(c) => c.push(i),
+            None => classes.push(vec![i]),
+        }
+    }
+    classes.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    classes
+}
+
+/// Lower bound on messages forced by symmetry for a comparison-based
+/// algorithm on `ring`, following the counting of Frederickson–Lynch: while
+/// no message chain has spanned distance `2^k`, every position behaves like
+/// all members of its radius-`2^k` order-equivalence class — so any message
+/// is mirrored by at least `min class size` peers, for at least `2^(k-1)`
+/// rounds at that scale.
+///
+/// Returns `Σ_j min_class_size(radius 2^j) · 2^j` over doubling radii — the
+/// standard Ω(n log n) counting shape (for the bit-reversal ring every term
+/// is ≈ n/2). Used by the experiments to plot the bound curve.
+pub fn symmetry_message_bound(ring: &[u64]) -> u64 {
+    let n = ring.len();
+    let mut total = 0u64;
+    let mut k = 1usize;
+    while k <= n / 2 {
+        let classes = comparison_symmetry_classes(ring, k);
+        let min_class = classes.iter().map(|c| c.len()).min().unwrap_or(0) as u64;
+        total += min_class * k as u64;
+        k *= 2;
+    }
+    total
+}
+
+/// The size of the smallest radius-`k` order-equivalence class — `1` means
+/// some position is already uniquely distinguishable with radius-`k`
+/// knowledge (an asymmetric ring); `≥ 2` everywhere is what the Figure 4
+/// construction guarantees at every scale below `n/2`.
+pub fn min_symmetry_class(ring: &[u64], k: usize) -> usize {
+    comparison_symmetry_classes(ring, k)
+        .iter()
+        .map(|c| c.len())
+        .min()
+        .unwrap_or(0)
+}
+
+/// Outcome of running an anonymous deterministic ring protocol in lockstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymmetryVerdict {
+    /// After `rounds` synchronous rounds all processes remain in states that
+    /// are equal orbit-wise; no process can have been distinguished as a
+    /// leader. The Angluin certificate.
+    SymmetricForever {
+        /// The orbit period `d` (states repeat with period `d` around the
+        /// ring, `d` divides `n`).
+        period: usize,
+        /// Rounds simulated before the global configuration repeated.
+        rounds_to_repeat: usize,
+    },
+    /// Symmetry was broken — only possible if the protocol is not actually
+    /// anonymous/deterministic (a bug in the candidate).
+    SymmetryBroken {
+        /// Round at which two same-orbit processes diverged.
+        round: usize,
+    },
+}
+
+/// An anonymous deterministic synchronous ring protocol: every process runs
+/// the same code, knows only (maybe) the ring size, and exchanges messages
+/// with its two neighbours each round.
+pub trait AnonymousRingProtocol {
+    /// Per-process state.
+    type State: Clone + Eq + std::hash::Hash + std::fmt::Debug;
+    /// Message payload (sent left and right each round).
+    type Msg: Clone + Eq + std::fmt::Debug;
+
+    /// Initial state given the ring size and the process's input label.
+    fn init(&self, ring_size: usize, input: u64) -> Self::State;
+
+    /// Message to send this round: `(to_left, to_right)`. `None` = silence.
+    fn send(&self, state: &Self::State) -> (Option<Self::Msg>, Option<Self::Msg>);
+
+    /// State transition on receiving `(from_left, from_right)`.
+    fn recv(
+        &self,
+        state: Self::State,
+        from_left: Option<Self::Msg>,
+        from_right: Option<Self::Msg>,
+    ) -> Self::State;
+
+    /// Whether this process has declared itself leader.
+    fn is_leader(&self, state: &Self::State) -> bool;
+}
+
+/// Lockstep simulator proving the Angluin folk theorem on concrete
+/// candidates: on an input labelling of period `d`, the configuration stays
+/// `d`-periodic forever, so either **no** process declares leadership or at
+/// least `n/d ≥ 2` processes do simultaneously.
+pub struct LockstepRing<'a, P: AnonymousRingProtocol> {
+    protocol: &'a P,
+    inputs: Vec<u64>,
+}
+
+impl<'a, P: AnonymousRingProtocol> LockstepRing<'a, P> {
+    /// Simulator over a ring with the given input labels.
+    pub fn new(protocol: &'a P, inputs: Vec<u64>) -> Self {
+        assert!(!inputs.is_empty());
+        LockstepRing { protocol, inputs }
+    }
+
+    /// The smallest period of the input labelling (divides `n`).
+    pub fn input_period(&self) -> usize {
+        let n = self.inputs.len();
+        (1..=n)
+            .filter(|d| n % d == 0)
+            .find(|&d| (0..n).all(|i| self.inputs[i] == self.inputs[(i + d) % n]))
+            .expect("n is always a period")
+    }
+
+    /// Run until the global configuration repeats (or `max_rounds`), checking
+    /// the periodicity invariant each round.
+    ///
+    /// For a uniform ring (`period == 1` with `n ≥ 2`), a verdict of
+    /// [`SymmetryVerdict::SymmetricForever`] is precisely the impossibility
+    /// certificate: leadership would require one process to enter a state no
+    /// other is in, which the invariant forbids.
+    pub fn run(&self, max_rounds: usize) -> SymmetryVerdict {
+        let n = self.inputs.len();
+        let d = self.input_period();
+        let mut states: Vec<P::State> = self
+            .inputs
+            .iter()
+            .map(|&inp| self.protocol.init(n, inp))
+            .collect();
+
+        let mut seen: HashMap<Vec<P::State>, usize> = HashMap::new();
+        seen.insert(states.clone(), 0);
+
+        for round in 1..=max_rounds {
+            // Check d-periodicity.
+            if let Some(i) = (0..n).find(|&i| states[i] != states[(i + d) % n]) {
+                let _ = i;
+                return SymmetryVerdict::SymmetryBroken { round: round - 1 };
+            }
+            // Synchronous exchange.
+            let sends: Vec<(Option<P::Msg>, Option<P::Msg>)> =
+                states.iter().map(|s| self.protocol.send(s)).collect();
+            let mut next = Vec::with_capacity(n);
+            for i in 0..n {
+                // from_left = right-bound message of left neighbour;
+                // from_right = left-bound message of right neighbour.
+                let from_left = sends[(i + n - 1) % n].1.clone();
+                let from_right = sends[(i + 1) % n].0.clone();
+                next.push(self.protocol.recv(states[i].clone(), from_left, from_right));
+            }
+            states = next;
+            if let Some(&first) = seen.get(&states) {
+                let _ = first;
+                return SymmetryVerdict::SymmetricForever {
+                    period: d,
+                    rounds_to_repeat: round,
+                };
+            }
+            seen.insert(states.clone(), round);
+        }
+        // No repeat within budget; the periodicity invariant held throughout,
+        // which is still the certificate (states space may just be large).
+        SymmetryVerdict::SymmetricForever {
+            period: d,
+            rounds_to_repeat: max_rounds,
+        }
+    }
+
+    /// Count, over `max_rounds`, how many processes ever declare leadership
+    /// simultaneously in some round; by symmetry this is always `0` or a
+    /// multiple of `n / period`.
+    pub fn simultaneous_leaders(&self, max_rounds: usize) -> usize {
+        let n = self.inputs.len();
+        let mut states: Vec<P::State> = self
+            .inputs
+            .iter()
+            .map(|&inp| self.protocol.init(n, inp))
+            .collect();
+        let mut max_leaders = 0;
+        for _ in 0..max_rounds {
+            let leaders = states
+                .iter()
+                .filter(|s| self.protocol.is_leader(s))
+                .count();
+            max_leaders = max_leaders.max(leaders);
+            let sends: Vec<_> = states.iter().map(|s| self.protocol.send(s)).collect();
+            let mut next = Vec::with_capacity(n);
+            for i in 0..n {
+                let from_left = sends[(i + n - 1) % n].1.clone();
+                let from_right = sends[(i + 1) % n].0.clone();
+                next.push(self.protocol.recv(states[i].clone(), from_left, from_right));
+            }
+            states = next;
+        }
+        max_leaders
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_4_ring() {
+        assert_eq!(bit_reversal_ring(8), vec![0, 4, 2, 6, 1, 5, 3, 7]);
+        assert_eq!(bit_reversal_ring(4), vec![0, 2, 1, 3]);
+        assert_eq!(bit_reversal_ring(1), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bit_reversal_rejects_non_power() {
+        bit_reversal_ring(6);
+    }
+
+    #[test]
+    fn order_equivalence_basic() {
+        assert!(order_equivalent(&[3, 1, 2], &[30, 10, 20]));
+        assert!(!order_equivalent(&[3, 1, 2], &[1, 3, 2]));
+        assert!(!order_equivalent(&[1, 2], &[1, 2, 3]));
+        assert!(order_equivalent(&[], &[]));
+    }
+
+    #[test]
+    fn figure_4_ring_is_highly_symmetric() {
+        // In the 8-ring, no position is uniquely distinguishable by its
+        // radius-1 neighbourhood: every order-equivalence class has ≥ 2
+        // members (positions i and i+4 mirror each other).
+        let ring = bit_reversal_ring(8);
+        let classes = comparison_symmetry_classes(&ring, 1);
+        assert!(
+            classes.iter().all(|c| c.len() >= 2),
+            "figure-4 ring must have no singleton radius-1 class: {classes:?}"
+        );
+        assert_eq!(min_symmetry_class(&ring, 1), 2);
+    }
+
+    #[test]
+    fn sorted_ring_is_less_symmetric_than_figure4() {
+        let sym = bit_reversal_ring(8);
+        // A monotone ring: the wrap-around positions are uniquely
+        // identifiable — singleton classes appear.
+        let sorted: Vec<u64> = (0..8).collect();
+        assert_eq!(min_symmetry_class(&sorted, 1), 1);
+        assert!(min_symmetry_class(&sym, 1) > min_symmetry_class(&sorted, 1));
+    }
+
+    #[test]
+    fn neighborhood_wraps() {
+        let ring = vec![10, 20, 30, 40];
+        assert_eq!(neighborhood(&ring, 0, 1), vec![40, 10, 20]);
+        assert_eq!(neighborhood(&ring, 3, 1), vec![30, 40, 10]);
+    }
+
+    #[test]
+    fn symmetry_bound_grows_with_n() {
+        let b8 = symmetry_message_bound(&bit_reversal_ring(8));
+        let b32 = symmetry_message_bound(&bit_reversal_ring(32));
+        assert!(b32 > b8);
+    }
+
+    /// Candidate anonymous "max-finding" protocol: everyone starts with the
+    /// same label (uniform ring) and floods its value; claims leadership if
+    /// it only ever sees its own value. Classic doomed candidate.
+    struct FloodMax;
+    impl AnonymousRingProtocol for FloodMax {
+        type State = (u64, bool, u32); // (max seen, claims_leader, round counter)
+        type Msg = u64;
+        fn init(&self, _n: usize, input: u64) -> Self::State {
+            (input, false, 0)
+        }
+        fn send(&self, s: &Self::State) -> (Option<u64>, Option<u64>) {
+            (Some(s.0), Some(s.0))
+        }
+        fn recv(&self, s: Self::State, l: Option<u64>, r: Option<u64>) -> Self::State {
+            let m = s.0.max(l.unwrap_or(0)).max(r.unwrap_or(0));
+            let beaten = l.is_some_and(|v| v > s.0) || r.is_some_and(|v| v > s.0);
+            (m, !beaten && s.2 >= 3, s.2 + 1)
+        }
+        fn is_leader(&self, s: &Self::State) -> bool {
+            s.1
+        }
+    }
+
+    #[test]
+    fn uniform_ring_stays_symmetric_and_elects_all_or_none() {
+        let sim = LockstepRing::new(&FloodMax, vec![7; 6]);
+        assert_eq!(sim.input_period(), 1);
+        match sim.run(100) {
+            SymmetryVerdict::SymmetricForever { period, .. } => assert_eq!(period, 1),
+            v => panic!("uniform ring must stay symmetric, got {v:?}"),
+        }
+        // Everyone claims leadership simultaneously — the "election" is void.
+        let leaders = sim.simultaneous_leaders(10);
+        assert_eq!(leaders, 6, "by symmetry all 6 claim leadership at once");
+    }
+
+    #[test]
+    fn period_2_labelling_keeps_period_2() {
+        let sim = LockstepRing::new(&FloodMax, vec![1, 2, 1, 2, 1, 2]);
+        assert_eq!(sim.input_period(), 2);
+        match sim.run(50) {
+            SymmetryVerdict::SymmetricForever { period, .. } => assert_eq!(period, 2),
+            v => panic!("{v:?}"),
+        }
+    }
+}

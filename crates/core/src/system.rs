@@ -1,0 +1,199 @@
+//! Labelled transition systems — the common model foundation.
+//!
+//! The survey laments that "the modeling work starts from scratch" in paper
+//! after paper and asks for "some body of common definitions that people could
+//! use for asynchronous computing impossibility results". [`System`] is that
+//! body of definitions for this workspace: a transition system whose actions
+//! carry an *owner* (the process that controls them), from which executions,
+//! fairness, indistinguishability and all the proof engines are derived.
+
+use crate::ids::ProcessId;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A labelled transition system with per-process action ownership.
+///
+/// States must be cheap-ish to clone and hashable so the explicit-state
+/// engines ([`crate::explore`], [`crate::valence`]) can deduplicate them.
+///
+/// `enabled` must be deterministic (same state → same action list); all
+/// nondeterminism of a distributed system is expressed through the *choice*
+/// among enabled actions, which is the scheduler's (adversary's) job. This is
+/// exactly the I/O-automaton discipline the paper advocates: a clean split
+/// between the algorithm (the transition function) and the environment (who
+/// gets to move).
+pub trait System {
+    /// Global configuration of the system.
+    type State: Clone + Eq + Hash + Debug;
+    /// A transition label (a step of one process, a message delivery, ...).
+    type Action: Clone + Eq + Hash + Debug;
+
+    /// The initial configurations. Impossibility proofs quantify over these
+    /// (e.g. FLP's Lemma: *some* initial configuration is bivalent).
+    fn initial_states(&self) -> Vec<Self::State>;
+
+    /// Actions enabled in `state`. An empty vector means the system has
+    /// terminated (or deadlocked — the checkers distinguish the two).
+    fn enabled(&self, state: &Self::State) -> Vec<Self::Action>;
+
+    /// Apply `action` to `state`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action` is not enabled in `state`;
+    /// the engines only ever apply enabled actions.
+    fn step(&self, state: &Self::State, action: &Self::Action) -> Self::State;
+
+    /// The process controlling `action`, if any.
+    ///
+    /// Actions owned by the environment (e.g. a message loss chosen by a
+    /// channel adversary) return `None`. Ownership drives fairness: an
+    /// *admissible* execution must give every live process infinitely many
+    /// steps (see [`crate::exec::Admissibility`]).
+    fn owner(&self, action: &Self::Action) -> Option<ProcessId> {
+        let _ = action;
+        None
+    }
+
+    /// Number of processes participating, when meaningful.
+    ///
+    /// Engines that reason about resilience (tolerating `t` of `n` failures)
+    /// need this; systems without a fixed population return `None`.
+    fn num_processes(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A [`System`] whose executions may produce per-process *decisions*.
+///
+/// Consensus, leader election, renaming and commit are all decision problems;
+/// the valence engine ([`crate::valence`]) and the task framework
+/// ([`crate::task`]) operate on any `DecisionSystem`.
+pub trait DecisionSystem: System {
+    /// The decisions already made in `state`: `(process, value)` pairs.
+    ///
+    /// A decision is irrevocable: if `(p, v)` appears in a state it must
+    /// appear, with the same `v`, in every successor. The engines check this
+    /// invariant and report a protocol bug if it is violated.
+    fn decisions(&self, state: &Self::State) -> Vec<(ProcessId, u64)>;
+
+    /// The decision of `process` in `state`, if it has decided.
+    fn decision_of(&self, state: &Self::State, process: ProcessId) -> Option<u64> {
+        self.decisions(state)
+            .into_iter()
+            .find(|(p, _)| *p == process)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Blanket helpers available on every [`System`].
+pub trait SystemExt: System {
+    /// Run a straight-line schedule from `state`, returning the final state.
+    ///
+    /// Skips (and reports) any action that is not enabled when its turn
+    /// comes. Returns `Err(index)` of the first non-enabled action.
+    fn apply_schedule(
+        &self,
+        state: &Self::State,
+        actions: &[Self::Action],
+    ) -> Result<Self::State, usize> {
+        let mut cur = state.clone();
+        for (i, a) in actions.iter().enumerate() {
+            if !self.enabled(&cur).contains(a) {
+                return Err(i);
+            }
+            cur = self.step(&cur, a);
+        }
+        Ok(cur)
+    }
+
+    /// All successor `(action, state)` pairs of `state`.
+    fn successors(&self, state: &Self::State) -> Vec<(Self::Action, Self::State)> {
+        self.enabled(state)
+            .into_iter()
+            .map(|a| {
+                let s = self.step(state, &a);
+                (a, s)
+            })
+            .collect()
+    }
+}
+
+impl<S: System + ?Sized> SystemExt for S {}
+
+#[cfg(test)]
+pub(crate) mod test_systems {
+    use super::*;
+
+    /// Two processes, each may increment its own counter up to `max`.
+    /// Owner of action `i` is process `i`.
+    pub struct Counters {
+        pub n: usize,
+        pub max: u8,
+    }
+
+    impl System for Counters {
+        type State = Vec<u8>;
+        type Action = usize;
+
+        fn initial_states(&self) -> Vec<Self::State> {
+            vec![vec![0; self.n]]
+        }
+
+        fn enabled(&self, s: &Self::State) -> Vec<usize> {
+            (0..self.n).filter(|&i| s[i] < self.max).collect()
+        }
+
+        fn step(&self, s: &Self::State, a: &usize) -> Self::State {
+            let mut t = s.clone();
+            t[*a] += 1;
+            t
+        }
+
+        fn owner(&self, a: &usize) -> Option<ProcessId> {
+            Some(ProcessId(*a))
+        }
+
+        fn num_processes(&self) -> Option<usize> {
+            Some(self.n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_systems::Counters;
+    use super::*;
+
+    #[test]
+    fn apply_schedule_runs_enabled_actions() {
+        let sys = Counters { n: 2, max: 2 };
+        let init = &sys.initial_states()[0];
+        let end = sys.apply_schedule(init, &[0, 0, 1]).unwrap();
+        assert_eq!(end, vec![2, 1]);
+    }
+
+    #[test]
+    fn apply_schedule_reports_first_disabled() {
+        let sys = Counters { n: 2, max: 1 };
+        let init = &sys.initial_states()[0];
+        // Second `0` is disabled because counter 0 is saturated.
+        assert_eq!(sys.apply_schedule(init, &[0, 0]), Err(1));
+    }
+
+    #[test]
+    fn successors_enumerates_all_moves() {
+        let sys = Counters { n: 3, max: 1 };
+        let init = &sys.initial_states()[0];
+        let succ = sys.successors(init);
+        assert_eq!(succ.len(), 3);
+        assert!(succ.iter().any(|(a, s)| *a == 1 && s[1] == 1));
+    }
+
+    #[test]
+    fn ownership() {
+        let sys = Counters { n: 2, max: 1 };
+        assert_eq!(sys.owner(&1), Some(ProcessId(1)));
+        assert_eq!(sys.num_processes(), Some(2));
+    }
+}

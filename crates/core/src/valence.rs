@@ -1,0 +1,649 @@
+//! The bivalence engine — Figures 2 and 3 of the paper, made executable.
+//!
+//! The Fischer–Lynch–Paterson proof (and its many descendants: Dolev–Dwork–
+//! Stockmeyer, Loui–Abu-Amara, Herlihy, Bridgeland–Watro, Moran–Wolfstahl...)
+//! all analyze how a decision protocol's configurations move from *bivalent*
+//! (both decision values still reachable) to *univalent*. This module
+//! computes the valence of every reachable configuration of a finite-instance
+//! [`DecisionSystem`] and searches for the structures those proofs need:
+//!
+//! * **bivalent initial configurations** (FLP Lemma 2),
+//! * **critical configurations** — bivalent, with every successor univalent
+//!   (Herlihy's simplified "decider", Figure 3),
+//! * **decider configurations** in the Bridgeland–Watro sense — a bivalent
+//!   configuration from which a single process *on its own* can drive the
+//!   system to either valence (Figure 2),
+//! * **admissible non-deciding executions** — a fair "lasso" through
+//!   bivalent configurations: the concrete counterexample every bivalence
+//!   proof constructs.
+
+use crate::exec::{Admissibility, Execution, StepCensus};
+use crate::ids::ProcessId;
+use crate::system::{DecisionSystem, SystemExt};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// The valence of a configuration: the set of decision values reachable from
+/// it. (The paper treats the binary case; we allow any `u64` values, so
+/// "bivalent" generalizes to "multivalent".)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Valence(pub BTreeSet<u64>);
+
+impl Valence {
+    /// Exactly one decision value is reachable.
+    pub fn is_univalent(&self) -> bool {
+        self.0.len() == 1
+    }
+
+    /// At least two decision values are reachable.
+    pub fn is_bivalent(&self) -> bool {
+        self.0.len() >= 2
+    }
+
+    /// `v`-valent: univalent with value `v`.
+    pub fn is_valent(&self, v: u64) -> bool {
+        self.is_univalent() && self.0.contains(&v)
+    }
+}
+
+/// Full valence classification of a protocol instance's reachable graph.
+#[derive(Debug)]
+pub struct ValenceReport<S> {
+    /// Valence of every reachable configuration.
+    pub valence: HashMap<S, Valence>,
+    /// Initial configurations that are bivalent.
+    pub bivalent_initials: Vec<S>,
+    /// Initial configurations that are univalent.
+    pub univalent_initials: Vec<S>,
+    /// Critical configurations: bivalent, every successor univalent.
+    pub critical: Vec<S>,
+    /// True if exploration hit a bound (classification then incomplete).
+    pub truncated: bool,
+    /// Number of reachable configurations analyzed.
+    pub num_states: usize,
+    /// Configurations where a process has decided but agreement is violated
+    /// somewhere below — diagnostic for buggy candidate protocols.
+    pub agreement_violations: Vec<S>,
+}
+
+/// An admissible non-deciding execution in lasso form: a stem from an initial
+/// configuration to a bivalent configuration `c`, plus a cycle from `c` back
+/// to `c` through bivalent configurations in which every non-failed process
+/// takes a step. Repeating the cycle forever is an admissible execution in
+/// which no process ever decides — the FLP counterexample.
+#[derive(Debug, Clone)]
+pub struct NonDecidingLasso<S, A> {
+    /// Prefix from an initial configuration to the loop head.
+    pub stem: Execution<S, A>,
+    /// The loop: starts and ends at `stem.last()`.
+    pub cycle: Execution<S, A>,
+    /// The processes allowed to fail (take no step in the cycle).
+    pub failed: Vec<ProcessId>,
+}
+
+/// A Bridgeland–Watro decider: from `config`, process `p` can reach, by
+/// taking steps *alone*, both a configuration of valence `{v0}` and one of
+/// valence `{v1}` with `v0 != v1`.
+#[derive(Debug, Clone)]
+pub struct Decider<S, A> {
+    /// The bivalent configuration.
+    pub config: S,
+    /// The deciding process.
+    pub process: ProcessId,
+    /// A `process`-solo schedule from `config` to a 0-side univalent config.
+    pub to_first: Execution<S, A>,
+    /// A `process`-solo schedule from `config` to the other valence.
+    pub to_second: Execution<S, A>,
+}
+
+/// The bivalence engine over a [`DecisionSystem`].
+pub struct ValenceEngine<'a, Sys: DecisionSystem> {
+    sys: &'a Sys,
+    max_states: usize,
+}
+
+impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
+    /// New engine with a default bound of 2M states.
+    pub fn new(sys: &'a Sys) -> Self {
+        ValenceEngine {
+            sys,
+            max_states: 2_000_000,
+        }
+    }
+
+    /// Cap the reachable-graph size.
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
+
+    /// Build the reachable graph and classify every configuration's valence.
+    pub fn analyze(&self) -> ValenceReport<Sys::State> {
+        let (order, succ, truncated) = self.reachable_graph();
+        let index: HashMap<&Sys::State, usize> =
+            order.iter().enumerate().map(|(i, s)| (s, i)).collect();
+
+        // Immediate decisions per state.
+        let own: Vec<BTreeSet<u64>> = order
+            .iter()
+            .map(|s| self.sys.decisions(s).into_iter().map(|(_, v)| v).collect())
+            .collect();
+
+        // Fixpoint: val(s) = own(s) ∪ ⋃ val(succ(s)), via reverse worklist.
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
+        for (i, ts) in succ.iter().enumerate() {
+            for &(_, t) in ts {
+                preds[t].push(i);
+            }
+        }
+        let mut val: Vec<BTreeSet<u64>> = own.clone();
+        let mut queue: VecDeque<usize> = (0..order.len()).collect();
+        let mut queued: Vec<bool> = vec![true; order.len()];
+        while let Some(i) = queue.pop_front() {
+            queued[i] = false;
+            // Recompute val[i] from own + successors.
+            let mut v = own[i].clone();
+            for &(_, t) in &succ[i] {
+                for x in &val[t] {
+                    v.insert(*x);
+                }
+            }
+            if v != val[i] {
+                val[i] = v;
+                for &p in &preds[i] {
+                    if !queued[p] {
+                        queued[p] = true;
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+
+        // Agreement diagnostics: a state where two distinct values are
+        // *already decided* simultaneously.
+        let agreement_violations: Vec<Sys::State> = order
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| own[*i].len() >= 2)
+            .map(|(_, s)| s.clone())
+            .collect();
+
+        let mut valence = HashMap::with_capacity(order.len());
+        for (i, s) in order.iter().enumerate() {
+            valence.insert(s.clone(), Valence(val[i].clone()));
+        }
+
+        let mut bivalent_initials = Vec::new();
+        let mut univalent_initials = Vec::new();
+        for s in self.sys.initial_states() {
+            if let Some(i) = index.get(&s) {
+                if val[*i].len() >= 2 {
+                    bivalent_initials.push(s);
+                } else {
+                    univalent_initials.push(s);
+                }
+            }
+        }
+
+        // Critical configurations (Figure 3): bivalent, and every *real*
+        // successor (ignoring stutter self-loops such as null steps) is
+        // univalent.
+        let critical = order
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let real: Vec<usize> = succ[*i]
+                    .iter()
+                    .map(|&(_, t)| t)
+                    .filter(|t| t != i)
+                    .collect();
+                val[*i].len() >= 2
+                    && !real.is_empty()
+                    && real.iter().all(|&t| val[t].len() == 1)
+            })
+            .map(|(_, s)| s.clone())
+            .collect();
+
+        ValenceReport {
+            valence,
+            bivalent_initials,
+            univalent_initials,
+            critical,
+            truncated,
+            num_states: order.len(),
+            agreement_violations,
+        }
+    }
+
+    /// Search for an admissible non-deciding lasso: a cycle through bivalent
+    /// configurations in which every process outside some failure set of size
+    /// ≤ `adm.max_failures` takes at least one step.
+    ///
+    /// Returns `None` if no such lasso exists in the (bounded) reachable
+    /// graph — which, for a *correct* `t`-resilient protocol, is exactly what
+    /// must happen; for any protocol claiming to solve 1-resilient
+    /// asynchronous consensus, FLP guarantees a lasso exists.
+    pub fn non_deciding_lasso(
+        &self,
+        adm: &Admissibility,
+    ) -> Option<NonDecidingLasso<Sys::State, Sys::Action>> {
+        let n = self
+            .sys
+            .num_processes()
+            .expect("non_deciding_lasso requires a fixed process population");
+        let report = self.analyze();
+        let (order, succ, _) = self.reachable_graph();
+        let bival: Vec<bool> = order
+            .iter()
+            .map(|s| report.valence[s].is_bivalent())
+            .collect();
+
+        // Candidate failure sets, smallest first (prefer the strongest
+        // counterexample: fewer failures).
+        let failure_sets = subsets_up_to(n, adm.max_failures);
+
+        for failed in failure_sets {
+            let failed_set: HashSet<ProcessId> = failed.iter().copied().collect();
+            let live: Vec<ProcessId> = ProcessId::all(n)
+                .filter(|p| !failed_set.contains(p))
+                .collect();
+            if live.is_empty() {
+                continue;
+            }
+            // Product search: node = (state_index, bitmask of live procs that
+            // have stepped since the loop head). Look for a loop head h with a
+            // path h,0 -> h,full. Restrict to bivalent states; actions owned
+            // by failed processes are not taken (they have crashed).
+            let full: u32 = (1u32 << live.len()) - 1;
+            let live_bit: HashMap<ProcessId, u32> = live
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (*p, 1u32 << i))
+                .collect();
+
+            for (h, is_biv) in bival.iter().enumerate() {
+                if !is_biv {
+                    continue;
+                }
+                // BFS in product space from (h, 0).
+                let mut parent: HashMap<(usize, u32), (usize, u32, Sys::Action)> = HashMap::new();
+                let mut seen: HashSet<(usize, u32)> = HashSet::new();
+                let mut q: VecDeque<(usize, u32)> = VecDeque::new();
+                seen.insert((h, 0));
+                q.push_back((h, 0));
+                let mut goal: Option<(usize, u32)> = None;
+                'bfs: while let Some((s, mask)) = q.pop_front() {
+                    for (a, t) in &succ[s] {
+                        if !bival[*t] {
+                            continue;
+                        }
+                        let owner = self.sys.owner(a);
+                        if let Some(p) = owner {
+                            if failed_set.contains(&p) {
+                                continue;
+                            }
+                        }
+                        let nmask = match owner.and_then(|p| live_bit.get(&p)) {
+                            Some(b) => mask | b,
+                            None => mask,
+                        };
+                        let node = (*t, nmask);
+                        if seen.insert(node) {
+                            parent.insert(node, (s, mask, a.clone()));
+                            if *t == h && nmask == full {
+                                goal = Some(node);
+                                break 'bfs;
+                            }
+                            q.push_back(node);
+                        }
+                    }
+                }
+                if let Some(g) = goal {
+                    // Reconstruct cycle h -> ... -> h.
+                    let mut rev_actions = Vec::new();
+                    let mut rev_states = vec![order[g.0].clone()];
+                    let mut cur = g;
+                    while cur != (h, 0) {
+                        let (ps, pm, a) = parent[&cur].clone();
+                        rev_actions.push(a);
+                        rev_states.push(order[ps].clone());
+                        cur = (ps, pm);
+                    }
+                    rev_states.reverse();
+                    rev_actions.reverse();
+                    let cycle = Execution::from_parts(rev_states, rev_actions);
+                    // Stem: shortest path from an initial state to h, using
+                    // only actions not owned by failed processes (the failed
+                    // processes crash at time 0 in this counterexample).
+                    let stem = self.shortest_path_avoiding(&order, &succ, h, &failed_set)?;
+                    // Sanity: verify fairness census of the cycle.
+                    debug_assert!(StepCensus::of(self.sys, &cycle)
+                        .admissible_as_loop(n, adm));
+                    return Some(NonDecidingLasso {
+                        stem,
+                        cycle,
+                        failed,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Search for a Bridgeland–Watro decider configuration (Figure 2).
+    pub fn find_decider(&self) -> Option<Decider<Sys::State, Sys::Action>> {
+        let report = self.analyze();
+        let (order, succ, _) = self.reachable_graph();
+        let n = self.sys.num_processes()?;
+        for (i, s) in order.iter().enumerate() {
+            if !report.valence[s].is_bivalent() {
+                continue;
+            }
+            let _ = &succ[i];
+            for p in ProcessId::all(n) {
+                // Explore p-solo executions from s; collect reachable
+                // valences.
+                let mut reached: Vec<(Valence, Execution<Sys::State, Sys::Action>)> = Vec::new();
+                let mut seen: HashSet<Sys::State> = HashSet::new();
+                let mut q: VecDeque<Execution<Sys::State, Sys::Action>> = VecDeque::new();
+                q.push_back(Execution::start(s.clone()));
+                seen.insert(s.clone());
+                while let Some(e) = q.pop_front() {
+                    let v = &report.valence[e.last()];
+                    if v.is_univalent() && !reached.iter().any(|(rv, _)| rv == v) {
+                        reached.push((v.clone(), e.clone()));
+                        if reached.len() >= 2 {
+                            break;
+                        }
+                    }
+                    for (a, t) in self.sys.successors(e.last()) {
+                        if self.sys.owner(&a) == Some(p)
+                            && report.valence.contains_key(&t)
+                            && seen.insert(t.clone())
+                        {
+                            q.push_back(e.extended(a, t));
+                        }
+                    }
+                }
+                if reached.len() >= 2 {
+                    let mut it = reached.into_iter();
+                    let (_, to_first) = it.next().expect("len >= 2");
+                    let (_, to_second) = it.next().expect("len >= 2");
+                    return Some(Decider {
+                        config: s.clone(),
+                        process: p,
+                        to_first,
+                        to_second,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Reachable graph: state order, successor lists `(action, target_index)`,
+    /// truncation flag.
+    #[allow(clippy::type_complexity)]
+    fn reachable_graph(&self) -> (Vec<Sys::State>, Vec<Vec<(Sys::Action, usize)>>, bool) {
+        let mut order: Vec<Sys::State> = Vec::new();
+        let mut index: HashMap<Sys::State, usize> = HashMap::new();
+        let mut succ: Vec<Vec<(Sys::Action, usize)>> = Vec::new();
+        let mut truncated = false;
+
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for s in self.sys.initial_states() {
+            if !index.contains_key(&s) {
+                let i = order.len();
+                index.insert(s.clone(), i);
+                order.push(s);
+                succ.push(Vec::new());
+                queue.push_back(i);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            let state = order[i].clone();
+            for a in self.sys.enabled(&state) {
+                let t = self.sys.step(&state, &a);
+                let ti = match index.get(&t) {
+                    Some(&ti) => ti,
+                    None => {
+                        if order.len() >= self.max_states {
+                            truncated = true;
+                            continue;
+                        }
+                        let ti = order.len();
+                        index.insert(t.clone(), ti);
+                        order.push(t);
+                        succ.push(Vec::new());
+                        queue.push_back(ti);
+                        ti
+                    }
+                };
+                succ[i].push((a, ti));
+            }
+        }
+        (order, succ, truncated)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn shortest_path_avoiding(
+        &self,
+        order: &[Sys::State],
+        succ: &[Vec<(Sys::Action, usize)>],
+        target: usize,
+        failed: &HashSet<ProcessId>,
+    ) -> Option<Execution<Sys::State, Sys::Action>> {
+        let index: HashMap<&Sys::State, usize> =
+            order.iter().enumerate().map(|(i, s)| (s, i)).collect();
+        let mut parent: HashMap<usize, (usize, Sys::Action)> = HashMap::new();
+        let mut seen: HashSet<usize> = HashSet::new();
+        let mut q: VecDeque<usize> = VecDeque::new();
+        for s in self.sys.initial_states() {
+            if let Some(&i) = index.get(&s) {
+                if seen.insert(i) {
+                    q.push_back(i);
+                }
+            }
+        }
+        if seen.contains(&target) {
+            return Some(Execution::start(order[target].clone()));
+        }
+        while let Some(i) = q.pop_front() {
+            for (a, t) in &succ[i] {
+                if let Some(p) = self.sys.owner(a) {
+                    if failed.contains(&p) {
+                        continue;
+                    }
+                }
+                if seen.insert(*t) {
+                    parent.insert(*t, (i, a.clone()));
+                    if *t == target {
+                        let mut rev_states = vec![order[target].clone()];
+                        let mut rev_actions = Vec::new();
+                        let mut cur = target;
+                        while let Some((p, a)) = parent.get(&cur) {
+                            rev_actions.push(a.clone());
+                            rev_states.push(order[*p].clone());
+                            cur = *p;
+                        }
+                        rev_states.reverse();
+                        rev_actions.reverse();
+                        return Some(Execution::from_parts(rev_states, rev_actions));
+                    }
+                    q.push_back(*t);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// All subsets of `{p0..p(n-1)}` of size ≤ `k`, smallest-cardinality first.
+fn subsets_up_to(n: usize, k: usize) -> Vec<Vec<ProcessId>> {
+    let mut out: Vec<Vec<ProcessId>> = vec![Vec::new()];
+    let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
+    for _ in 0..k.min(n) {
+        let mut next = Vec::new();
+        for set in &frontier {
+            let start = set.last().map_or(0, |l| l + 1);
+            for i in start..n {
+                let mut s = set.clone();
+                s.push(i);
+                out.push(s.iter().map(|&i| ProcessId(i)).collect());
+                next.push(s);
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::System;
+
+    /// A toy 2-process "consensus" where each process i has input bit b_i and
+    /// the *first* process to move decides its own input; the other then
+    /// copies. Correct agreement, but configurations before the first move
+    /// are bivalent when inputs differ.
+    #[derive(Clone)]
+    struct FirstMover;
+
+    type FmState = (Option<u64>, [u64; 2], [Option<u64>; 2]); // (decided value, inputs, decisions)
+
+    impl System for FirstMover {
+        type State = FmState;
+        type Action = usize; // which process moves
+
+        fn initial_states(&self) -> Vec<FmState> {
+            let mut v = Vec::new();
+            for b0 in 0..2u64 {
+                for b1 in 0..2u64 {
+                    v.push((None, [b0, b1], [None, None]));
+                }
+            }
+            v
+        }
+
+        fn enabled(&self, s: &FmState) -> Vec<usize> {
+            (0..2).filter(|&i| s.2[i].is_none()).collect()
+        }
+
+        fn step(&self, s: &FmState, a: &usize) -> FmState {
+            let mut t = s.clone();
+            let v = t.0.unwrap_or(t.1[*a]);
+            t.0 = Some(v);
+            t.2[*a] = Some(v);
+            t
+        }
+
+        fn owner(&self, a: &usize) -> Option<ProcessId> {
+            Some(ProcessId(*a))
+        }
+
+        fn num_processes(&self) -> Option<usize> {
+            Some(2)
+        }
+    }
+
+    impl DecisionSystem for FirstMover {
+        fn decisions(&self, s: &FmState) -> Vec<(ProcessId, u64)> {
+            s.2.iter()
+                .enumerate()
+                .filter_map(|(i, d)| d.map(|v| (ProcessId(i), v)))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn classifies_initial_valences() {
+        let report = ValenceEngine::new(&FirstMover).analyze();
+        // Mixed-input initials are bivalent; same-input initials univalent.
+        assert_eq!(report.bivalent_initials.len(), 2);
+        assert_eq!(report.univalent_initials.len(), 2);
+        assert!(!report.truncated);
+        assert!(report.agreement_violations.is_empty());
+    }
+
+    #[test]
+    fn mixed_input_initial_is_critical_here() {
+        // From a mixed-input initial, every successor decides a value =>
+        // univalent, so the initial is critical.
+        let report = ValenceEngine::new(&FirstMover).analyze();
+        let mixed: Vec<_> = report
+            .bivalent_initials
+            .iter()
+            .cloned()
+            .collect();
+        for m in mixed {
+            assert!(report.critical.contains(&m));
+        }
+    }
+
+    #[test]
+    fn decider_exists_for_first_mover() {
+        // Either process can, alone, decide either value from a mixed initial
+        // — wait: moving decides own input only; p0 solo from (0,1) reaches
+        // only decision 0. So p alone reaches ONE valence; no decider.
+        let d = ValenceEngine::new(&FirstMover).find_decider();
+        assert!(d.is_none());
+    }
+
+    #[test]
+    fn no_fair_lasso_for_terminating_protocol() {
+        // FirstMover always terminates in 2 steps; no cycle at all.
+        let lasso = ValenceEngine::new(&FirstMover)
+            .non_deciding_lasso(&Admissibility::resilient(1));
+        assert!(lasso.is_none());
+    }
+
+    /// A deliberately *non-deciding* protocol: two processes pass a token
+    /// around forever and never decide. Valence is empty-set everywhere;
+    /// no decisions reachable at all.
+    struct TokenLoop;
+    impl System for TokenLoop {
+        type State = u8; // who holds the token
+        type Action = u8; // holder passes
+        fn initial_states(&self) -> Vec<u8> {
+            vec![0]
+        }
+        fn enabled(&self, s: &u8) -> Vec<u8> {
+            vec![*s]
+        }
+        fn step(&self, s: &u8, _a: &u8) -> u8 {
+            1 - *s
+        }
+        fn owner(&self, a: &u8) -> Option<ProcessId> {
+            Some(ProcessId(*a as usize))
+        }
+        fn num_processes(&self) -> Option<usize> {
+            Some(2)
+        }
+    }
+    impl DecisionSystem for TokenLoop {
+        fn decisions(&self, _s: &u8) -> Vec<(ProcessId, u64)> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn token_loop_has_empty_valence_no_bivalent_lasso() {
+        let report = ValenceEngine::new(&TokenLoop).analyze();
+        assert_eq!(report.num_states, 2);
+        // Valence sets are empty (no decision reachable): not bivalent.
+        assert!(report.bivalent_initials.is_empty());
+        let lasso =
+            ValenceEngine::new(&TokenLoop).non_deciding_lasso(&Admissibility::failure_free());
+        // The cycle exists but is not through *bivalent* states, so none.
+        assert!(lasso.is_none());
+    }
+
+    #[test]
+    fn subsets_enumerator() {
+        let subs = subsets_up_to(3, 1);
+        assert_eq!(subs.len(), 4); // {}, {0}, {1}, {2}
+        assert_eq!(subs[0], Vec::<ProcessId>::new());
+        let subs2 = subsets_up_to(3, 2);
+        assert_eq!(subs2.len(), 7);
+    }
+}

@@ -1,0 +1,175 @@
+//! The physical layer: an unreliable packet channel.
+//!
+//! The channel is the adversary. It may **drop** packets, **duplicate**
+//! them, and — when configured non-FIFO — deliver them out of order. The
+//! [`LossyChannel::steal`] / [`LossyChannel::inject`] pair exposes the
+//! "message stealing" capability directly: withhold a packet now, replay
+//! it much later (the move that breaks every bounded-header protocol).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A unidirectional packet channel.
+#[derive(Debug, Clone)]
+pub struct LossyChannel<M> {
+    queue: VecDeque<M>,
+    rng: StdRng,
+    /// Probability a sent packet is silently lost.
+    pub drop_p: f64,
+    /// Probability a sent packet is duplicated.
+    pub dup_p: f64,
+    /// Deliver in order (true) or let the adversary pick (false).
+    pub fifo: bool,
+    sent: usize,
+    delivered: usize,
+}
+
+impl<M: Clone> LossyChannel<M> {
+    /// A reliable FIFO channel (no loss, no duplication).
+    pub fn reliable(seed: u64) -> Self {
+        LossyChannel {
+            queue: VecDeque::new(),
+            rng: StdRng::seed_from_u64(seed),
+            drop_p: 0.0,
+            dup_p: 0.0,
+            fifo: true,
+            sent: 0,
+            delivered: 0,
+        }
+    }
+
+    /// A lossy, duplicating FIFO channel.
+    pub fn lossy(seed: u64, drop_p: f64, dup_p: f64) -> Self {
+        LossyChannel {
+            drop_p,
+            dup_p,
+            ..LossyChannel::reliable(seed)
+        }
+    }
+
+    /// Allow out-of-order delivery.
+    pub fn reordering(mut self) -> Self {
+        self.fifo = false;
+        self
+    }
+
+    /// Send a packet (the channel applies loss/duplication).
+    pub fn send(&mut self, m: M) {
+        self.sent += 1;
+        if self.drop_p > 0.0 && self.rng.gen_bool(self.drop_p) {
+            return; // lost
+        }
+        if self.dup_p > 0.0 && self.rng.gen_bool(self.dup_p) {
+            self.queue.push_back(m.clone());
+        }
+        self.queue.push_back(m);
+    }
+
+    /// Receive the next packet (FIFO: front; non-FIFO: adversarial-random
+    /// position).
+    pub fn recv(&mut self) -> Option<M> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let idx = if self.fifo {
+            0
+        } else {
+            self.rng.gen_range(0..self.queue.len())
+        };
+        self.delivered += 1;
+        self.queue.remove(idx)
+    }
+
+    /// Adversary: withhold the packet at `idx` in the queue ("steal" it).
+    pub fn steal(&mut self, idx: usize) -> Option<M> {
+        self.queue.remove(idx)
+    }
+
+    /// Adversary: replay a previously stolen (or fabricated) packet.
+    pub fn inject(&mut self, m: M) {
+        self.queue.push_back(m);
+    }
+
+    /// Packets currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Peek at the in-flight packets (adversary planning).
+    pub fn peek(&self) -> impl Iterator<Item = &M> {
+        self.queue.iter()
+    }
+
+    /// Total packets accepted for sending.
+    pub fn packets_sent(&self) -> usize {
+        self.sent
+    }
+
+    /// Total packets handed to the receiver.
+    pub fn packets_delivered(&self) -> usize {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_fifo_preserves_order() {
+        let mut ch = LossyChannel::reliable(1);
+        for i in 0..5 {
+            ch.send(i);
+        }
+        let got: Vec<i32> = std::iter::from_fn(|| ch.recv()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn lossy_channel_drops_some() {
+        let mut ch = LossyChannel::lossy(3, 0.5, 0.0);
+        for i in 0..100 {
+            ch.send(i);
+        }
+        let n = ch.in_flight();
+        assert!(n < 80 && n > 20, "in flight {n}");
+    }
+
+    #[test]
+    fn duplicating_channel_duplicates_some() {
+        let mut ch = LossyChannel::lossy(3, 0.0, 0.5);
+        for i in 0..100 {
+            ch.send(i);
+        }
+        assert!(ch.in_flight() > 110);
+    }
+
+    #[test]
+    fn steal_and_inject_replays() {
+        let mut ch = LossyChannel::reliable(1);
+        ch.send("a");
+        ch.send("b");
+        let stolen = ch.steal(0).unwrap();
+        assert_eq!(stolen, "a");
+        assert_eq!(ch.recv(), Some("b"));
+        ch.inject(stolen);
+        assert_eq!(ch.recv(), Some("a")); // replayed much later
+    }
+
+    #[test]
+    fn reordering_channel_can_invert() {
+        let mut ch = LossyChannel::reliable(7).reordering();
+        let mut inverted = false;
+        for _ in 0..50 {
+            ch.send(1);
+            ch.send(2);
+            let a = ch.recv().unwrap();
+            let b = ch.recv().unwrap();
+            if (a, b) == (2, 1) {
+                inverted = true;
+            }
+        }
+        assert!(inverted, "random reordering should invert eventually");
+    }
+}

@@ -1,0 +1,29 @@
+//! # impossible-datalink
+//!
+//! Communication protocols over unreliable channels — §2.2.4's Two
+//! Generals result [61] and §2.5's data-link impossibilities [78].
+//!
+//! * [`channel`] — the physical layer: a packet channel that may lose,
+//!   duplicate, and (optionally) reorder or *withhold* packets, with an
+//!   explicit adversary handle — "the physical channel can steal some
+//!   packets while it accomplishes the delivery of messages".
+//! * [`abp`] — the alternating-bit protocol: reliable FIFO message delivery
+//!   over a lossy, duplicating (FIFO) channel with just one header bit —
+//!   the possibility side.
+//! * [`two_generals`] — Gray's impossibility as a chain argument: any rule
+//!   for attacking over an unreliable channel either breaks coordination
+//!   outright or is dragged by an indistinguishability chain into
+//!   attacking on no information.
+//! * [`stealing`] — the Lynch–Mansour–Fekete bound [78]: any protocol with
+//!   finitely many packet headers over a channel that can withhold packets
+//!   is broken by a steal-and-replay adversary; [`stealing::refute_bounded_header`]
+//!   constructs the replay for *every* modulus.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abp;
+pub mod sequence;
+pub mod channel;
+pub mod stealing;
+pub mod two_generals;

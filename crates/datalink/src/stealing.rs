@@ -1,0 +1,164 @@
+//! The message-stealing refutation of bounded-header data-link protocols
+//! (Lynch–Mansour–Fekete [78]).
+//!
+//! "The basic idea of the proofs is that the physical channel can *steal*
+//! some packets while it accomplishes the delivery of messages ... then the
+//! stolen packets can be used to fool the receiver process into thinking
+//! another message is to be delivered."
+//!
+//! [`refute_bounded_header`] makes this concrete for the whole family of
+//! stop-and-wait protocols with sequence numbers modulo `K` (ABP is
+//! `K = 2`): the adversary steals a packet carrying sequence `s`, lets the
+//! protocol make progress through `K` more messages (the sequence space
+//! wraps), then replays the stale packet — which the receiver accepts as
+//! fresh, corrupting the delivered stream. The construction works for
+//! **every** `K`, which is the theorem: finite headers cannot survive a
+//! channel that may withhold packets (without a best-case packet-count
+//! bound, Attiya–Fischer–Wang–Zuck's counterexample algorithm escapes —
+//! the open question the survey lists).
+
+use impossible_core::cert::{Certificate, Technique};
+
+/// A stop-and-wait data-link protocol with sequence numbers mod `K`.
+#[derive(Debug, Clone)]
+pub struct ModKProtocol {
+    /// The header modulus.
+    pub k: u64,
+}
+
+/// Receiver of the mod-K protocol.
+#[derive(Debug, Clone)]
+pub struct ModKReceiver {
+    k: u64,
+    expected: u64,
+    /// Delivered payloads, in order.
+    pub delivered: Vec<u64>,
+}
+
+impl ModKReceiver {
+    /// A fresh receiver.
+    pub fn new(k: u64) -> Self {
+        ModKReceiver {
+            k,
+            expected: 0,
+            delivered: Vec::new(),
+        }
+    }
+
+    /// Handle packet `(seq, payload)`; returns the ack (the seq).
+    pub fn on_packet(&mut self, seq: u64, payload: u64) -> u64 {
+        if seq == self.expected {
+            self.delivered.push(payload);
+            self.expected = (self.expected + 1) % self.k;
+        }
+        seq
+    }
+}
+
+/// The steal-and-replay run: the adversary lets `K` messages through while
+/// withholding one copy of the packet for message 0, then replays it.
+///
+/// Returns the refutation certificate with the corrupted delivery stream.
+pub fn refute_bounded_header(k: u64) -> Certificate {
+    assert!(k >= 1);
+    let mut receiver = ModKReceiver::new(k);
+
+    // Messages 0..K delivered normally; the channel duplicates message 0's
+    // packet and withholds ("steals") the copy.
+    let stolen = (0u64, 1000u64); // (seq 0, payload of message 0)
+    for m in 0..k {
+        let seq = m % k;
+        let payload = 1000 + m;
+        receiver.on_packet(seq, payload);
+    }
+    // After K messages the receiver expects seq 0 again. Replay the stolen
+    // packet: it is accepted as message K, although the sender never sent a
+    // (K+1)-th message.
+    let before = receiver.delivered.clone();
+    receiver.on_packet(stolen.0, stolen.1);
+    let after = receiver.delivered.clone();
+
+    assert_eq!(
+        after.len(),
+        before.len() + 1,
+        "the stale packet is accepted as fresh"
+    );
+    assert_eq!(
+        *after.last().expect("nonempty"),
+        1000,
+        "the duplicate payload re-delivers"
+    );
+
+    Certificate::new(
+        Technique::MessageStealing,
+        format!(
+            "stop-and-wait with sequence numbers mod {k} implements a reliable \
+             data link over a withholding channel"
+        ),
+        format!(
+            "adversary steals a copy of message 0's packet (seq 0), lets messages \
+             0..{k} deliver (sequence space wraps), then replays it: the receiver's \
+             stream grows from {before:?} to {after:?} — message 0's payload is \
+             delivered twice, violating exactly-once. The construction works for \
+             every modulus: finitely many headers always wrap."
+        ),
+    )
+}
+
+/// How many genuine messages the adversary must let through before the
+/// replay works — exactly `K`. The number of packets the adversary must
+/// "spend" grows with the header space, but is always finite: the
+/// quantitative heart of [78]'s bound.
+pub fn steal_cost(k: u64) -> u64 {
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abp_header_space_is_broken_by_stealing() {
+        // ABP = mod 2: the classic failure under non-FIFO replay.
+        let cert = refute_bounded_header(2);
+        assert_eq!(cert.technique, Technique::MessageStealing);
+        assert!(cert.witness.contains("delivered twice"));
+    }
+
+    #[test]
+    fn every_modulus_is_broken() {
+        for k in 1..=16 {
+            let cert = refute_bounded_header(k);
+            assert_eq!(cert.technique, Technique::MessageStealing, "k={k}");
+        }
+    }
+
+    #[test]
+    fn steal_cost_grows_linearly_with_header_space() {
+        assert_eq!(steal_cost(2), 2);
+        assert_eq!(steal_cost(1024), 1024);
+        // Bigger headers buy time, never safety.
+        assert!(steal_cost(1 << 20) > steal_cost(2));
+    }
+
+    #[test]
+    fn receiver_behaves_correctly_without_the_adversary() {
+        let mut r = ModKReceiver::new(4);
+        for m in 0..8u64 {
+            r.on_packet(m % 4, 100 + m);
+        }
+        assert_eq!(r.delivered, (0..8).map(|m| 100 + m).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stale_packet_with_wrong_seq_is_harmless() {
+        // The attack needs the wrap: a stale packet arriving *before* the
+        // space wraps is rejected.
+        let mut r = ModKReceiver::new(4);
+        r.on_packet(0, 100);
+        r.on_packet(1, 101);
+        let before = r.delivered.clone();
+        r.on_packet(0, 100); // replayed too early: expected is 2
+        assert_eq!(r.delivered, before);
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic anonymous election — refuted by symmetry (Angluin [7]).
+//!
+//! "Anything that one process can do, the others symmetric to it might do
+//! also." Any deterministic protocol in a ring of identical processes
+//! keeps the configuration rotation-periodic forever, so leadership (a
+//! state exactly one process is in) is unreachable. The engine is
+//! [`impossible_core::symmetry::LockstepRing`]; this module supplies
+//! concrete doomed candidates and wraps the verdict in a
+//! [`Certificate`].
+
+use impossible_core::cert::{Certificate, Technique};
+use impossible_core::symmetry::{AnonymousRingProtocol, LockstepRing, SymmetryVerdict};
+
+/// A natural doomed candidate: flood a "max" of hash-mixed neighbour
+/// observations, claim leadership after `n` rounds of never being beaten.
+/// Deterministic + anonymous ⇒ on a uniform ring everyone claims at once.
+#[derive(Debug, Clone)]
+pub struct HashChain;
+
+/// State: (running digest, round, claims leadership).
+pub type HashChainState = (u64, u32, bool);
+
+impl AnonymousRingProtocol for HashChain {
+    type State = HashChainState;
+    type Msg = u64;
+
+    fn init(&self, ring_size: usize, input: u64) -> HashChainState {
+        // All the process can season its state with: the common ring size
+        // and its (common) input label.
+        (mix(ring_size as u64 ^ input), 0, false)
+    }
+
+    fn send(&self, state: &HashChainState) -> (Option<u64>, Option<u64>) {
+        (Some(state.0), Some(mix(state.0)))
+    }
+
+    fn recv(
+        &self,
+        state: HashChainState,
+        from_left: Option<u64>,
+        from_right: Option<u64>,
+    ) -> HashChainState {
+        let l = from_left.unwrap_or(0);
+        let r = from_right.unwrap_or(0);
+        let digest = mix(state.0 ^ l.rotate_left(17) ^ r.rotate_left(31));
+        let round = state.1 + 1;
+        // "Surely by now my digest is unique": the doomed leap.
+        let claims = round >= 8 && digest % 4 == 0;
+        (digest, round, state.2 || claims)
+    }
+
+    fn is_leader(&self, state: &HashChainState) -> bool {
+        state.2
+    }
+}
+
+fn mix(x: u64) -> u64 {
+    // SplitMix64 finalizer: deterministic, identical at every process.
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Refute a deterministic anonymous candidate on the uniform ring of size
+/// `n`: run it in lockstep and certify that symmetry never breaks, so the
+/// protocol elects either nobody or everybody.
+pub fn refute_deterministic<P: AnonymousRingProtocol>(
+    protocol: &P,
+    n: usize,
+    rounds: usize,
+) -> Certificate {
+    let sim = LockstepRing::new(protocol, vec![0; n]);
+    match sim.run(rounds) {
+        SymmetryVerdict::SymmetricForever {
+            period,
+            rounds_to_repeat,
+        } => {
+            let leaders = sim.simultaneous_leaders(rounds);
+            Certificate::new(
+                Technique::Symmetry,
+                format!("deterministic anonymous protocol elects a leader on a uniform {n}-ring"),
+                format!(
+                    "configuration stays period-{period} symmetric (repeats within \
+                     {rounds_to_repeat} rounds); simultaneous leadership claims: {leaders} \
+                     (must be 0 or a multiple of {n} — never exactly 1)"
+                ),
+            )
+        }
+        SymmetryVerdict::SymmetryBroken { round } => Certificate::new(
+            Technique::Symmetry,
+            "candidate is deterministic and anonymous",
+            format!("symmetry broke at round {round}: the candidate is not actually \
+                     deterministic/anonymous — claim rejected on shape"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_chain_stays_symmetric_on_uniform_rings() {
+        for n in [2usize, 3, 5, 8] {
+            let cert = refute_deterministic(&HashChain, n, 200);
+            assert_eq!(cert.technique, Technique::Symmetry);
+            assert!(
+                cert.witness.contains("period-1"),
+                "n={n}: {}",
+                cert.witness
+            );
+        }
+    }
+
+    #[test]
+    fn claims_are_all_or_none() {
+        let sim = LockstepRing::new(&HashChain, vec![0; 6]);
+        let leaders = sim.simultaneous_leaders(100);
+        assert!(
+            leaders == 0 || leaders == 6,
+            "exactly-one is impossible; got {leaders}"
+        );
+    }
+
+    #[test]
+    fn hash_chain_does_eventually_claim() {
+        // The candidate is not vacuous: it does claim leadership — just at
+        // every position at once somewhere along the run.
+        let found = (2..=16).any(|n| {
+            LockstepRing::new(&HashChain, vec![0; n]).simultaneous_leaders(64) > 0
+        });
+        assert!(found, "candidate never claims anywhere — too timid to be interesting");
+    }
+
+    #[test]
+    fn certificate_text_explains_the_argument() {
+        let cert = refute_deterministic(&HashChain, 4, 100);
+        let text = cert.to_string();
+        assert!(text.contains("REFUTED [symmetry argument]"));
+        assert!(text.contains("uniform 4-ring"));
+    }
+}

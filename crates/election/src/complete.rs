@@ -1,0 +1,177 @@
+//! Election in complete graphs — candidate capture, Θ(n log n) messages.
+//!
+//! Korach–Moran–Zaks [70] proved Ω(n log n) messages for election in
+//! complete asynchronous networks (Afek–Gafni extended to synchronous);
+//! the matching algorithm has candidates *capture* nodes one at a time,
+//! ranked by `(level, id)` where level = number of captures. A capture
+//! attempt on a node owned by a stronger candidate fails and the attacker
+//! dies; capturing a candidate kills it. At most `log n` candidates reach
+//! level `k`, giving the `n log n` total.
+
+use std::collections::VecDeque;
+
+/// Result of a complete-graph election.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompleteOutcome {
+    /// The winning process.
+    pub leader: usize,
+    /// Total messages (capture attempts + responses).
+    pub messages: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Msg {
+    /// Candidate `cand` with `level` asks the target to submit.
+    Capture { cand: usize, level: usize, id: u64 },
+    /// Target accepted; candidate may proceed.
+    Accept { target: usize },
+    /// Target refused (owned by someone stronger); attacker dies.
+    Reject,
+}
+
+/// Run the capture election on a complete graph with the given IDs.
+///
+/// Deterministic FIFO scheduling; the structure (who beats whom) is
+/// schedule-independent, the message count mildly schedule-dependent.
+pub fn run_complete(ids: &[u64]) -> CompleteOutcome {
+    let n = ids.len();
+    assert!(n >= 1);
+    // Candidate state.
+    let mut alive = vec![true; n]; // still campaigning
+    let mut level = vec![0usize; n];
+    let mut next_target = vec![0usize; n]; // offset from own index
+    // Node state: the strongest (level, id, cand) that owns each node.
+    let mut owner: Vec<Option<(usize, u64, usize)>> = vec![None; n];
+    let mut captured = vec![0usize; n];
+
+    let mut queue: VecDeque<(usize, Msg)> = VecDeque::new(); // (dest, msg)
+    let mut messages = 0usize;
+
+    // Everyone starts by capturing itself implicitly and attacking the next
+    // node.
+    let fire = |queue: &mut VecDeque<(usize, Msg)>,
+                    messages: &mut usize,
+                    cand: usize,
+                    level: usize,
+                    id: u64,
+                    target: usize| {
+        queue.push_back((target, Msg::Capture { cand, level, id }));
+        *messages += 1;
+    };
+    for c in 0..n {
+        if n == 1 {
+            break;
+        }
+        owner[c] = Some((0, ids[c], c));
+        fire(&mut queue, &mut messages, c, 0, ids[c], (c + 1) % n);
+    }
+
+    while let Some((dest, msg)) = queue.pop_front() {
+        match msg {
+            Msg::Capture { cand, level: lv, id } => {
+                let strength = (lv, id);
+                let current = owner[dest].map(|(l, i, _)| (l, i));
+                let submits = match current {
+                    None => true,
+                    Some(cur) => strength > cur,
+                };
+                if submits {
+                    // Capturing a node that is itself a live candidate
+                    // kills that candidacy.
+                    if alive[dest] && dest != cand {
+                        alive[dest] = false;
+                    }
+                    owner[dest] = Some((lv, id, cand));
+                    queue.push_back((cand, Msg::Accept { target: dest }));
+                } else {
+                    queue.push_back((cand, Msg::Reject));
+                }
+                messages += 1;
+            }
+            Msg::Accept { target } => {
+                if !alive[dest] {
+                    continue;
+                }
+                let _ = target;
+                captured[dest] += 1;
+                level[dest] = captured[dest];
+                if captured[dest] >= n - 1 {
+                    // Owns every other node: leader.
+                    return CompleteOutcome {
+                        leader: dest,
+                        messages,
+                    };
+                }
+                next_target[dest] += 1;
+                let t = (dest + 1 + next_target[dest]) % n;
+                fire(&mut queue, &mut messages, dest, level[dest], ids[dest], t);
+            }
+            Msg::Reject => {
+                alive[dest] = false;
+            }
+        }
+    }
+    // Quiescence without a full capture can only happen for n == 1.
+    CompleteOutcome {
+        leader: 0,
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elects_a_unique_leader() {
+        let out = run_complete(&[5, 2, 9, 1, 7]);
+        // The winner must be a process that out-competed everyone; with
+        // FIFO scheduling the max-id candidate prevails.
+        assert_eq!(out.leader, 2);
+    }
+
+    #[test]
+    fn works_across_sizes() {
+        for n in [2usize, 3, 8, 17, 33] {
+            let ids: Vec<u64> = (0..n as u64).map(|i| i * 7 % n as u64).collect();
+            // IDs must be distinct: build a permutation instead.
+            let ids: Vec<u64> = if ids.iter().collect::<std::collections::HashSet<_>>().len() == n {
+                ids
+            } else {
+                (0..n as u64).collect()
+            };
+            let out = run_complete(&ids);
+            assert!(out.leader < n, "n={n}");
+            assert!(out.messages > 0);
+        }
+    }
+
+    #[test]
+    fn message_complexity_is_n_log_n_not_quadratic() {
+        for n in [16usize, 64, 256] {
+            let ids: Vec<u64> = (0..n as u64).collect();
+            let out = run_complete(&ids);
+            let nlogn = (n as f64 * ((n as f64).log2() + 1.0) * 6.0) as usize;
+            assert!(
+                out.messages <= nlogn,
+                "n={n}: {} messages > {nlogn}",
+                out.messages
+            );
+        }
+    }
+
+    #[test]
+    fn cost_grows_superlinearly() {
+        let m = |n: usize| run_complete(&(0..n as u64).collect::<Vec<_>>()).messages;
+        let (m16, m256) = (m(16), m(256));
+        // 16x nodes should cost more than 16x messages (the log factor).
+        assert!(m256 > 16 * m16, "m16={m16} m256={m256}");
+    }
+
+    #[test]
+    fn single_process_is_its_own_leader() {
+        let out = run_complete(&[42]);
+        assert_eq!(out.leader, 0);
+        assert_eq!(out.messages, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # impossible-election
+//!
+//! Leader election in rings and complete graphs — §2.4 of Lynch's survey,
+//! home of the Ω(n log n) message bounds, the symmetry arguments, and some
+//! of the field's most charming *counterexample algorithms*.
+//!
+//! * [`ring`] — asynchronous and synchronous ring executors with message
+//!   and round accounting.
+//! * [`lcr`] — LeLann–Chang–Roberts: unidirectional, O(n²) worst case.
+//! * [`hs`] — Hirschberg–Sinclair: bidirectional doubling, O(n log n)
+//!   worst case, matching the Burns / Frederickson–Lynch lower bound.
+//! * [`peterson`] — Peterson's unidirectional O(n log n) algorithm.
+//! * [`timeslice`] — the [58] counterexample algorithm: **O(n) messages**
+//!   in a synchronous ring by paying time exponential-in-ID — "it
+//!   demonstrates the need for the assumptions in the lower bound".
+//! * [`itai_rodeh`] — randomized election in *anonymous* rings [66],
+//!   circumventing Angluin's impossibility.
+//! * [`anonymous`] — deterministic anonymous candidates refuted by the
+//!   symmetry engine (the Angluin folk theorem, executable).
+//! * [`complete`] — election in complete graphs (Korach–Moran–Zaks /
+//!   Afek–Gafni style candidate–capture, Θ(n log n) messages).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anonymous;
+pub mod anonymous_compute;
+pub mod complete;
+pub mod franklin;
+pub mod hs;
+pub mod itai_rodeh;
+pub mod lcr;
+pub mod peterson;
+pub mod ring;
+pub mod timeslice;
+
+pub use ring::{ElectionOutcome, RingRunner};

@@ -1,0 +1,33 @@
+//! # impossible-msgpass
+//!
+//! The message-passing substrates for the consensus (§2.2), synchronization
+//! (§2.2.6) and network (§2.4) results of Lynch's survey.
+//!
+//! * [`topology`] — network graphs: rings, lines, complete graphs, meshes
+//!   and arbitrary graphs, with diameter/connectivity queries (the survey's
+//!   bounds are parameterized by exactly these quantities).
+//! * [`sync`] — the synchronous round model: lock-step rounds with crash,
+//!   omission and Byzantine fault injection (the model of the `t+1`-round
+//!   and `3t+1`-process results).
+//! * [`asyncnet`] — the asynchronous model: an event-driven executor whose
+//!   *scheduler is the adversary*, with explicit admissibility (every
+//!   message eventually delivered) and a virtual-time measure in the style
+//!   of [8, 77] (each message delay in `[lo, hi]`, local steps instant).
+//! * [`sessions`] — the Arjomandi–Fischer–Lynch *s-sessions* problem: the
+//!   provable time gap between synchronous (`s`) and asynchronous
+//!   (`≈ s·diam`) systems.
+//! * [`stretch`] — communication diagrams and the *stretching / shifting*
+//!   transformation: re-time an execution without changing any process's
+//!   view, the engine of the session and clock-synchronization lower bounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asyncnet;
+pub mod sessions;
+pub mod stretch;
+pub mod sync;
+pub mod synchronizer;
+pub mod topology;
+
+pub use topology::Topology;

@@ -1,0 +1,28 @@
+//! # impossible-registers
+//!
+//! Shared registers and wait-free synchronization — §2.3 of Lynch's survey.
+//!
+//! * [`spec`] — operation histories and semantic checkers: linearizability
+//!   (atomicity), regularity and safeness, each returning a witness
+//!   ordering or the reason none exists.
+//! * [`constructions`] — register constructions: safe→regular,
+//!   regular→atomic (single reader, timestamps), and Lamport's theorem [71]
+//!   that multi-reader atomicity *requires readers to write* — shown by
+//!   refuting the no-reader-write candidate with a concrete new/old
+//!   inversion, then verifying the reader-writes construction.
+//! * [`herlihy`] — the consensus hierarchy [65]: wait-free consensus
+//!   protocols over shared objects as transition systems. Test-and-set
+//!   solves 2-process consensus (verified exhaustively), compare-and-swap
+//!   solves n-process consensus, and the register-only / 3-process-TAS
+//!   candidates are refuted through the same bivalence engine as FLP —
+//!   "reducibilities show its utility in proving that some kinds of objects
+//!   can't be implemented in terms of other kinds".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constructions;
+pub mod herlihy;
+pub mod spec;
+
+pub use spec::{check_linearizable, History, Op, OpKind};

@@ -1,0 +1,278 @@
+//! Model checking the §2.1 correctness conditions.
+//!
+//! Cremers and Hibbard "needed a careful description of the correctness
+//! conditions — mutual exclusion, progress and fairness". These checkers
+//! make the three conditions mechanical over any [`MutexAlgorithm`], each
+//! returning a concrete counterexample when the condition fails:
+//!
+//! * [`find_mutex_violation`] — a shortest execution reaching two processes
+//!   in the critical region (safety).
+//! * [`find_deadlock`] — a reachable configuration with a trying process
+//!   from which no critical entry is reachable at all (progress).
+//! * [`find_lockout`] — an admissible *lasso*: a cycle in which the victim
+//!   keeps taking steps in its trying region, every other obligated process
+//!   also steps, yet the victim never enters the critical region (fairness;
+//!   "a demonstration of lockout requires an infinite admissible execution").
+
+use crate::mutex::{MutexAction, MutexAlgorithm, MutexState, MutexSystem, Region};
+use impossible_core::exec::Execution;
+use impossible_core::explore::Explorer;
+use impossible_core::system::System;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A mutual-exclusion violation: a shortest execution ending with two or
+/// more processes simultaneously critical.
+pub fn find_mutex_violation<A: MutexAlgorithm>(
+    sys: &MutexSystem<'_, A>,
+    max_states: usize,
+) -> Option<Execution<MutexState<A::Local>, MutexAction>> {
+    let report = Explorer::new(sys)
+        .max_states(max_states)
+        .search(|s| sys.critical_processes(s).len() >= 2);
+    report.witness
+}
+
+/// A progress (deadlock-freedom) violation: a reachable state in which some
+/// process is trying, nobody is critical or exiting, and **no** continuation
+/// whatsoever reaches a critical region.
+///
+/// Returns the offending state. `None` means progress holds on the explored
+/// (bounded) graph.
+pub fn find_deadlock<A: MutexAlgorithm>(
+    sys: &MutexSystem<'_, A>,
+    max_states: usize,
+) -> Option<MutexState<A::Local>> {
+    let (order, succ) = reachable_graph(sys, max_states);
+
+    // Backward reachability from "some process critical" states.
+    let mut can_reach_crit = vec![false; order.len()];
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
+    for (i, ts) in succ.iter().enumerate() {
+        for &(_, t) in ts {
+            preds[t].push(i);
+        }
+    }
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (i, s) in order.iter().enumerate() {
+        if !sys.critical_processes(s).is_empty() {
+            can_reach_crit[i] = true;
+            queue.push_back(i);
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        for &p in &preds[i] {
+            if !can_reach_crit[p] {
+                can_reach_crit[p] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+
+    order.iter().enumerate().find_map(|(i, s)| {
+        let trying = !sys.trying_processes(s).is_empty();
+        let idle_otherwise = sys.critical_processes(s).is_empty();
+        (trying && idle_otherwise && !can_reach_crit[i]).then(|| s.clone())
+    })
+}
+
+/// A lockout witness: head state plus a cycle establishing an admissible
+/// infinite execution in which `victim` is trying forever.
+#[derive(Debug, Clone)]
+pub struct LockoutWitness<L> {
+    /// The configuration at the start (and end) of the repeatable cycle.
+    pub head: MutexState<L>,
+    /// The action cycle. Repeating it forever starves the victim while every
+    /// obligated process keeps taking steps.
+    pub cycle: Vec<MutexAction>,
+    /// The starved process.
+    pub victim: usize,
+}
+
+/// Search for a lockout of `victim`: a reachable cycle through states where
+/// the victim is in its trying region and never critical, in which the
+/// victim takes at least one protocol step and so does every process that is
+/// obligated (non-remainder) at the cycle head.
+pub fn find_lockout<A: MutexAlgorithm>(
+    sys: &MutexSystem<'_, A>,
+    victim: usize,
+    max_states: usize,
+) -> Option<LockoutWitness<A::Local>> {
+    let (order, succ) = reachable_graph(sys, max_states);
+    let n = sys.algorithm().num_processes();
+
+    let victim_trying: Vec<bool> = order
+        .iter()
+        .map(|s| sys.algorithm().region(&s.locals[victim]) == Region::Trying)
+        .collect();
+
+    for (h, head) in order.iter().enumerate() {
+        if !victim_trying[h] {
+            continue;
+        }
+        // Obligated processes at the head: non-remainder ones. Each must take
+        // at least one Step in the cycle (victim included).
+        let obligated: Vec<usize> = (0..n)
+            .filter(|&i| sys.algorithm().region(&head.locals[i]) != Region::Remainder)
+            .collect();
+        debug_assert!(obligated.contains(&victim));
+        if obligated.len() > 20 {
+            continue; // mask width guard; never hit for checkable instances
+        }
+        let bit: HashMap<usize, u32> = obligated
+            .iter()
+            .enumerate()
+            .map(|(k, &p)| (p, 1u32 << k))
+            .collect();
+        let full: u32 = (1u32 << obligated.len()) - 1;
+
+        // BFS over (state, coverage mask); only through victim-trying states.
+        let mut parent: HashMap<(usize, u32), (usize, u32, MutexAction)> = HashMap::new();
+        let mut seen: HashSet<(usize, u32)> = HashSet::new();
+        let mut q: VecDeque<(usize, u32)> = VecDeque::new();
+        seen.insert((h, 0));
+        q.push_back((h, 0));
+        let mut goal: Option<(usize, u32)> = None;
+        'bfs: while let Some((s, mask)) = q.pop_front() {
+            for (a, t) in &succ[s] {
+                if !victim_trying[*t] {
+                    continue;
+                }
+                let nmask = match a {
+                    MutexAction::Step(p) => mask | bit.get(p).copied().unwrap_or(0),
+                    _ => mask,
+                };
+                let node = (*t, nmask);
+                if seen.insert(node) {
+                    parent.insert(node, (s, mask, *a));
+                    if *t == h && nmask == full {
+                        goal = Some(node);
+                        break 'bfs;
+                    }
+                    q.push_back(node);
+                }
+            }
+        }
+        if let Some(g) = goal {
+            let mut cycle = Vec::new();
+            let mut cur = g;
+            while cur != (h, 0) {
+                let (ps, pm, a) = parent[&cur];
+                cycle.push(a);
+                cur = (ps, pm);
+            }
+            cycle.reverse();
+            return Some(LockoutWitness {
+                head: head.clone(),
+                cycle,
+                victim,
+            });
+        }
+    }
+    None
+}
+
+/// Bound on the number of distinct values each shared variable takes over
+/// the entire reachable space — the quantity the §2.1 pigeonhole arguments
+/// count.
+pub fn observed_value_spaces<A: MutexAlgorithm>(
+    sys: &MutexSystem<'_, A>,
+    max_states: usize,
+) -> Vec<usize> {
+    let states = Explorer::new(sys).max_states(max_states).reachable_states();
+    let m = sys.algorithm().num_vars();
+    let mut seen: Vec<HashSet<u64>> = vec![HashSet::new(); m];
+    for s in &states {
+        for (v, val) in s.vars.iter().enumerate() {
+            seen[v].insert(*val);
+        }
+    }
+    seen.into_iter().map(|s| s.len()).collect()
+}
+
+#[allow(clippy::type_complexity)]
+fn reachable_graph<A: MutexAlgorithm>(
+    sys: &MutexSystem<'_, A>,
+    max_states: usize,
+) -> (
+    Vec<MutexState<A::Local>>,
+    Vec<Vec<(MutexAction, usize)>>,
+) {
+    let mut order: Vec<MutexState<A::Local>> = Vec::new();
+    let mut index: HashMap<MutexState<A::Local>, usize> = HashMap::new();
+    let mut succ: Vec<Vec<(MutexAction, usize)>> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for s in sys.initial_states() {
+        let i = order.len();
+        index.insert(s.clone(), i);
+        order.push(s);
+        succ.push(Vec::new());
+        queue.push_back(i);
+    }
+    while let Some(i) = queue.pop_front() {
+        let state = order[i].clone();
+        for a in sys.enabled(&state) {
+            let t = sys.step(&state, &a);
+            let ti = match index.get(&t) {
+                Some(&ti) => ti,
+                None => {
+                    if order.len() >= max_states {
+                        continue;
+                    }
+                    let ti = order.len();
+                    index.insert(t.clone(), ti);
+                    order.push(t);
+                    succ.push(Vec::new());
+                    queue.push_back(ti);
+                    ti
+                }
+            };
+            succ[i].push((a, ti));
+        }
+    }
+    (order, succ)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::tas_lock::TasLock;
+
+    #[test]
+    fn tas_lock_value_space_is_two() {
+        let alg = TasLock::new(2);
+        let sys = MutexSystem::new(&alg);
+        assert_eq!(observed_value_spaces(&sys, 100_000), vec![2]);
+    }
+
+    #[test]
+    fn lockout_witness_cycle_replays() {
+        use impossible_core::system::SystemExt;
+        let alg = TasLock::new(2);
+        let sys = MutexSystem::new(&alg);
+        let w = find_lockout(&sys, 1, 100_000).expect("tas lock is unfair");
+        // The cycle must really return to its head.
+        let end = sys.apply_schedule(&w.head, &w.cycle).expect("cycle valid");
+        assert_eq!(end, w.head);
+        // The victim steps at least once within it.
+        assert!(w
+            .cycle
+            .iter()
+            .any(|a| matches!(a, MutexAction::Step(p) if *p == w.victim)));
+        // The victim is never critical along the cycle.
+        let mut cur = w.head.clone();
+        for a in &w.cycle {
+            cur = sys.step(&cur, a);
+            assert_ne!(
+                sys.algorithm().region(&cur.locals[w.victim]),
+                Region::Critical
+            );
+        }
+    }
+
+    #[test]
+    fn no_false_deadlock_for_tas() {
+        let alg = TasLock::new(2);
+        let sys = MutexSystem::new(&alg);
+        assert!(find_deadlock(&sys, 100_000).is_none());
+    }
+}

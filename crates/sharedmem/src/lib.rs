@@ -1,0 +1,44 @@
+//! # impossible-sharedmem
+//!
+//! The shared-memory substrate of §2.1 of Lynch's survey: asynchronous
+//! processes communicating through shared variables accessed by atomic
+//! read/write or test-and-set (general read-modify-write) operations, the
+//! setting of the Cremers–Hibbard [35] and Burns–Fischer–Jackson–Lynch–
+//! Peterson [26, 27] mutual-exclusion results that opened the field.
+//!
+//! * [`mutex`] — the mutual-exclusion framework: the four-region process
+//!   life-cycle (remainder → trying → critical → exit), algorithms as
+//!   [`mutex::MutexAlgorithm`] automata, and the composed [`mutex::MutexSystem`]
+//!   transition system with environment-controlled `try`/`exit` actions
+//!   (the "control of actions" modelling the paper stresses).
+//! * [`check`] — model-checking the three §2.1 correctness conditions:
+//!   mutual exclusion, progress (deadlock-freedom) and lockout-freedom,
+//!   each returning a concrete counterexample execution when violated.
+//! * [`algorithms`] — the classical algorithms: a plain test-and-set lock
+//!   (2 values: safe and live but **unfair** — the checker exhibits the
+//!   lockout), a verified 4-value handoff lock with bounded bypass,
+//!   Peterson's and Dijkstra's read/write algorithms, Lamport's bakery,
+//!   Burns' one-bit protocol, and deliberately broken single-variable
+//!   read/write candidates that the checkers refute (Burns–Lynch [27]).
+//! * [`synthesis`] — the executable Cremers–Hibbard theorem: exhaustive
+//!   enumeration of *every* 2-valued test-and-set protocol with bounded
+//!   local state, refuting each one.
+//! * [`sched`] — randomized adversarial schedulers for large-`n` simulation
+//!   and bypass counting.
+//! * [`kexclusion`] — k-exclusion generalization [57, 53] with value-space
+//!   accounting.
+//! * [`choice`] — Rabin's choice-coordination problem [92].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod check;
+pub mod choice;
+pub mod kexclusion;
+pub mod mutex;
+pub mod rw_lowerbound;
+pub mod sched;
+pub mod synthesis;
+
+pub use mutex::{MutexAlgorithm, MutexSystem, Region};

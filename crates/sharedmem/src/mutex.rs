@@ -1,0 +1,310 @@
+//! The mutual-exclusion framework of §2.1.
+//!
+//! A process cycles through four regions — *remainder* → *trying* →
+//! *critical* → *exit* → *remainder*. The environment (not the algorithm!)
+//! decides when a process requests the resource and when it releases it; the
+//! algorithm controls only the trying and exit protocols. Cremers and Hibbard
+//! "needed to capture the idea that each process might request the resource
+//! at any time, i.e., that the requesting actions were not under the control
+//! of the mutual exclusion algorithm" — here `Try` and `Exit` are
+//! environment actions of the composed [`MutexSystem`], distinct from the
+//! algorithm's `Step` actions.
+//!
+//! Every shared-variable access is one atomic read-modify-write: the process
+//! names a variable, observes its value, and updates its local state and the
+//! variable in one indivisible step (the general "test-and-set" primitive of
+//! [35]). Plain read/write algorithms fit the same interface — a read writes
+//! the observed value back, a write stores a value chosen independently of
+//! the observation — and declare themselves via
+//! [`MutexAlgorithm::read_write_only`].
+
+use impossible_core::ids::ProcessId;
+use impossible_core::system::System;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// The four regions of the mutual-exclusion life-cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Not interested in the resource; takes no steps (and need not).
+    Remainder,
+    /// Running the trying protocol; obligated to keep stepping.
+    Trying,
+    /// Holds the resource. The algorithm performs no variable accesses here.
+    Critical,
+    /// Running the exit protocol; obligated to keep stepping.
+    Exit,
+}
+
+/// A mutual-exclusion algorithm for a fixed number of processes over a fixed
+/// set of shared variables.
+pub trait MutexAlgorithm {
+    /// Per-process local state (encodes the region and the program counter).
+    type Local: Clone + Eq + Hash + Debug;
+
+    /// Display name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of processes the algorithm is instantiated for.
+    fn num_processes(&self) -> usize;
+
+    /// Number of shared variables used.
+    fn num_vars(&self) -> usize;
+
+    /// Initial value of shared variable `var`.
+    fn initial_var(&self, var: usize) -> u64;
+
+    /// Initial local state of process `i` (must be in [`Region::Remainder`]).
+    fn initial_local(&self, i: usize) -> Self::Local;
+
+    /// The region encoded by `local`.
+    fn region(&self, local: &Self::Local) -> Region;
+
+    /// Environment moved process `i` from remainder into the trying protocol.
+    fn on_try(&self, i: usize, local: &Self::Local) -> Self::Local;
+
+    /// Environment moved process `i` from critical into the exit protocol.
+    fn on_exit(&self, i: usize, local: &Self::Local) -> Self::Local;
+
+    /// The variable process `i` will atomically access in its next step
+    /// (meaningful only in the trying and exit regions).
+    fn target(&self, i: usize, local: &Self::Local) -> usize;
+
+    /// One atomic access: observe `value` of the target variable, return the
+    /// new local state and the value to store back (store `value` itself to
+    /// model a pure read).
+    fn step(&self, i: usize, local: &Self::Local, value: u64) -> (Self::Local, u64);
+
+    /// True if the algorithm only ever uses atomic *read* and *write*
+    /// operations (never a value-dependent update) — the weaker primitive of
+    /// Burns–Lynch [27]. Classification only; not enforced mechanically.
+    fn read_write_only(&self) -> bool {
+        false
+    }
+
+    /// The number of distinct values variable `var` may ever hold, if the
+    /// algorithm knows it (used for the §2.1 value-counting experiments).
+    fn value_space(&self, var: usize) -> Option<u64> {
+        let _ = var;
+        None
+    }
+}
+
+/// Global configuration of a [`MutexSystem`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MutexState<L> {
+    /// Per-process local states.
+    pub locals: Vec<L>,
+    /// Shared variable values.
+    pub vars: Vec<u64>,
+}
+
+/// Actions of the composed system. `Try` and `Exit` belong to the
+/// environment (but are attributed to the process for fairness accounting);
+/// `Step` is one atomic variable access by the algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutexAction {
+    /// Environment: process requests the resource.
+    Try(usize),
+    /// Algorithm: process performs its next atomic access.
+    Step(usize),
+    /// Environment: process releases the resource.
+    Exit(usize),
+}
+
+impl MutexAction {
+    /// The process this action concerns.
+    pub fn process(&self) -> usize {
+        match self {
+            MutexAction::Try(i) | MutexAction::Step(i) | MutexAction::Exit(i) => *i,
+        }
+    }
+}
+
+/// The composed transition system: `n` algorithm instances plus the
+/// requesting/releasing environment. `participants` restricts which
+/// processes ever try — the proofs of [26] repeatedly consider runs where
+/// only a subset of processes are active.
+pub struct MutexSystem<'a, A: MutexAlgorithm> {
+    alg: &'a A,
+    participants: Vec<bool>,
+}
+
+impl<'a, A: MutexAlgorithm> MutexSystem<'a, A> {
+    /// System in which every process may request the resource.
+    pub fn new(alg: &'a A) -> Self {
+        MutexSystem {
+            participants: vec![true; alg.num_processes()],
+            alg,
+        }
+    }
+
+    /// System in which only the listed processes ever try.
+    pub fn with_participants(alg: &'a A, participants: Vec<bool>) -> Self {
+        assert_eq!(participants.len(), alg.num_processes());
+        MutexSystem { alg, participants }
+    }
+
+    /// The underlying algorithm.
+    pub fn algorithm(&self) -> &A {
+        self.alg
+    }
+
+    /// Processes currently in the critical region.
+    pub fn critical_processes(&self, state: &MutexState<A::Local>) -> Vec<usize> {
+        state
+            .locals
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| self.alg.region(l) == Region::Critical)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Processes currently in the trying region.
+    pub fn trying_processes(&self, state: &MutexState<A::Local>) -> Vec<usize> {
+        state
+            .locals
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| self.alg.region(l) == Region::Trying)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl<'a, A: MutexAlgorithm> System for MutexSystem<'a, A> {
+    type State = MutexState<A::Local>;
+    type Action = MutexAction;
+
+    fn initial_states(&self) -> Vec<Self::State> {
+        let n = self.alg.num_processes();
+        let locals: Vec<A::Local> = (0..n).map(|i| self.alg.initial_local(i)).collect();
+        for (i, l) in locals.iter().enumerate() {
+            assert_eq!(
+                self.alg.region(l),
+                Region::Remainder,
+                "process {i} must start in the remainder region"
+            );
+        }
+        let vars = (0..self.alg.num_vars())
+            .map(|v| self.alg.initial_var(v))
+            .collect();
+        vec![MutexState { locals, vars }]
+    }
+
+    fn enabled(&self, state: &Self::State) -> Vec<MutexAction> {
+        let mut acts = Vec::new();
+        for (i, l) in state.locals.iter().enumerate() {
+            match self.alg.region(l) {
+                Region::Remainder => {
+                    if self.participants[i] {
+                        acts.push(MutexAction::Try(i));
+                    }
+                }
+                Region::Trying | Region::Exit => acts.push(MutexAction::Step(i)),
+                Region::Critical => acts.push(MutexAction::Exit(i)),
+            }
+        }
+        acts
+    }
+
+    fn step(&self, state: &Self::State, action: &MutexAction) -> Self::State {
+        let mut next = state.clone();
+        match *action {
+            MutexAction::Try(i) => {
+                next.locals[i] = self.alg.on_try(i, &state.locals[i]);
+            }
+            MutexAction::Exit(i) => {
+                next.locals[i] = self.alg.on_exit(i, &state.locals[i]);
+            }
+            MutexAction::Step(i) => {
+                let var = self.alg.target(i, &state.locals[i]);
+                let (local, stored) = self.alg.step(i, &state.locals[i], state.vars[var]);
+                next.locals[i] = local;
+                next.vars[var] = stored;
+            }
+        }
+        next
+    }
+
+    fn owner(&self, action: &MutexAction) -> Option<ProcessId> {
+        // Try/Exit are environment decisions, but attributing them to the
+        // process keeps fairness accounting simple: a process that is given
+        // Try/Exit turns is "scheduled".
+        Some(ProcessId(action.process()))
+    }
+
+    fn num_processes(&self) -> Option<usize> {
+        Some(self.alg.num_processes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::tas_lock::TasLock;
+    use impossible_core::explore::Explorer;
+    use impossible_core::system::SystemExt;
+
+    #[test]
+    fn initial_state_all_remainder() {
+        let alg = TasLock::new(2);
+        let sys = MutexSystem::new(&alg);
+        let init = &sys.initial_states()[0];
+        assert!(sys.critical_processes(init).is_empty());
+        assert!(sys.trying_processes(init).is_empty());
+        assert_eq!(init.vars, vec![0]);
+    }
+
+    #[test]
+    fn try_step_enters_critical() {
+        let alg = TasLock::new(2);
+        let sys = MutexSystem::new(&alg);
+        let init = sys.initial_states()[0].clone();
+        let s1 = sys.step(&init, &MutexAction::Try(0));
+        assert_eq!(sys.trying_processes(&s1), vec![0]);
+        let s2 = sys.step(&s1, &MutexAction::Step(0));
+        assert_eq!(sys.critical_processes(&s2), vec![0]);
+        // Now Exit is the only enabled action for p0.
+        assert!(sys.enabled(&s2).contains(&MutexAction::Exit(0)));
+    }
+
+    #[test]
+    fn participants_restrict_try() {
+        let alg = TasLock::new(2);
+        let sys = MutexSystem::with_participants(&alg, vec![true, false]);
+        let init = sys.initial_states()[0].clone();
+        let acts = sys.enabled(&init);
+        assert!(acts.contains(&MutexAction::Try(0)));
+        assert!(!acts.contains(&MutexAction::Try(1)));
+    }
+
+    #[test]
+    fn full_cycle_returns_to_remainder() {
+        let alg = TasLock::new(1);
+        let sys = MutexSystem::new(&alg);
+        let init = sys.initial_states()[0].clone();
+        let end = sys
+            .apply_schedule(
+                &init,
+                &[
+                    MutexAction::Try(0),
+                    MutexAction::Step(0), // acquire
+                    MutexAction::Exit(0),
+                    MutexAction::Step(0), // release
+                ],
+            )
+            .unwrap();
+        assert_eq!(end, init);
+    }
+
+    #[test]
+    fn state_space_of_two_process_tas_is_small() {
+        let alg = TasLock::new(2);
+        let sys = MutexSystem::new(&alg);
+        let report = Explorer::new(&sys).explore();
+        assert!(!report.truncated);
+        assert!(report.num_states < 100, "{} states", report.num_states);
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration: the core proof engines applied across substrate crates.
+//!
+//! The survey's thesis is that a handful of techniques cover a hundred
+//! results; these tests apply *one* engine to *several* domains each.
+
+use impossible::consensus::eig::Eig;
+use impossible::consensus::flp::{self, Arbiter, FlpSystem};
+use impossible::core::cert::Technique;
+use impossible::core::exec::Admissibility;
+use impossible::core::scenario::{ScenarioRing, ScenarioVerdict};
+use impossible::core::task::Task;
+use impossible::core::valence::ValenceEngine;
+use impossible::registers::herlihy::{ObjectSystem, TasConsensus2};
+
+#[test]
+fn valence_engine_spans_message_passing_and_shared_objects() {
+    // One engine, two worlds: the FLP message system and the Herlihy
+    // object system both expose bivalent initial configurations to the
+    // same analyzer (the Loui–Abu-Amara transfer).
+    let arb = Arbiter::new(3);
+    let msg_sys = FlpSystem::all_binary(&arb);
+    let msg_report = ValenceEngine::new(&msg_sys).max_states(500_000).analyze();
+    assert!(!msg_report.bivalent_initials.is_empty());
+    assert!(msg_report.agreement_violations.is_empty());
+
+    let obj_sys = ObjectSystem::all_binary(&TasConsensus2);
+    let obj_report = ValenceEngine::new(&obj_sys).max_states(500_000).analyze();
+    assert!(!obj_report.bivalent_initials.is_empty());
+    assert!(obj_report.agreement_violations.is_empty());
+}
+
+#[test]
+fn scenario_engine_refutes_eig_at_every_multiple_of_3t() {
+    for t in 1..=2usize {
+        let candidate = Eig::new(3 * t, t);
+        let verdict = ScenarioRing::classic(&candidate, t).check();
+        assert!(
+            verdict.is_contradiction(),
+            "n = 3t = {} must contradict",
+            3 * t
+        );
+    }
+}
+
+#[test]
+fn scenario_contradiction_carries_consistent_ring_data() {
+    if let ScenarioVerdict::Contradiction(c) = ScenarioRing::classic(&Eig::new(3, 1), 1).check() {
+        assert_eq!(c.nodes.len(), 6);
+        assert_eq!(c.decisions.len(), 6);
+        // Copy 0 nodes carry input 0; copy 1 carries input 1 (Figure 1).
+        for node in &c.nodes {
+            assert_eq!(node.input, node.copy as u64);
+        }
+    } else {
+        panic!("must contradict");
+    }
+}
+
+#[test]
+fn task_criterion_agrees_with_the_operational_engines() {
+    // Consensus satisfies the Moran–Wolfstahl 1-fault-impossibility
+    // condition, and indeed the operational FLP checker kills every
+    // candidate: the declarative and operational layers agree.
+    assert!(Task::consensus(2).moran_wolfstahl().is_some());
+    let verdict = flp::check_candidate(&flp::WaitForAll::new(2), 300_000);
+    assert!(!matches!(verdict, flp::FlpVerdict::CleanWithinBounds));
+}
+
+#[test]
+fn certificates_name_their_techniques() {
+    use impossible::consensus::round_lb::{refute_one_round, MinRule};
+    use impossible::consensus::scenario3t::refute_3t;
+    use impossible::datalink::stealing::refute_bounded_header;
+    use impossible::datalink::two_generals::{refute, Threshold};
+    use impossible::election::anonymous::{refute_deterministic, HashChain};
+
+    assert_eq!(refute_3t(&Eig::new(3, 1), 1).unwrap().technique, Technique::Scenario);
+    assert_eq!(refute_one_round(&MinRule, 4).technique, Technique::Chain);
+    assert_eq!(refute(&Threshold(0), 3).technique, Technique::Chain);
+    assert_eq!(refute_bounded_header(4).technique, Technique::MessageStealing);
+    assert_eq!(
+        refute_deterministic(&HashChain, 5, 100).technique,
+        Technique::Symmetry
+    );
+}
+
+#[test]
+fn wait_free_admissibility_is_weaker_than_resilient() {
+    // Wait-free lassos need only some process stepping; 1-resilient lassos
+    // need everyone-but-one. So wait-free non-deciding runs are easier to
+    // find — the simplification Herlihy's proofs exploit.
+    let wf = Admissibility::wait_free(3);
+    let res = Admissibility::resilient(1);
+    assert!(wf.max_failures > res.max_failures);
+    assert!(!wf.weak_fairness && res.weak_fairness);
+}
+
+#[test]
+fn flp_nontermination_cycle_replays_in_the_compiled_system() {
+    use impossible::core::system::{System, SystemExt};
+    let arb = Arbiter::new(3);
+    let sys = FlpSystem::all_binary(&arb);
+    let nt = flp::find_nontermination(&sys, 0, 500_000).expect("arbiter crash stalls");
+    // Replaying the cycle from its head returns to the head: a true lasso.
+    let end = sys.apply_schedule(&nt.head, &nt.cycle).expect("cycle valid");
+    assert_eq!(end, nt.head);
+    // And nobody decides anywhere along it.
+    let mut cur = nt.head.clone();
+    for a in &nt.cycle {
+        cur = sys.step(&cur, a);
+        for (p, local) in cur.locals.iter().enumerate() {
+            if p != nt.failed {
+                // live clients stay undecided
+                use impossible::consensus::flp::AsyncCandidate;
+                let _ = local;
+                assert!(arb.decision(&cur.locals[p]).is_none() || p == 0);
+            }
+        }
+    }
+}

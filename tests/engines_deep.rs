@@ -1,0 +1,121 @@
+//! Deeper integration: engine internals exercised across crates, plus the
+//! new modules (knowledge, synchronizer, DLS, Franklin, firing squad,
+//! authenticated BA) wired against the older ones.
+
+use impossible::consensus::authenticated::run_dolev_strong;
+use impossible::consensus::dls::run_dls;
+use impossible::consensus::eig::run_eig;
+use impossible::consensus::firing_squad::run_squad;
+use impossible::core::ids::ProcessId;
+use impossible::core::knowledge::KnowledgeFrame;
+use impossible::core::pigeonhole::bounds;
+use impossible::election::franklin::run_franklin;
+use impossible::election::hs::run_hs;
+use impossible::election::lcr::{run_lcr, worst_case_ids};
+use impossible::election::peterson::run_peterson;
+use impossible::election::ring::RingSchedule;
+
+#[test]
+fn all_four_ring_algorithms_agree_everywhere() {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    for seed in 0..6u64 {
+        let mut ids: Vec<u64> = (0..20).collect();
+        ids.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        let max_pos = ids.iter().position(|&v| v == 19).unwrap();
+        assert_eq!(run_lcr(&ids, RingSchedule::RoundRobin).leader, Some(max_pos));
+        assert_eq!(run_hs(&ids, RingSchedule::RoundRobin).leader, Some(max_pos));
+        assert_eq!(run_franklin(&ids, RingSchedule::RoundRobin).leader, Some(max_pos));
+        assert!(run_peterson(&ids, RingSchedule::RoundRobin).leader.is_some());
+    }
+}
+
+#[test]
+fn nlogn_algorithms_beat_lcr_and_each_other_consistently() {
+    let n = 128;
+    let ids = worst_case_ids(n);
+    let lcr = run_lcr(&ids, RingSchedule::RoundRobin).messages;
+    for (name, m) in [
+        ("hs", run_hs(&ids, RingSchedule::RoundRobin).messages),
+        ("franklin", run_franklin(&ids, RingSchedule::RoundRobin).messages),
+        ("peterson", run_peterson(&ids, RingSchedule::RoundRobin).messages),
+    ] {
+        assert!(m < lcr, "{name}: {m} should beat LCR {lcr}");
+        assert!(
+            (m as u64) < 8 * bounds::ring_election_messages(n as u64),
+            "{name}: {m} too far above the curve"
+        );
+    }
+}
+
+#[test]
+fn authenticated_ba_beats_the_unsigned_threshold() {
+    // n = 4, t = 2: impossible unsigned (needs 7), fine signed.
+    let signed = run_dolev_strong(4, 2, 1, true);
+    assert!(signed.agreement());
+    // Unsigned EIG at the same population under 2 traitors: the guarantee
+    // is simply absent (n < 3t+1); the run may or may not split, but the
+    // *threshold formulas* locate the difference.
+    assert!(4 < bounds::byzantine_min_processes(2));
+    let _ = run_eig(&[1, 1, 1, 1], 2, &[2, 3]);
+}
+
+#[test]
+fn firing_squad_round_equals_signal_plus_t_plus_2() {
+    for (t, signal_round) in [(1usize, 1usize), (2, 3), (3, 2)] {
+        let run = run_squad(2 * t + 3, t, Some((1, signal_round)), &[], false);
+        assert!(run.simultaneous());
+        let fired = run.fired_at.iter().flatten().next().copied().unwrap();
+        assert_eq!(fired, signal_round + t + 2, "t={t} s={signal_round}");
+    }
+}
+
+#[test]
+fn dls_decision_latency_tracks_gst() {
+    let mut last = 0usize;
+    for gst in [0usize, 13, 29] {
+        let run = run_dls(&[0, 1, 1, 0, 1], gst, 15);
+        assert!(run.complete && run.agreement(), "gst={gst}");
+        let phase = run.last_decide_phase.unwrap();
+        assert!(phase >= last, "latency must grow with GST");
+        last = phase;
+        // Within 2 phases of the GST phase.
+        assert!(phase <= gst / 4 + 3, "gst={gst}: phase {phase}");
+    }
+}
+
+#[test]
+fn knowledge_frame_over_floodset_views() {
+    // Build a knowledge frame from actual FloodSet runs: states are the
+    // crash patterns of the round-lb chain; views are (input, received).
+    use impossible::consensus::round_lb::{execute, MinRule};
+    let execs: Vec<_> = (0..=3)
+        .map(|prefix| execute(&MinRule, &[0, 1, 1, 1], Some((0, prefix))))
+        .collect();
+    let frame = KnowledgeFrame::new(execs, 4, |e, p: ProcessId| {
+        let i = p.index();
+        (e.inputs[i], e.received[i].clone())
+    });
+    // p3 (never an early recipient) cannot distinguish prefixes 0..=2:
+    // its indistinguishability class at state 0 has ≥ 3 members.
+    let cls = frame.indistinguishable(0, ProcessId(3));
+    assert!(cls.len() >= 3, "{cls:?}");
+    // Common knowledge of "p0 reached someone" is unattainable across the
+    // prefix chain (p3's ignorance links the states).
+    let c = frame.common_knowledge(|e| e.received.iter().any(|r| r.contains_key(&0)));
+    assert!(c.iter().any(|&x| !x));
+}
+
+#[test]
+fn bound_formulas_are_internally_consistent() {
+    // The formulas that parameterize the experiments relate sensibly.
+    for t in 1..6u64 {
+        assert!(bounds::byzantine_min_processes(t) > bounds::byzantine_min_connectivity(t));
+        assert_eq!(bounds::consensus_min_rounds(t), t + 1);
+    }
+    for n in 2..20u64 {
+        assert!(bounds::commit_min_messages(n) < bounds::ring_election_messages(n.max(4)) * n);
+        assert!(bounds::clock_sync_skew(1.0, n) < 1.0);
+        assert!(bounds::clock_sync_skew(1.0, n) >= 0.5);
+    }
+}
