@@ -1,326 +1,277 @@
-//! One Criterion group per figure/claim (see DESIGN.md §3).
+//! One bench group per figure/claim (see DESIGN.md §3).
 //!
-//! Run with `cargo bench`. Each group sweeps the parameter its bound is
-//! stated in; throughput/shape, not absolute wall time, is the deliverable.
+//! Run with `cargo bench` (optionally passing group-name substrings as
+//! filters, e.g. `cargo bench --bench experiments -- e7 f1`). Each group
+//! sweeps the parameter its bound is stated in; throughput/shape, not
+//! absolute wall time, is the deliverable. The timer is the in-tree
+//! [`impossible_det::bench`] harness: median/p95 per case on stdout plus a
+//! machine-readable `BENCH_experiments.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use impossible_bench::{FAULT_BUDGETS, RING_SIZES};
+use impossible_det::bench::BenchSuite;
 use std::hint::black_box;
-use std::time::Duration;
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_millis(600))
-        .warm_up_time(Duration::from_millis(150))
-}
+/// Timed samples per case (each sample is auto-batched to ≥ 0.2 ms).
+const SAMPLES: usize = 9;
 
 /// F1 — the scenario refuter vs. the genuine EIG run.
-fn bench_f1_scenario(c: &mut Criterion) {
+fn bench_f1_scenario(s: &mut BenchSuite) {
     use impossible_consensus::eig::{run_eig, Eig};
     use impossible_consensus::scenario3t::refute_3t;
-    let mut g = c.benchmark_group("f1_scenario");
-    g.bench_function("refute_eig_n3_t1", |b| {
-        b.iter(|| refute_3t(black_box(&Eig::new(3, 1)), 1))
+    s.case("f1_scenario/refute_eig_n3_t1", SAMPLES, || {
+        black_box(refute_3t(black_box(&Eig::new(3, 1)), 1));
     });
-    g.bench_function("run_eig_n4_t1", |b| {
-        b.iter(|| run_eig(black_box(&[1, 0, 1, 1]), 1, &[2]))
+    s.case("f1_scenario/run_eig_n4_t1", SAMPLES, || {
+        black_box(run_eig(black_box(&[1, 0, 1, 1]), 1, &[2]));
     });
-    g.finish();
 }
 
 /// F2 — bivalence analysis of the arbiter candidate.
-fn bench_f2_bivalence(c: &mut Criterion) {
+fn bench_f2_bivalence(s: &mut BenchSuite) {
     use impossible_consensus::flp::{analyze, check_candidate, Arbiter, WaitForAll};
-    let mut g = c.benchmark_group("f2_bivalence");
-    g.bench_function("analyze_arbiter_3", |b| {
-        b.iter(|| analyze(black_box(&Arbiter::new(3)), 500_000))
+    s.case("f2_bivalence/analyze_arbiter_3", SAMPLES, || {
+        black_box(analyze(black_box(&Arbiter::new(3)), 500_000));
     });
-    g.bench_function("full_dilemma_waitforall_2", |b| {
-        b.iter(|| check_candidate(black_box(&WaitForAll::new(2)), 200_000))
+    s.case("f2_bivalence/full_dilemma_waitforall_2", SAMPLES, || {
+        black_box(check_candidate(black_box(&WaitForAll::new(2)), 200_000));
     });
-    g.finish();
 }
 
 /// F3 — symmetry-class computation on bit-reversal rings.
-fn bench_f3_ring_symmetry(c: &mut Criterion) {
+fn bench_f3_ring_symmetry(s: &mut BenchSuite) {
     use impossible_core::symmetry::{bit_reversal_ring, comparison_symmetry_classes};
-    let mut g = c.benchmark_group("f3_ring_symmetry");
     for n in RING_SIZES {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let ring = bit_reversal_ring(n);
-            b.iter(|| comparison_symmetry_classes(black_box(&ring), 2))
+        let ring = bit_reversal_ring(n);
+        s.case(&format!("f3_ring_symmetry/{n}"), SAMPLES, || {
+            black_box(comparison_symmetry_classes(black_box(&ring), 2));
         });
     }
-    g.finish();
 }
 
 /// E1 — the exhaustive 2-valued protocol sweep and the handoff-lock checks.
-fn bench_e1_mutex_space(c: &mut Criterion) {
+fn bench_e1_mutex_space(s: &mut BenchSuite) {
     use impossible_sharedmem::algorithms::HandoffLock;
     use impossible_sharedmem::check;
     use impossible_sharedmem::mutex::MutexSystem;
     use impossible_sharedmem::synthesis::sweep;
-    let mut g = c.benchmark_group("e1_mutex_space");
-    g.bench_function("sweep_k1_v2", |b| b.iter(|| sweep(1, 2, 20_000)));
-    g.bench_function("verify_handoff_lock", |b| {
-        b.iter(|| {
-            let alg = HandoffLock::new();
-            let sys = MutexSystem::new(&alg);
-            (
-                check::find_mutex_violation(&sys, 100_000).is_none(),
-                check::find_lockout(&sys, 1, 100_000).is_none(),
-            )
-        })
+    s.case("e1_mutex_space/sweep_k1_v2", SAMPLES, || {
+        black_box(sweep(1, 2, 20_000));
     });
-    g.finish();
+    s.case("e1_mutex_space/verify_handoff_lock", SAMPLES, || {
+        let alg = HandoffLock::new();
+        let sys = MutexSystem::new(&alg);
+        black_box((
+            check::find_mutex_violation(&sys, 100_000).is_none(),
+            check::find_lockout(&sys, 1, 100_000).is_none(),
+        ));
+    });
 }
 
 /// E2 — the chain refuter and FloodSet across fault budgets.
-fn bench_e2_rounds(c: &mut Criterion) {
+fn bench_e2_rounds(s: &mut BenchSuite) {
     use impossible_consensus::floodset::run_floodset;
     use impossible_consensus::round_lb::{refute_one_round, MinRule};
-    let mut g = c.benchmark_group("e2_rounds");
-    g.bench_function("chain_refute_min_rule", |b| {
-        b.iter(|| refute_one_round(black_box(&MinRule), 4))
+    s.case("e2_rounds/chain_refute_min_rule", SAMPLES, || {
+        black_box(refute_one_round(black_box(&MinRule), 4));
     });
     for t in FAULT_BUDGETS {
-        g.bench_with_input(BenchmarkId::new("floodset", t), &t, |b, &t| {
-            let n = 2 * t + 3;
-            let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
-            b.iter(|| run_floodset(black_box(&inputs), t, false, &[(0, 1, 1)]))
+        let n = 2 * t + 3;
+        let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
+        s.case(&format!("e2_rounds/floodset_t{t}"), SAMPLES, || {
+            black_box(run_floodset(black_box(&inputs), t, false, &[(0, 1, 1)]));
         });
     }
-    g.finish();
 }
 
 /// E3 — Ben-Or phases.
-fn bench_e3_benor(c: &mut Criterion) {
+fn bench_e3_benor(s: &mut BenchSuite) {
     use impossible_consensus::benor::run_benor;
-    let mut g = c.benchmark_group("e3_benor");
-    g.bench_function("balanced_n4_t1", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            run_benor(black_box(&[0, 1, 0, 1]), 1, seed, &[], 500)
-        })
+    let mut seed = 0u64;
+    s.case("e3_benor/balanced_n4_t1", SAMPLES, || {
+        seed += 1;
+        black_box(run_benor(black_box(&[0, 1, 0, 1]), 1, seed, &[], 500));
     });
-    g.finish();
 }
 
 /// E4 — approximate agreement convergence per k.
-fn bench_e4_approx(c: &mut Criterion) {
+fn bench_e4_approx(s: &mut BenchSuite) {
     use impossible_consensus::approx::run_approx;
-    let mut g = c.benchmark_group("e4_approx");
     for k in [2u32, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| run_approx(black_box(&[0.0, 10.0, 3.0, 6.0, 8.0]), 1, k, 7))
+        s.case(&format!("e4_approx/k{k}"), SAMPLES, || {
+            black_box(run_approx(black_box(&[0.0, 10.0, 3.0, 6.0, 8.0]), 1, k, 7));
         });
     }
-    g.finish();
 }
 
 /// E5 — the shifting-chain clock-sync demonstration per n.
-fn bench_e5_clocksync(c: &mut Criterion) {
+fn bench_e5_clocksync(s: &mut BenchSuite) {
     use impossible_clocksync::model::{averaging_adjustments, ClockParams};
     use impossible_clocksync::shifting::demonstrate_lower_bound;
-    let mut g = c.benchmark_group("e5_clocksync");
     for n in [2usize, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let params = ClockParams {
-                offsets: vec![0.0; n],
-                lo: 1.0,
-                hi: 3.0,
-            };
-            b.iter(|| demonstrate_lower_bound(black_box(&params), averaging_adjustments))
+        let params = ClockParams {
+            offsets: vec![0.0; n],
+            lo: 1.0,
+            hi: 3.0,
+        };
+        s.case(&format!("e5_clocksync/n{n}"), SAMPLES, || {
+            black_box(demonstrate_lower_bound(black_box(&params), averaging_adjustments));
         });
     }
-    g.finish();
 }
 
 /// E6 — sessions on rings of growing diameter.
-fn bench_e6_sessions(c: &mut Criterion) {
+fn bench_e6_sessions(s: &mut BenchSuite) {
     use impossible_msgpass::asyncnet::DelayModel;
     use impossible_msgpass::sessions::run_sessions;
     use impossible_msgpass::topology::Topology;
-    let mut g = c.benchmark_group("e6_sessions");
     for n in [8usize, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let topo = Topology::ring(n);
-            b.iter(|| run_sessions(black_box(&topo), 4, DelayModel::Unit))
+        let topo = Topology::ring(n);
+        s.case(&format!("e6_sessions/n{n}"), SAMPLES, || {
+            black_box(run_sessions(black_box(&topo), 4, DelayModel::Unit));
         });
     }
-    g.finish();
 }
 
 /// E7 — ring election algorithms across n (the headline series).
-fn bench_e7_election(c: &mut Criterion) {
+fn bench_e7_election(s: &mut BenchSuite) {
     use impossible_election::lcr::{run_lcr, worst_case_ids};
     use impossible_election::ring::RingSchedule;
     use impossible_election::{hs, peterson};
-    let mut g = c.benchmark_group("e7_election");
     for n in RING_SIZES {
         let ids = worst_case_ids(n);
-        g.bench_with_input(BenchmarkId::new("lcr", n), &ids, |b, ids| {
-            b.iter(|| run_lcr(black_box(ids), RingSchedule::RoundRobin))
+        s.case(&format!("e7_election/lcr_{n}"), SAMPLES, || {
+            black_box(run_lcr(black_box(&ids), RingSchedule::RoundRobin));
         });
-        g.bench_with_input(BenchmarkId::new("hs", n), &ids, |b, ids| {
-            b.iter(|| hs::run_hs(black_box(ids), RingSchedule::RoundRobin))
+        s.case(&format!("e7_election/hs_{n}"), SAMPLES, || {
+            black_box(hs::run_hs(black_box(&ids), RingSchedule::RoundRobin));
         });
-        g.bench_with_input(BenchmarkId::new("peterson", n), &ids, |b, ids| {
-            b.iter(|| peterson::run_peterson(black_box(ids), RingSchedule::RoundRobin))
+        s.case(&format!("e7_election/peterson_{n}"), SAMPLES, || {
+            black_box(peterson::run_peterson(black_box(&ids), RingSchedule::RoundRobin));
         });
     }
-    g.finish();
 }
 
 /// E8 — anonymous rings: symmetry refuter and Itai–Rodeh.
-fn bench_e8_anonymous(c: &mut Criterion) {
+fn bench_e8_anonymous(s: &mut BenchSuite) {
     use impossible_election::anonymous::{refute_deterministic, HashChain};
     use impossible_election::itai_rodeh::run_itai_rodeh;
-    let mut g = c.benchmark_group("e8_anonymous");
-    g.bench_function("symmetry_refute_n8", |b| {
-        b.iter(|| refute_deterministic(black_box(&HashChain), 8, 100))
+    s.case("e8_anonymous/symmetry_refute_n8", SAMPLES, || {
+        black_box(refute_deterministic(black_box(&HashChain), 8, 100));
     });
-    g.bench_function("itai_rodeh_n8", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            run_itai_rodeh(8, seed, 100_000)
-        })
+    let mut seed = 0;
+    s.case("e8_anonymous/itai_rodeh_n8", SAMPLES, || {
+        seed += 1;
+        black_box(run_itai_rodeh(8, seed, 100_000));
     });
-    g.finish();
 }
 
 /// E9 — the counterexample algorithms' time/message tradeoff.
-fn bench_e9_counterexample(c: &mut Criterion) {
+fn bench_e9_counterexample(s: &mut BenchSuite) {
     use impossible_election::timeslice::{run_timeslice, run_variable_speeds};
-    let mut g = c.benchmark_group("e9_counterexample");
-    g.bench_function("timeslice", |b| {
-        b.iter(|| run_timeslice(black_box(&[5, 2, 8, 3, 9, 6])))
+    s.case("e9_counterexample/timeslice", SAMPLES, || {
+        black_box(run_timeslice(black_box(&[5, 2, 8, 3, 9, 6])));
     });
-    g.bench_function("variable_speeds", |b| {
-        b.iter(|| run_variable_speeds(black_box(&[3, 1, 4, 2, 5])))
+    s.case("e9_counterexample/variable_speeds", SAMPLES, || {
+        black_box(run_variable_speeds(black_box(&[3, 1, 4, 2, 5])));
     });
-    g.finish();
 }
 
 /// E10 — 2PC message accounting per n.
-fn bench_e10_commit(c: &mut Criterion) {
+fn bench_e10_commit(s: &mut BenchSuite) {
     use impossible_consensus::commit::run_2pc;
-    let mut g = c.benchmark_group("e10_commit");
     for n in [4usize, 16, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let votes = vec![true; n];
-            b.iter(|| run_2pc(black_box(&votes), None))
+        let votes = vec![true; n];
+        s.case(&format!("e10_commit/n{n}"), SAMPLES, || {
+            black_box(run_2pc(black_box(&votes), None));
         });
     }
-    g.finish();
 }
 
 /// E11 — ABP under loss, Two Generals chain, message stealing.
-fn bench_e11_datalink(c: &mut Criterion) {
+fn bench_e11_datalink(s: &mut BenchSuite) {
     use impossible_datalink::abp::run_abp;
     use impossible_datalink::stealing::refute_bounded_header;
     use impossible_datalink::two_generals::{refute, Threshold};
-    let mut g = c.benchmark_group("e11_datalink");
-    g.bench_function("abp_20msgs_30pct_loss", |b| {
-        let msgs: Vec<u64> = (0..20).collect();
-        b.iter(|| run_abp(black_box(&msgs), 7, 0.3, 0.1, 400_000))
+    let msgs: Vec<u64> = (0..20).collect();
+    s.case("e11_datalink/abp_20msgs_30pct_loss", SAMPLES, || {
+        black_box(run_abp(black_box(&msgs), 7, 0.3, 0.1, 400_000));
     });
-    g.bench_function("two_generals_chain_r8", |b| {
-        b.iter(|| refute(black_box(&Threshold(0)), 8))
+    s.case("e11_datalink/two_generals_chain_r8", SAMPLES, || {
+        black_box(refute(black_box(&Threshold(0)), 8));
     });
-    g.bench_function("steal_mod16", |b| b.iter(|| refute_bounded_header(16)));
-    g.finish();
+    s.case("e11_datalink/steal_mod16", SAMPLES, || {
+        black_box(refute_bounded_header(16));
+    });
 }
 
 /// E12 — the consensus-hierarchy verdicts.
-fn bench_e12_hierarchy(c: &mut Criterion) {
+fn bench_e12_hierarchy(s: &mut BenchSuite) {
     use impossible_registers::herlihy::{consensus_verdict, CasConsensus, RegisterMin2, TasConsensus2};
-    let mut g = c.benchmark_group("e12_hierarchy");
-    g.bench_function("verify_tas2", |b| {
-        b.iter(|| consensus_verdict(black_box(&TasConsensus2), 500_000))
+    s.case("e12_hierarchy/verify_tas2", SAMPLES, || {
+        black_box(consensus_verdict(black_box(&TasConsensus2), 500_000));
     });
-    g.bench_function("refute_register_min2", |b| {
-        b.iter(|| consensus_verdict(black_box(&RegisterMin2), 500_000))
+    s.case("e12_hierarchy/refute_register_min2", SAMPLES, || {
+        black_box(consensus_verdict(black_box(&RegisterMin2), 500_000));
     });
-    g.bench_function("verify_cas3", |b| {
-        b.iter(|| consensus_verdict(black_box(&CasConsensus::new(3)), 500_000))
+    s.case("e12_hierarchy/verify_cas3", SAMPLES, || {
+        black_box(consensus_verdict(black_box(&CasConsensus::new(3)), 500_000));
     });
-    g.finish();
 }
 
 /// E13 — linearizability checking of the constructions.
-fn bench_e13_registers(c: &mut Criterion) {
+fn bench_e13_registers(s: &mut BenchSuite) {
     use impossible_registers::constructions::{
         simulate_mrsw_with_reader_writes, simulate_regular_to_atomic_srsw,
     };
     use impossible_registers::spec::check_linearizable;
-    let mut g = c.benchmark_group("e13_registers");
-    g.bench_function("srsw_atomic_check", |b| {
-        b.iter(|| {
-            let h = simulate_regular_to_atomic_srsw(24, 5);
-            check_linearizable(black_box(&h)).is_some()
-        })
+    s.case("e13_registers/srsw_atomic_check", SAMPLES, || {
+        let h = simulate_regular_to_atomic_srsw(24, 5);
+        black_box(check_linearizable(black_box(&h)).is_some());
     });
-    g.bench_function("mrsw_reader_writes_check", |b| {
-        b.iter(|| {
-            let h = simulate_mrsw_with_reader_writes(2, 40, 5);
-            check_linearizable(black_box(&h)).is_some()
-        })
+    s.case("e13_registers/mrsw_reader_writes_check", SAMPLES, || {
+        let h = simulate_mrsw_with_reader_writes(2, 40, 5);
+        black_box(check_linearizable(black_box(&h)).is_some());
     });
-    g.finish();
 }
 
 /// E14 — k-exclusion state space and choice coordination.
-fn bench_e14_kexclusion(c: &mut Criterion) {
+fn bench_e14_kexclusion(s: &mut BenchSuite) {
     use impossible_sharedmem::choice::{simulate, ChoiceSystem};
     use impossible_sharedmem::kexclusion::{find_kexclusion_violation, CounterSemaphore};
-    let mut g = c.benchmark_group("e14_kexclusion");
-    g.bench_function("semaphore_check_n4_k2", |b| {
-        b.iter(|| {
-            let alg = CounterSemaphore::new(4, 2);
-            find_kexclusion_violation(black_box(&alg), 300_000).is_none()
-        })
+    s.case("e14_kexclusion/semaphore_check_n4_k2", SAMPLES, || {
+        let alg = CounterSemaphore::new(4, 2);
+        black_box(find_kexclusion_violation(black_box(&alg), 300_000).is_none());
     });
-    g.bench_function("choice_coordination_n4", |b| {
-        let sys = ChoiceSystem::new(vec![0, 1, 0, 1]);
-        let mut seed = 0;
-        b.iter(|| {
-            seed += 1;
-            simulate(black_box(&sys), seed, 200_000)
-        })
+    let sys = ChoiceSystem::new(vec![0, 1, 0, 1]);
+    let mut seed = 0;
+    s.case("e14_kexclusion/choice_coordination_n4", SAMPLES, || {
+        seed += 1;
+        black_box(simulate(black_box(&sys), seed, 200_000));
     });
-    g.finish();
 }
 
 /// E15 — Dolev–Strong authenticated broadcast.
-fn bench_e15_authenticated(c: &mut Criterion) {
+fn bench_e15_authenticated(s: &mut BenchSuite) {
     use impossible_consensus::authenticated::run_dolev_strong;
-    let mut g = c.benchmark_group("e15_authenticated");
     for t in FAULT_BUDGETS {
-        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
-            b.iter(|| run_dolev_strong(black_box(t + 2), t, 1, true))
+        s.case(&format!("e15_authenticated/t{t}"), SAMPLES, || {
+            black_box(run_dolev_strong(black_box(t + 2), t, 1, true));
         });
     }
-    g.finish();
 }
 
 /// E16 — firing squad rounds.
-fn bench_e16_squad(c: &mut Criterion) {
+fn bench_e16_squad(s: &mut BenchSuite) {
     use impossible_consensus::firing_squad::run_squad;
-    let mut g = c.benchmark_group("e16_squad");
     for t in FAULT_BUDGETS {
-        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
-            b.iter(|| run_squad(black_box(2 * t + 3), t, Some((0, 1)), &[], false))
+        s.case(&format!("e16_squad/t{t}"), SAMPLES, || {
+            black_box(run_squad(black_box(2 * t + 3), t, Some((0, 1)), &[], false));
         });
     }
-    g.finish();
 }
 
 /// E17 — α-synchronizer overhead.
-fn bench_e17_synchronizer(c: &mut Criterion) {
+fn bench_e17_synchronizer(s: &mut BenchSuite) {
     use impossible_msgpass::asyncnet::DelayModel;
     use impossible_msgpass::synchronizer::{run_alpha_with, SimpleSync};
     use impossible_msgpass::topology::Topology;
@@ -345,121 +296,120 @@ fn bench_e17_synchronizer(c: &mut Criterion) {
             self.ran >= self.need
         }
     }
-    let mut g = c.benchmark_group("e17_synchronizer");
     for n in [8usize, 16] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let topo = Topology::ring(n);
-            b.iter(|| {
-                let diam = topo.diameter();
-                let algs: Vec<Flood> = (0..n)
-                    .map(|i| Flood {
-                        neighbors: topo.neighbors(i).to_vec(),
-                        best: i as u64,
-                        need: diam,
-                        ran: 0,
-                    })
-                    .collect();
-                run_alpha_with(black_box(&topo), algs, diam, DelayModel::Unit, |a| a.best)
-            })
+        let topo = Topology::ring(n);
+        s.case(&format!("e17_synchronizer/n{n}"), SAMPLES, || {
+            let diam = topo.diameter();
+            let algs: Vec<Flood> = (0..n)
+                .map(|i| Flood {
+                    neighbors: topo.neighbors(i).to_vec(),
+                    best: i as u64,
+                    need: diam,
+                    ran: 0,
+                })
+                .collect();
+            black_box(run_alpha_with(black_box(&topo), algs, diam, DelayModel::Unit, |a| a.best));
         });
     }
-    g.finish();
 }
 
 /// E18 — knowledge fixpoints on the generals frame.
-fn bench_e18_knowledge(c: &mut Criterion) {
+fn bench_e18_knowledge(s: &mut BenchSuite) {
     use impossible_core::ids::ProcessId;
     use impossible_core::knowledge::KnowledgeFrame;
-    let mut g = c.benchmark_group("e18_knowledge");
     for trips in [16usize, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(trips), &trips, |b, &trips| {
-            let states: Vec<usize> = (0..=trips).collect();
-            let frame = KnowledgeFrame::new(states, 2, |&k: &usize, p: ProcessId| {
-                if p.index() == 0 {
-                    k / 2
-                } else {
-                    k.div_ceil(2)
-                }
-            });
-            b.iter(|| frame.common_knowledge(|&k| k >= 1))
+        let states: Vec<usize> = (0..=trips).collect();
+        let frame = KnowledgeFrame::new(states, 2, |&k: &usize, p: ProcessId| {
+            if p.index() == 0 {
+                k / 2
+            } else {
+                k.div_ceil(2)
+            }
+        });
+        s.case(&format!("e18_knowledge/trips{trips}"), SAMPLES, || {
+            black_box(frame.common_knowledge(|&k| k >= 1));
         });
     }
-    g.finish();
 }
 
 /// E19 — anonymous rotation computation.
-fn bench_e19_anon_compute(c: &mut Criterion) {
+fn bench_e19_anon_compute(s: &mut BenchSuite) {
     use impossible_election::anonymous_compute::run_rotation;
-    let mut g = c.benchmark_group("e19_anon_compute");
     for n in [16usize, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let inputs: Vec<u64> = (0..n as u64).collect();
-            b.iter(|| run_rotation(black_box(&inputs), |v| *v.iter().max().unwrap()))
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        s.case(&format!("e19_anon_compute/n{n}"), SAMPLES, || {
+            black_box(run_rotation(black_box(&inputs), |v| *v.iter().max().unwrap()));
         });
     }
-    g.finish();
 }
 
 /// E20 — drift simulation + header growth.
-fn bench_e20_drift(c: &mut Criterion) {
+fn bench_e20_drift(s: &mut BenchSuite) {
     use impossible_clocksync::drift::{run_drift, DriftParams};
     use impossible_datalink::sequence::steal_replay_attack;
-    let mut g = c.benchmark_group("e20_drift");
-    g.bench_function("drift_20_rounds", |b| {
-        let params = DriftParams {
-            n: 4,
-            rho: 0.001,
-            lo: 1.0,
-            hi: 1.5,
-            period: 100.0,
-        };
-        b.iter(|| run_drift(black_box(&params), 20, 7))
+    let params = DriftParams {
+        n: 4,
+        rho: 0.001,
+        lo: 1.0,
+        hi: 1.5,
+        period: 100.0,
+    };
+    s.case("e20_drift/drift_20_rounds", SAMPLES, || {
+        black_box(run_drift(black_box(&params), 20, 7));
     });
-    g.bench_function("unbounded_replay_1024", |b| {
-        b.iter(|| steal_replay_attack(black_box(1024)))
+    s.case("e20_drift/unbounded_replay_1024", SAMPLES, || {
+        black_box(steal_replay_attack(black_box(1024)));
     });
-    g.finish();
 }
 
 /// E21 — DLS partial-synchrony consensus across GST values.
-fn bench_e21_dls(c: &mut Criterion) {
+fn bench_e21_dls(s: &mut BenchSuite) {
     use impossible_consensus::dls::run_dls;
-    let mut g = c.benchmark_group("e21_dls");
     for gst in [0usize, 21] {
-        g.bench_with_input(BenchmarkId::from_parameter(gst), &gst, |b, &gst| {
-            b.iter(|| run_dls(black_box(&[0, 1, 1, 0, 1]), gst, 15))
+        s.case(&format!("e21_dls/gst{gst}"), SAMPLES, || {
+            black_box(run_dls(black_box(&[0, 1, 1, 0, 1]), gst, 15));
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = config();
-    targets =
-        bench_f1_scenario,
-        bench_f2_bivalence,
-        bench_f3_ring_symmetry,
-        bench_e1_mutex_space,
-        bench_e2_rounds,
-        bench_e3_benor,
-        bench_e4_approx,
-        bench_e5_clocksync,
-        bench_e6_sessions,
-        bench_e7_election,
-        bench_e8_anonymous,
-        bench_e9_counterexample,
-        bench_e10_commit,
-        bench_e11_datalink,
-        bench_e12_hierarchy,
-        bench_e13_registers,
-        bench_e14_kexclusion,
-        bench_e15_authenticated,
-        bench_e16_squad,
-        bench_e17_synchronizer,
-        bench_e18_knowledge,
-        bench_e19_anon_compute,
-        bench_e20_drift,
-        bench_e21_dls,
+fn main() {
+    // `cargo bench` passes flags like `--bench`; positional args filter
+    // groups by substring (e.g. `cargo bench --bench experiments -- e7`).
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    let groups: &[(&str, fn(&mut BenchSuite))] = &[
+        ("f1_scenario", bench_f1_scenario),
+        ("f2_bivalence", bench_f2_bivalence),
+        ("f3_ring_symmetry", bench_f3_ring_symmetry),
+        ("e1_mutex_space", bench_e1_mutex_space),
+        ("e2_rounds", bench_e2_rounds),
+        ("e3_benor", bench_e3_benor),
+        ("e4_approx", bench_e4_approx),
+        ("e5_clocksync", bench_e5_clocksync),
+        ("e6_sessions", bench_e6_sessions),
+        ("e7_election", bench_e7_election),
+        ("e8_anonymous", bench_e8_anonymous),
+        ("e9_counterexample", bench_e9_counterexample),
+        ("e10_commit", bench_e10_commit),
+        ("e11_datalink", bench_e11_datalink),
+        ("e12_hierarchy", bench_e12_hierarchy),
+        ("e13_registers", bench_e13_registers),
+        ("e14_kexclusion", bench_e14_kexclusion),
+        ("e15_authenticated", bench_e15_authenticated),
+        ("e16_squad", bench_e16_squad),
+        ("e17_synchronizer", bench_e17_synchronizer),
+        ("e18_knowledge", bench_e18_knowledge),
+        ("e19_anon_compute", bench_e19_anon_compute),
+        ("e20_drift", bench_e20_drift),
+        ("e21_dls", bench_e21_dls),
+    ];
+    let mut suite = BenchSuite::new("experiments");
+    for (name, group) in groups {
+        if filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str())) {
+            group(&mut suite);
+        }
+    }
+    suite.finish().expect("write BENCH_experiments.json");
 }
-criterion_main!(benches);

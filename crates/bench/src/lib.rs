@@ -1,10 +1,12 @@
 //! # impossible-bench
 //!
-//! Criterion benchmark harness: one group per figure/claim of the paper
-//! (see `benches/experiments.rs` and the experiment index in `DESIGN.md`).
+//! Benchmark harness: one group per figure/claim of the paper (see
+//! `benches/experiments.rs` and the experiment index in `DESIGN.md`).
 //! The benches measure the cost of each *reproduction* — algorithm runs and
 //! refuter runs alike — and sweep the parameter that each bound is stated
-//! in (`n`, `t`, `k`, ring size, header modulus...).
+//! in (`n`, `t`, `k`, ring size, header modulus...). Timing comes from the
+//! in-tree [`impossible_det::bench`] harness (median/p95 per case, JSON
+//! export), so the workspace stays free of external dependencies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

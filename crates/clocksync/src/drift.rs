@@ -2,7 +2,7 @@
 //!
 //! The Lundelius–Lynch bound isolates delay uncertainty; real clocks also
 //! *drift* (rates in `[1−ρ, 1+ρ]`), which is what Lamport's PODC'83 problem
-//! and the Dolev–Halpern–Strong work [44] are about. This module adds rate
+//! and the Dolev–Halpern–Strong work \[44\] are about. This module adds rate
 //! drift to the model and measures the steady-state skew of
 //! resynchronize-every-`R` schedules: between rounds the skew grows by up
 //! to `2ρR`, and each resynchronization resets it to (at best) the
@@ -10,8 +10,7 @@
 //! `u·(1−1/n) + 2ρR`, measured here against its two parameters.
 
 use crate::model::{averaging_adjustments, ClockParams, Observations};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impossible_det::DetRng;
 
 /// A drifting hardware clock: `H(t) = offset + rate·t`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,7 +61,7 @@ pub struct DriftRun {
 /// Lundelius–Lynch exchange (with fresh random delays) computes adjustments
 /// applied as offset corrections.
 pub fn run_drift(params: &DriftParams, rounds: usize, seed: u64) -> DriftRun {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let u = params.hi - params.lo;
     let n = params.n;
     let mut clocks: Vec<DriftingClock> = (0..n)

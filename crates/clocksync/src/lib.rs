@@ -1,7 +1,7 @@
 //! # impossible-clocksync
 //!
 //! Clock synchronization under message-delay uncertainty — the
-//! Lundelius–Lynch result [77] of §2.2.6: on a complete graph with delays
+//! Lundelius–Lynch result \[77\] of §2.2.6: on a complete graph with delays
 //! in `[lo, hi]` (uncertainty `u = hi − lo`), software clocks can be
 //! synchronized to within `u·(1 − 1/n)` and **no closer** — a tight bound
 //! proved by the *shifting* argument ("this diagram can be stretched ...

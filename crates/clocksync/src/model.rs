@@ -8,8 +8,7 @@
 //! (self included as zero). Achieved skew is provably ≤ `u·(1 − 1/n)`.
 
 use impossible_msgpass::stretch::Diagram;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impossible_det::DetRng;
 
 /// Parameters of a synchronization instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,7 +34,7 @@ impl ClockParams {
 
     /// Random offsets in `[-spread, spread]` with delays `[lo, hi]`.
     pub fn random(n: usize, lo: f64, hi: f64, spread: f64, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         ClockParams {
             offsets: (0..n).map(|_| rng.gen_range(-spread..=spread)).collect(),
             lo,
@@ -71,7 +70,7 @@ pub type DelayMatrix = Vec<Vec<f64>>;
 /// Uniform-random delay matrix within the band.
 pub fn random_delays(params: &ClockParams, seed: u64) -> DelayMatrix {
     let n = params.n();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             (0..n)

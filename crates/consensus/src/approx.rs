@@ -1,18 +1,17 @@
-//! Synchronous approximate agreement with Byzantine faults [36].
+//! Synchronous approximate agreement with Byzantine faults \[36\].
 //!
 //! Processes hold real values and must converge: after `k` rounds the ratio
 //! (range of honest outputs) / (range of honest inputs) should be small.
 //! Dolev–Lynch–Pinter–Stark–Weihl proved no k-round algorithm beats
 //! `(t/(n·k))^k`, while the simple round-by-round trimmed-averaging
 //! algorithm achieves ≈ `(t/n)^k` — the gap Fekete's counterexample
-//! algorithms [50, 51] later narrowed by exploiting fault detection.
+//! algorithms \[50, 51\] later narrowed by exploiting fault detection.
 //!
 //! [`run_approx`] runs trimmed averaging against a two-faced Byzantine
 //! adversary and reports the measured ratio next to both curves.
 
 use impossible_core::pigeonhole::bounds;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impossible_det::DetRng;
 
 /// Result of an approximate-agreement run.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,7 +47,7 @@ pub fn run_approx(honest_inputs: &[f64], t: usize, k: u32, seed: u64) -> ApproxR
     let n = h + t;
     assert!(n > 3 * t, "approximate agreement needs n > 3t");
     assert!(k >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
 
     let initial_range = range(honest_inputs).max(f64::MIN_POSITIVE);
     let mut values: Vec<f64> = honest_inputs.to_vec();

@@ -2,8 +2,8 @@
 //! signatures.
 //!
 //! The survey notes the `t + 1`-round lower bound "was extended to the case
-//! where the processes ... are permitted to authenticate messages, in [43]
-//! and [37]" — authentication does not buy rounds, but it *does* dissolve
+//! where the processes ... are permitted to authenticate messages, in \[43\]
+//! and \[37\]" — authentication does not buy rounds, but it *does* dissolve
 //! the `n > 3t` process bound: signed agreement works for **any** `n > t`.
 //! This module implements the classic Dolev–Strong broadcast: a value is
 //! accepted only with a chain of distinct signatures, one per round, so a

@@ -1,4 +1,4 @@
-//! Ben-Or's randomized consensus [19] — circumventing FLP.
+//! Ben-Or's randomized consensus \[19\] — circumventing FLP.
 //!
 //! "Ben-Or and later Rabin devised interesting randomized algorithms that
 //! circumvent the impossibility result; these algorithms eventually decide
@@ -13,8 +13,7 @@
 
 use impossible_msgpass::sync::{Fault, SyncNet, SyncProcess};
 use impossible_msgpass::topology::Topology;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impossible_det::DetRng;
 
 /// Ben-Or wire format.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +47,7 @@ pub struct BenOr {
     decision: Option<u64>,
     /// Phase at which the decision was made.
     pub decided_phase: Option<usize>,
-    rng: StdRng,
+    rng: DetRng,
 }
 
 impl BenOr {
@@ -66,7 +65,7 @@ impl BenOr {
             proposals: Vec::new(),
             decision: None,
             decided_phase: None,
-            rng: StdRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: DetRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         }
     }
 

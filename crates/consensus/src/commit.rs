@@ -1,4 +1,4 @@
-//! Two-phase commit and the Dwork–Skeen message bound [48].
+//! Two-phase commit and the Dwork–Skeen message bound \[48\].
 //!
 //! The commit problem is binary consensus with the *commit rule*: abort if
 //! anyone votes abort; commit if all vote commit and nothing fails.

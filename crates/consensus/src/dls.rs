@@ -1,4 +1,4 @@
-//! Consensus under partial synchrony — Dwork–Lynch–Stockmeyer [46].
+//! Consensus under partial synchrony — Dwork–Lynch–Stockmeyer \[46\].
 //!
 //! FLP forbids asynchronous consensus; DLS showed that *eventual* synchrony
 //! is enough: if message delays are unbounded only until some unknown
@@ -271,15 +271,14 @@ pub fn run_dls(inputs: &[u64], gst: usize, max_phases: usize) -> DlsRun {
 /// Run DLS with a *selective* pre-GST adversary (drops per a seeded mask)
 /// to exercise safety under partial, asymmetric omission.
 pub fn run_dls_selective(inputs: &[u64], gst: usize, seed: u64, max_phases: usize) -> DlsRun {
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use impossible_det::DetRng;
     let n = inputs.len();
     let procs: Vec<Dls> = inputs
         .iter()
         .enumerate()
         .map(|(i, &v)| Dls::new(i, n, v))
         .collect();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut net = SyncNet::new(Topology::complete(n), procs)
         .with_omission(move |round, _from, _to| round < gst && rng.gen_bool(0.6));
     let complete = net.run_until_halted(gst + max_phases * ROUNDS_PER_PHASE);

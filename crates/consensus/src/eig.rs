@@ -1,5 +1,5 @@
 //! Exponential-information-gathering (EIG) Byzantine agreement — the
-//! Pease–Shostak–Lamport algorithm [89, 73] for `n > 3t`.
+//! Pease–Shostak–Lamport algorithm \[89, 73\] for `n > 3t`.
 //!
 //! Each process maintains a tree of "who said that who said ...": round 1
 //! broadcasts inputs, round `r` relays every level-`(r−1)` entry, and after

@@ -1,4 +1,4 @@
-//! The Byzantine firing squad problem ([31], Coan–Dolev–Dwork–Stockmeyer).
+//! The Byzantine firing squad problem (\[31\], Coan–Dolev–Dwork–Stockmeyer).
 //!
 //! A "start" signal arrives at some process at an arbitrary round; all
 //! correct processes must later **fire simultaneously** (same round), and

@@ -1,5 +1,5 @@
 //! Asynchronous consensus candidates under the bivalence engine — the
-//! executable FLP theorem [55] (Figures 2 and 3 of the survey).
+//! executable FLP theorem \[55\] (Figures 2 and 3 of the survey).
 //!
 //! FLP says every 1-resilient asynchronous consensus protocol fails
 //! somewhere: *decide eagerly and you break agreement; wait and a single

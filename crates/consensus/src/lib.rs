@@ -7,15 +7,15 @@
 //! | Module | Possibility side | Impossibility side |
 //! |---|---|---|
 //! | [`floodset`] | FloodSet crash consensus in `t+1` rounds, early-stopping variant | — |
-//! | [`eig`] | Exponential-information-gathering Byzantine agreement for `n > 3t` [89, 73] | implements [`impossible_core::scenario::RoundProtocol`], so the Figure 1 engine refutes it at `n = 3t` |
+//! | [`eig`] | Exponential-information-gathering Byzantine agreement for `n > 3t` \[89, 73\] | implements [`impossible_core::scenario::RoundProtocol`], so the Figure 1 engine refutes it at `n = 3t` |
 //! | [`scenario3t`] | — | the `n ≤ 3t` refuter: compose any candidate into the FLM hexagon |
-//! | [`round_lb`] | — | the `t+1`-round chain adversary [56]: defeats 1-round 1-resilient candidates with an explicit execution chain |
-//! | [`flp`] | — | async candidates as transition systems for the bivalence engine [55]: deciding early breaks agreement, waiting breaks 1-resilient termination |
-//! | [`benor`] | Ben-Or's randomized consensus [19]: terminates w.p. 1 despite FLP | — |
-//! | [`approx`] | synchronous approximate agreement [36]: convergence `(t/n)^k` per `k` rounds | the `(t/(nk))^k` lower-bound curve |
-//! | [`commit`] | two-phase commit with message accounting (Dwork–Skeen `2n−2` [48]) | coordinator-crash blocking demonstration |
-//! | [`authenticated`] | Dolev–Strong signed broadcast: any `n > t` ([43, 37]) | the one-round equivocation split showing why `t+1` rounds persist |
-//! | [`firing_squad`] | simultaneous firing after `signal + t + 2` rounds ([31]) | the ragged "fire on hearing" naive variant |
+//! | [`round_lb`] | — | the `t+1`-round chain adversary \[56\]: defeats 1-round 1-resilient candidates with an explicit execution chain |
+//! | [`flp`] | — | async candidates as transition systems for the bivalence engine \[55\]: deciding early breaks agreement, waiting breaks 1-resilient termination |
+//! | [`benor`] | Ben-Or's randomized consensus \[19\]: terminates w.p. 1 despite FLP | — |
+//! | [`approx`] | synchronous approximate agreement \[36\]: convergence `(t/n)^k` per `k` rounds | the `(t/(nk))^k` lower-bound curve |
+//! | [`commit`] | two-phase commit with message accounting (Dwork–Skeen `2n−2` \[48\]) | coordinator-crash blocking demonstration |
+//! | [`authenticated`] | Dolev–Strong signed broadcast: any `n > t` (\[43, 37\]) | the one-round equivocation split showing why `t+1` rounds persist |
+//! | [`firing_squad`] | simultaneous firing after `signal + t + 2` rounds (\[31\]) | the ragged "fire on hearing" naive variant |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,4 +1,4 @@
-//! The `t + 1`-round lower bound [56], executable as a chain adversary.
+//! The `t + 1`-round lower bound \[56\], executable as a chain adversary.
 //!
 //! For `t = 1` the theorem says one round cannot suffice. Given **any**
 //! one-round decision rule, [`refute_one_round`] builds the Fischer–Lynch

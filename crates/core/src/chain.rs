@@ -1,5 +1,5 @@
-//! Chain arguments — the technique behind the `t+1`-round lower bound [56]
-//! and the Two Generals impossibility [61].
+//! Chain arguments — the technique behind the `t+1`-round lower bound \[56\]
+//! and the Two Generals impossibility \[61\].
 //!
 //! A chain argument exhibits a sequence of executions `α1, α2, ..., αk` such
 //! that each adjacent pair *looks the same* to some witness process. A
@@ -14,6 +14,27 @@
 //! the indistinguishability of every link with a caller-supplied *view*
 //! function, and [`Chain::transport`] carries a decision from one end to the
 //! other, yielding a [`ChainCertificate`].
+//!
+//! ```
+//! use impossible_core::chain::Chain;
+//! use impossible_core::ids::ProcessId;
+//!
+//! // Executions as plain data: (view of p0, view of p1, common decision).
+//! type Exec = (u32, u32, u64);
+//!
+//! // p0 cannot tell e0 from e1; p1 cannot tell e1 from e2.
+//! let (e0, e1, e2) = ((5, 8, 0), (5, 9, 0), (6, 9, 0));
+//! let mut chain = Chain::start(e0);
+//! chain.link(ProcessId(0), e1);
+//! chain.link(ProcessId(1), e2);
+//!
+//! let view = |e: &Exec, p: ProcessId| if p.index() == 0 { e.0 } else { e.1 };
+//! let cert = chain
+//!     .transport(view, |e: &Exec, _| Some(e.2), |e: &Exec| Some(e.2))
+//!     .unwrap();
+//! // The decision forced at the head is transported to the tail:
+//! assert_eq!((cert.head_value, cert.tail_value, cert.links), (0, 0, 2));
+//! ```
 
 use crate::ids::ProcessId;
 use std::fmt;

@@ -190,7 +190,7 @@ impl Admissibility {
         }
     }
 
-    /// The *wait-free* (fully resilient) notion used by Herlihy [65]: the only
+    /// The *wait-free* (fully resilient) notion used by Herlihy \[65\]: the only
     /// liveness requirement is that *some* process keeps taking steps.
     pub fn wait_free(n: usize) -> Self {
         Admissibility {

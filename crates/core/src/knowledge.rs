@@ -1,7 +1,7 @@
 //! Knowledge in distributed systems — the epistemic thread of the survey.
 //!
-//! Dwork–Moses [47], Halpern–Moses [64], Moses–Tuttle [86], Hadzilacos [62]
-//! and Chandy–Misra [29] recast indistinguishability arguments in terms of
+//! Dwork–Moses \[47\], Halpern–Moses \[64\], Moses–Tuttle \[86\], Hadzilacos \[62\]
+//! and Chandy–Misra \[29\] recast indistinguishability arguments in terms of
 //! *knowledge*: "if a process can see a certain matrix in either of two
 //! executions ... we can say that the process does not know which of the
 //! two executions it's in". This module computes those notions exactly, on
@@ -19,7 +19,7 @@
 //!   on which `φ` holds everywhere.
 //!
 //! The classic theorem — *common knowledge cannot be gained where
-//! communication is uncertain* [64] — falls out by construction: if the
+//! communication is uncertain* \[64\] — falls out by construction: if the
 //! reachable set contains a chain of states linking a `φ` state to a `¬φ`
 //! state (the Two Generals chain!), then `C(φ)` is false everywhere on the
 //! chain. The tests verify exactly that.

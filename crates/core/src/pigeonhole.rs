@@ -1,7 +1,7 @@
 //! Pigeonhole helpers and the §2.1 bound formulas.
 //!
-//! The earliest impossibility proofs in the survey (Cremers–Hibbard [35],
-//! Burns–Fischer–Jackson–Lynch–Peterson [26]) are pigeonhole arguments on the
+//! The earliest impossibility proofs in the survey (Cremers–Hibbard \[35\],
+//! Burns–Fischer–Jackson–Lynch–Peterson \[26\]) are pigeonhole arguments on the
 //! values of shared memory: run the algorithm into many situations, observe
 //! that the shared variable takes fewer values than there are situations, and
 //! exhibit two "incompatible" situations that look identical to some process.
@@ -52,84 +52,84 @@ pub fn group_by_key<T, K: Ord, F: Fn(&T) -> K>(
 
 /// Bound formulas from §2.1 of the paper, for the experiment harness.
 pub mod bounds {
-    /// Cremers–Hibbard [35]: minimum test-and-set values for 2-process
+    /// Cremers–Hibbard \[35\]: minimum test-and-set values for 2-process
     /// mutual exclusion **with fairness** — 3 (2 are insufficient).
     pub const CREMERS_HIBBARD_TAS_VALUES: u64 = 3;
 
-    /// Burns et al. [26]: n-process mutual exclusion with *bounded waiting*
+    /// Burns et al. \[26\]: n-process mutual exclusion with *bounded waiting*
     /// on one test-and-set variable needs at least `n + 1` values.
     pub fn bounded_waiting_values(n: u64) -> u64 {
         n + 1
     }
 
-    /// Burns et al. [26]: with only *no-lockout* required, Ω(√n) values are
+    /// Burns et al. \[26\]: with only *no-lockout* required, Ω(√n) values are
     /// required — and (surprisingly) ≈ n/2 suffice via the counterexample
     /// algorithm. Returns the lower-bound curve `⌈√n⌉`.
     pub fn no_lockout_values_lower(n: u64) -> u64 {
         (n as f64).sqrt().ceil() as u64
     }
 
-    /// Burns et al. [26] with the "forgetting" technical assumption: the
+    /// Burns et al. \[26\] with the "forgetting" technical assumption: the
     /// no-lockout lower bound rises to `n / 2`.
     pub fn no_lockout_values_with_forgetting(n: u64) -> u64 {
         n / 2
     }
 
-    /// Burns–Lynch [27]: mutual exclusion with read/write registers needs
+    /// Burns–Lynch \[27\]: mutual exclusion with read/write registers needs
     /// `n` separate shared variables (one per process).
     pub fn read_write_mutex_variables(n: u64) -> u64 {
         n
     }
 
-    /// Fischer–Lynch–Burns–Borodin [57, 53]: strong simulation of a shared
+    /// Fischer–Lynch–Burns–Borodin \[57, 53\]: strong simulation of a shared
     /// FIFO queue needs Ω(n²) shared-memory values. Returns the curve `n²`.
     pub fn fifo_queue_values(n: u64) -> u64 {
         n * n
     }
 
-    /// Rabin [92]: choice coordination with test-and-set variables needs
+    /// Rabin \[92\]: choice coordination with test-and-set variables needs
     /// Ω(n^(1/3)) values. Returns the curve `⌈n^(1/3)⌉`.
     pub fn choice_coordination_values(n: u64) -> u64 {
         (n as f64).cbrt().ceil() as u64
     }
 
-    /// Pease–Shostak–Lamport [89, 73]: Byzantine agreement requires
+    /// Pease–Shostak–Lamport \[89, 73\]: Byzantine agreement requires
     /// `n ≥ 3t + 1` processes.
     pub fn byzantine_min_processes(t: u64) -> u64 {
         3 * t + 1
     }
 
-    /// Dolev [39]: tolerating `t` Byzantine faults requires network
+    /// Dolev \[39\]: tolerating `t` Byzantine faults requires network
     /// connectivity `≥ 2t + 1`.
     pub fn byzantine_min_connectivity(t: u64) -> u64 {
         2 * t + 1
     }
 
-    /// Fischer–Lynch [56] and successors: consensus requires `t + 1` rounds.
+    /// Fischer–Lynch \[56\] and successors: consensus requires `t + 1` rounds.
     pub fn consensus_min_rounds(t: u64) -> u64 {
         t + 1
     }
 
-    /// Dwork–Skeen [48]: nonblocking commit requires `2n − 2` messages in
+    /// Dwork–Skeen \[48\]: nonblocking commit requires `2n − 2` messages in
     /// every failure-free execution that commits.
     pub fn commit_min_messages(n: u64) -> u64 {
         2 * n - 2
     }
 
-    /// Lundelius–Lynch [77]: clocks on a complete graph with message-delay
+    /// Lundelius–Lynch \[77\]: clocks on a complete graph with message-delay
     /// uncertainty `eps` cannot be synchronized closer than `eps * (1 - 1/n)`.
     pub fn clock_sync_skew(eps: f64, n: u64) -> f64 {
         eps * (1.0 - 1.0 / n as f64)
     }
 
-    /// Arjomandi–Fischer–Lynch [8]: performing `s` sessions in an
+    /// Arjomandi–Fischer–Lynch \[8\]: performing `s` sessions in an
     /// asynchronous network of diameter `d` takes time ≥ about `(s - 1) * d`
     /// (a synchronous system needs only `s`).
     pub fn sessions_min_time(s: u64, d: u64) -> u64 {
         (s.saturating_sub(1)) * d
     }
 
-    /// Burns [25], Frederickson–Lynch [58]: leader election in rings needs
+    /// Burns \[25\], Frederickson–Lynch \[58\]: leader election in rings needs
     /// Ω(n log n) messages. Returns the curve `n·⌈log2 n⌉`.
     pub fn ring_election_messages(n: u64) -> u64 {
         if n <= 1 {
@@ -138,7 +138,7 @@ pub mod bounds {
         n * (64 - (n - 1).leading_zeros() as u64)
     }
 
-    /// Dolev–Lynch–Pinter–Stark–Weihl [36]: k-round approximate agreement
+    /// Dolev–Lynch–Pinter–Stark–Weihl \[36\]: k-round approximate agreement
     /// cannot converge faster than `(t / (n·k))^k`; the simple round-by-round
     /// averaging algorithm achieves ≈ `(t/n)^k`.
     pub fn approx_agreement_lower(t: f64, n: f64, k: u32) -> f64 {

@@ -1,6 +1,6 @@
 //! The scenario argument — Figure 1 of the paper, made executable.
 //!
-//! Fischer, Lynch and Merritt's "easy impossibility proofs" [54] establish
+//! Fischer, Lynch and Merritt's "easy impossibility proofs" \[54\] establish
 //! that Byzantine agreement is impossible for `n = 3, t = 1` (and generally
 //! `n ≤ 3t`) by *composing copies of the alleged protocol with itself*: two
 //! copies of a 3-process solution `p, q, r` are joined into a six-ring
@@ -14,6 +14,30 @@
 //! it, and checks the window obligations, returning a
 //! [`ScenarioContradiction`] certificate when (necessarily, for any candidate
 //! protocol) they cannot all hold.
+//!
+//! ```
+//! use impossible_core::scenario::{RoundProtocol, ScenarioRing};
+//!
+//! // "Decide your own input" — the hexagon refutes it mechanically.
+//! struct OwnInput;
+//! impl RoundProtocol for OwnInput {
+//!     type State = u64;
+//!     type Msg = ();
+//!     fn n(&self) -> usize { 3 }
+//!     fn rounds(&self) -> usize { 1 }
+//!     fn init(&self, _pos: usize, input: u64) -> u64 { input }
+//!     fn send(&self, _pos: usize, _s: &u64, _r: usize) -> Vec<(usize, ())> {
+//!         Vec::new()
+//!     }
+//!     fn recv(&self, _pos: usize, s: u64, _r: usize, _m: &[(usize, ())]) -> u64 {
+//!         s
+//!     }
+//!     fn decide(&self, _pos: usize, s: &u64) -> Option<u64> { Some(*s) }
+//! }
+//!
+//! let verdict = ScenarioRing::classic(&OwnInput, 1).check();
+//! assert!(verdict.is_contradiction());
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -2,15 +2,15 @@
 //!
 //! Two flavours of symmetry drive the network lower bounds the paper surveys:
 //!
-//! 1. **Anonymous symmetry** (Angluin [7]): in a ring of indistinguishable
+//! 1. **Anonymous symmetry** (Angluin \[7\]): in a ring of indistinguishable
 //!    deterministic processes, "anything that one process can do, the others
 //!    symmetric to it might do also" — so no leader can ever be elected.
 //!    [`LockstepRing`] runs an anonymous deterministic protocol in lockstep
 //!    and certifies that all processes stay in identical states forever
 //!    (up to the period of the ring's input labelling).
 //!
-//! 2. **Comparison symmetry** (Frederickson–Lynch [58], Attiya–Snir–Warmuth
-//!    [14]): even with distinct IDs, a *comparison-based* algorithm behaves
+//! 2. **Comparison symmetry** (Frederickson–Lynch \[58\], Attiya–Snir–Warmuth
+//!    \[14\]): even with distinct IDs, a *comparison-based* algorithm behaves
 //!    identically at positions whose ID neighbourhoods are order-equivalent.
 //!    The ring `0,4,2,6,1,5,3,7` (Figure 4, the bit-reversal ring) maximizes
 //!    such symmetry: adjacent segments of length `2^k` are order-equivalent,

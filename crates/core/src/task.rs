@@ -1,6 +1,6 @@
 //! Decision tasks and the graph-theoretic solvability characterization.
 //!
-//! Moran–Wolfstahl [85] and Biran–Moran–Zaks [20] recast the FLP result as a
+//! Moran–Wolfstahl \[85\] and Biran–Moran–Zaks \[20\] recast the FLP result as a
 //! statement about *tasks*: represent the possible input assignments as an
 //! **input graph** (vectors adjacent iff they differ in one component) and
 //! the allowed decision assignments as a **decision graph**. Any task whose
@@ -143,7 +143,7 @@ impl Task {
     /// one component at a time, the decision must at some step jump between
     /// disconnected decision components while only one input changed — which
     /// a single faulty (silent) process can always exploit, exactly as in the
-    /// FLP-style argument of [85].
+    /// FLP-style argument of \[85\].
     ///
     /// Returns the witness if the task is 1-fault unsolvable by this
     /// criterion; `None` means the criterion does not apply (the task may

@@ -16,6 +16,35 @@
 //! * **admissible non-deciding executions** — a fair "lasso" through
 //!   bivalent configurations: the concrete counterexample every bivalence
 //!   proof constructs.
+//!
+//! ```
+//! use impossible_core::ids::ProcessId;
+//! use impossible_core::system::{DecisionSystem, System};
+//! use impossible_core::valence::ValenceEngine;
+//!
+//! // One process free to decide either bit: the initial configuration is
+//! // bivalent and every successor univalent — a minimal Figure 3
+//! // "critical configuration".
+//! struct FreeChoice;
+//! impl System for FreeChoice {
+//!     type State = Option<u64>;
+//!     type Action = u64;
+//!     fn initial_states(&self) -> Vec<Self::State> { vec![None] }
+//!     fn enabled(&self, s: &Self::State) -> Vec<u64> {
+//!         if s.is_none() { vec![0, 1] } else { Vec::new() }
+//!     }
+//!     fn step(&self, _s: &Self::State, a: &u64) -> Self::State { Some(*a) }
+//! }
+//! impl DecisionSystem for FreeChoice {
+//!     fn decisions(&self, s: &Self::State) -> Vec<(ProcessId, u64)> {
+//!         s.iter().map(|&v| (ProcessId(0), v)).collect()
+//!     }
+//! }
+//!
+//! let report = ValenceEngine::new(&FreeChoice).analyze();
+//! assert_eq!(report.bivalent_initials.len(), 1);
+//! assert_eq!(report.critical.len(), 1);
+//! ```
 
 use crate::exec::{Admissibility, Execution, StepCensus};
 use crate::ids::ProcessId;

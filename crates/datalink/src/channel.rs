@@ -6,15 +6,14 @@
 //! "message stealing" capability directly: withhold a packet now, replay
 //! it much later (the move that breaks every bounded-header protocol).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impossible_det::DetRng;
 use std::collections::VecDeque;
 
 /// A unidirectional packet channel.
 #[derive(Debug, Clone)]
 pub struct LossyChannel<M> {
     queue: VecDeque<M>,
-    rng: StdRng,
+    rng: DetRng,
     /// Probability a sent packet is silently lost.
     pub drop_p: f64,
     /// Probability a sent packet is duplicated.
@@ -30,7 +29,7 @@ impl<M: Clone> LossyChannel<M> {
     pub fn reliable(seed: u64) -> Self {
         LossyChannel {
             queue: VecDeque::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             drop_p: 0.0,
             dup_p: 0.0,
             fifo: true,

@@ -1,7 +1,7 @@
 //! # impossible-datalink
 //!
 //! Communication protocols over unreliable channels — §2.2.4's Two
-//! Generals result [61] and §2.5's data-link impossibilities [78].
+//! Generals result \[61\] and §2.5's data-link impossibilities \[78\].
 //!
 //! * [`channel`] — the physical layer: a packet channel that may lose,
 //!   duplicate, and (optionally) reorder or *withhold* packets, with an
@@ -14,7 +14,7 @@
 //!   for attacking over an unreliable channel either breaks coordination
 //!   outright or is dragged by an indistinguishability chain into
 //!   attacking on no information.
-//! * [`stealing`] — the Lynch–Mansour–Fekete bound [78]: any protocol with
+//! * [`stealing`] — the Lynch–Mansour–Fekete bound \[78\]: any protocol with
 //!   finitely many packet headers over a channel that can withhold packets
 //!   is broken by a steal-and-replay adversary; [`stealing::refute_bounded_header`]
 //!   constructs the replay for *every* modulus.

@@ -1,8 +1,8 @@
 //! Sequence transmission with unbounded headers — the escape hatch from the
 //! bounded-header impossibility, and its price.
 //!
-//! The survey's open question 5: "in the data link work of [78], how fast
-//! must the number of packets grow with time?" (Wang–Zuck [99] pinned the
+//! The survey's open question 5: "in the data link work of \[78\], how fast
+//! must the number of packets grow with time?" (Wang–Zuck \[99\] pinned the
 //! bound). This module shows the two halves we can execute:
 //!
 //! * [`UnboundedReceiver`] with exact sequence numbers survives the very

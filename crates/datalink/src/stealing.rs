@@ -1,5 +1,5 @@
 //! The message-stealing refutation of bounded-header data-link protocols
-//! (Lynch–Mansour–Fekete [78]).
+//! (Lynch–Mansour–Fekete \[78\]).
 //!
 //! "The basic idea of the proofs is that the physical channel can *steal*
 //! some packets while it accomplishes the delivery of messages ... then the
@@ -108,7 +108,7 @@ pub fn refute_bounded_header(k: u64) -> Certificate {
 /// How many genuine messages the adversary must let through before the
 /// replay works — exactly `K`. The number of packets the adversary must
 /// "spend" grows with the header space, but is always finite: the
-/// quantitative heart of [78]'s bound.
+/// quantitative heart of \[78\]'s bound.
 pub fn steal_cost(k: u64) -> u64 {
     k
 }

@@ -1,4 +1,4 @@
-//! The Two Generals impossibility [61], as an executable chain argument.
+//! The Two Generals impossibility \[61\], as an executable chain argument.
 //!
 //! Two generals coordinate an attack through messengers who may be
 //! captured. Model: the generals exchange up to `2r` alternating messages;

@@ -1,0 +1,240 @@
+//! A `std::time` bench timer replacing criterion.
+//!
+//! [`bench_case`] times a closure: it calibrates an inner batch size so
+//! each sample spans at least [`MIN_SAMPLE_NANOS`] (amortizing clock
+//! resolution for sub-microsecond bodies), records `samples` wall-clock
+//! samples, and reports the **median** and **p95** per-iteration times —
+//! robust statistics that survive a noisy shared machine far better than a
+//! mean. [`BenchSuite`] collects cases and writes a machine-readable
+//! `BENCH_<suite>.json` next to the working directory, so experiment runs
+//! can be diffed across commits.
+//!
+//! ```
+//! use impossible_det::bench::BenchSuite;
+//! let mut suite = BenchSuite::new("doctest");
+//! suite.case("sum_1k", 5, || {
+//!     let s: u64 = (0..1000u64).sum();
+//!     std::hint::black_box(s);
+//! });
+//! let stats = &suite.cases()[0];
+//! assert!(stats.median_ns > 0.0 && stats.p95_ns >= stats.median_ns);
+//! # // Skip writing BENCH_doctest.json in the doctest.
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Minimum duration of one timed sample, in nanoseconds.
+///
+/// Bodies faster than this are batched: the timer runs the closure `k`
+/// times per sample and divides, choosing `k` so `k · body ≥` this floor.
+pub const MIN_SAMPLE_NANOS: u64 = 200_000; // 0.2 ms
+
+/// Robust timing statistics for one benchmark case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseStats {
+    /// Case name (conventionally `group/case`).
+    pub name: String,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Closure invocations per sample (batch size after calibration).
+    pub iters_per_sample: u64,
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// 95th-percentile per-iteration time, nanoseconds.
+    pub p95_ns: f64,
+    /// Minimum per-iteration time, nanoseconds.
+    pub min_ns: f64,
+    /// Mean per-iteration time, nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// Human formatting: pick ns/µs/ms/s to keep 3 significant digits readable.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Time `f` over `samples` samples and print `median`/`p95` to stdout.
+///
+/// The first invocation is a discarded warm-up (it also calibrates the
+/// batch size). Statistics are per *iteration*, not per sample.
+pub fn bench_case(name: &str, samples: usize, mut f: impl FnMut()) -> CaseStats {
+    assert!(samples > 0, "bench_case: need at least one sample");
+    // Warm-up + calibration.
+    let t0 = Instant::now();
+    f();
+    let once_ns = (t0.elapsed().as_nanos() as u64).max(1);
+    let iters_per_sample = (MIN_SAMPLE_NANOS / once_ns).clamp(1, 1_000_000);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters_per_sample {
+            f();
+        }
+        per_iter.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+
+    let median_ns = if per_iter.len() % 2 == 1 {
+        per_iter[per_iter.len() / 2]
+    } else {
+        (per_iter[per_iter.len() / 2 - 1] + per_iter[per_iter.len() / 2]) / 2.0
+    };
+    // Nearest-rank p95 (clamped): robust and well-defined for small n.
+    let p95_idx = ((per_iter.len() as f64 * 0.95).ceil() as usize)
+        .clamp(1, per_iter.len())
+        - 1;
+    let stats = CaseStats {
+        name: name.to_string(),
+        samples,
+        iters_per_sample,
+        median_ns,
+        p95_ns: per_iter[p95_idx],
+        min_ns: per_iter[0],
+        mean_ns: per_iter.iter().sum::<f64>() / per_iter.len() as f64,
+    };
+    println!(
+        "{:<44} median {:>12}   p95 {:>12}   ({} samples × {} iters)",
+        stats.name,
+        fmt_ns(stats.median_ns),
+        fmt_ns(stats.p95_ns),
+        stats.samples,
+        stats.iters_per_sample,
+    );
+    stats
+}
+
+/// A named collection of benchmark cases with JSON export.
+#[derive(Debug, Clone)]
+pub struct BenchSuite {
+    name: String,
+    cases: Vec<CaseStats>,
+}
+
+impl BenchSuite {
+    /// An empty suite named `name` (prints a header line).
+    pub fn new(name: &str) -> Self {
+        println!("== bench suite: {name} ==");
+        BenchSuite {
+            name: name.to_string(),
+            cases: Vec::new(),
+        }
+    }
+
+    /// Run and record one case (see [`bench_case`]).
+    pub fn case(&mut self, name: &str, samples: usize, f: impl FnMut()) {
+        self.cases.push(bench_case(name, samples, f));
+    }
+
+    /// The recorded statistics so far.
+    pub fn cases(&self) -> &[CaseStats] {
+        &self.cases
+    }
+
+    /// The results serialized as JSON (hand-rolled — no serde in-tree).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"suite\":\"{}\",\"cases\":[", escape(&self.name));
+        for (i, c) in self.cases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"samples\":{},\"iters_per_sample\":{},\
+                 \"median_ns\":{:.1},\"p95_ns\":{:.1},\"min_ns\":{:.1},\"mean_ns\":{:.1}}}",
+                escape(&c.name),
+                c.samples,
+                c.iters_per_sample,
+                c.median_ns,
+                c.p95_ns,
+                c.min_ns,
+                c.mean_ns,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write `BENCH_<suite>.json` in the current directory and return its
+    /// path. Call once at the end of a bench binary.
+    pub fn finish(self) -> std::io::Result<std::path::PathBuf> {
+        let path = std::path::PathBuf::from(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        println!("wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_are_ordered_and_positive() {
+        let s = bench_case("test/noop_sum", 9, || {
+            let x: u64 = std::hint::black_box((0..64u64).sum());
+            let _ = x;
+        });
+        assert!(s.min_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p95_ns);
+        assert_eq!(s.samples, 9);
+        assert!(s.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn fast_bodies_get_batched() {
+        let s = bench_case("test/very_fast", 3, || {
+            std::hint::black_box(1u64);
+        });
+        assert!(s.iters_per_sample > 1, "{s:?}");
+    }
+
+    #[test]
+    fn json_shape_is_sane() {
+        let mut suite = BenchSuite::new("unit");
+        suite.case("a/b", 3, || {
+            std::hint::black_box((0..100u64).sum::<u64>());
+        });
+        let json = suite.to_json();
+        assert!(json.starts_with("{\"suite\":\"unit\""), "{json}");
+        assert!(json.contains("\"name\":\"a/b\""));
+        assert!(json.contains("\"median_ns\""));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(500.0), "500.0 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.000 s");
+    }
+}

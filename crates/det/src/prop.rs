@@ -1,0 +1,482 @@
+//! A minimal deterministic property-testing harness.
+//!
+//! The [`det_prop!`](crate::det_prop) macro declares `#[test]` functions
+//! that run a property over cases generated from [`DetRng`] streams. On
+//! failure the harness **shrinks** the counterexample (integers toward the
+//! range start, vectors by dropping and shrinking elements) and prints a
+//! `DET_SEED=...` line; re-running with that environment variable replays
+//! the exact failing case first, regardless of how many cases the test
+//! normally runs. See the crate docs for the full replay recipe.
+//!
+//! Design notes:
+//! * Case seeds are drawn from a per-test stream keyed by the test name, so
+//!   adding or reordering tests never perturbs another test's cases.
+//! * Properties return `Result<(), String>`; panics inside the property are
+//!   caught and treated as failures, so algorithm-internal `assert!`s shrink
+//!   just like [`det_assert!`](crate::det_assert) failures.
+
+use crate::rng::DetRng;
+use core::fmt::Debug;
+use core::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// How a value is generated from randomness, and how it shrinks.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Produce one value from the deterministic stream.
+    fn generate(&self, rng: &mut DetRng) -> Self::Value;
+
+    /// Candidate "smaller" values to try while minimizing a failure.
+    ///
+    /// Candidates should be strictly simpler than `v`; the shrink loop
+    /// bounds its iteration count, so mild redundancy is fine.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_strategy_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut DetRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let lo = self.start;
+                let mut out = Vec::new();
+                if *v == lo {
+                    return out;
+                }
+                out.push(lo);
+                let mid = lo + (*v - lo) / 2;
+                if mid != lo && mid != *v {
+                    out.push(mid);
+                }
+                out.push(*v - 1);
+                out
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut DetRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let lo = *self.start();
+                let mut out = Vec::new();
+                if *v == lo {
+                    return out;
+                }
+                out.push(lo);
+                let mid = lo + (*v - lo) / 2;
+                if mid != lo && mid != *v {
+                    out.push(mid);
+                }
+                out.push(*v - 1);
+                out
+            }
+        }
+    )*};
+}
+
+impl_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut DetRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+    // No float shrinking: the workspace's float properties are about
+    // numeric envelopes, where "simpler" has no canonical meaning.
+}
+
+/// Strategy for `Vec<T>` with element strategy `S` and length in `len`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// A vector whose length is drawn from `len` and elements from `elem`.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "vec strategy: empty length range");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut DetRng) -> Self::Value {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let min_len = self.len.start;
+        let mut out = Vec::new();
+        // Structural shrinks first: shorter vectors.
+        if v.len() > min_len {
+            let half = (v.len() / 2).max(min_len);
+            if half < v.len() {
+                out.push(v[..half].to_vec());
+            }
+            out.push(v[..v.len() - 1].to_vec());
+            out.push(v[1..].to_vec());
+        }
+        // Then element-wise shrinks.
+        for (i, x) in v.iter().enumerate() {
+            for smaller in self.elem.shrink(x) {
+                let mut w = v.clone();
+                w[i] = smaller;
+                out.push(w);
+            }
+        }
+        out
+    }
+}
+
+/// A tuple of strategies, generated and shrunk componentwise.
+///
+/// This is what [`det_prop!`](crate::det_prop) builds from the argument
+/// list; shrinking tries to simplify one component at a time while holding
+/// the others fixed.
+pub trait TupleStrategy {
+    /// The generated tuple type.
+    type Value: Clone + Debug;
+    /// Generate every component in order.
+    fn generate(&self, rng: &mut DetRng) -> Self::Value;
+    /// Shrink one component at a time.
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value>;
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident / $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> TupleStrategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut DetRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for smaller in self.$idx.shrink(&v.$idx) {
+                        let mut w = v.clone();
+                        w.$idx = smaller;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+}
+
+/// FNV-1a, used to key each test's case stream by its name.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Base seed for all property streams (overridden by `DET_SEED`).
+const BASE_SEED: u64 = 0x1989_0D15_7C0D_E001; // PODC 1989
+
+fn call<V: Clone>(
+    prop: &dyn Fn(V) -> Result<(), String>,
+    v: V,
+) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| prop(v))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic (non-string payload)".to_string());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+/// Greedy shrink loop: repeatedly take the first candidate that still fails.
+fn shrink_to_minimal<S: TupleStrategy>(
+    strat: &S,
+    prop: &dyn Fn(S::Value) -> Result<(), String>,
+    mut cur: S::Value,
+    mut err: String,
+) -> (S::Value, String, usize) {
+    let mut steps = 0usize;
+    'outer: while steps < 2_000 {
+        for cand in strat.shrink(&cur) {
+            if let Err(e) = call(prop, cand.clone()) {
+                cur = cand;
+                err = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // local minimum: no candidate still fails
+    }
+    (cur, err, steps)
+}
+
+/// Run a property over `cases` deterministic cases (the macro's engine).
+///
+/// If `DET_SEED` is set in the environment, exactly one case is run, with
+/// its generator seeded from that value — the replay path printed when a
+/// case fails.
+pub fn run<S: TupleStrategy>(
+    name: &str,
+    cases: u32,
+    strat: &S,
+    prop: impl Fn(S::Value) -> Result<(), String>,
+) {
+    let prop: &dyn Fn(S::Value) -> Result<(), String> = &prop;
+    let forced = std::env::var("DET_SEED").ok().map(|s| {
+        let s = s.trim();
+        let parsed = if let Some(hex) = s.strip_prefix("0x") {
+            u64::from_str_radix(hex, 16)
+        } else {
+            s.parse::<u64>()
+        };
+        parsed.unwrap_or_else(|_| panic!("DET_SEED={s} is not a u64"))
+    });
+
+    let fail = |case_seed: u64, case: u32, v: S::Value, err: String| {
+        let original = format!("{v:?}");
+        let (min_v, min_err, steps) = shrink_to_minimal(strat, prop, v, err);
+        panic!(
+            "property `{name}` failed at case {case}\n\
+             \x20 original input: {original}\n\
+             \x20 shrunk input ({steps} shrink steps): {min_v:?}\n\
+             \x20 failure: {min_err}\n\
+             \x20 replay exactly: DET_SEED={case_seed} cargo test {name}"
+        );
+    };
+
+    if let Some(seed) = forced {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let v = strat.generate(&mut rng);
+        if let Err(e) = call(prop, v.clone()) {
+            fail(seed, 0, v, e);
+        }
+        return;
+    }
+
+    let mut seeder = DetRng::stream(BASE_SEED, fnv1a(name));
+    for case in 0..cases {
+        let case_seed = seeder.next_u64();
+        let mut rng = DetRng::seed_from_u64(case_seed);
+        let v = strat.generate(&mut rng);
+        if let Err(e) = call(prop, v.clone()) {
+            fail(case_seed, case, v, e);
+        }
+    }
+}
+
+/// Declare deterministic property tests.
+///
+/// ```
+/// use impossible_det::{det_prop, det_assert, det_assert_eq, prop};
+///
+/// det_prop! {
+///     fn addition_commutes(cases = 16, a in 0u64..1000, b in 0u64..1000) {
+///         det_assert_eq!(a + b, b + a);
+///     }
+///
+///     fn sorting_is_idempotent(xs in prop::vec(0u32..100, 0..8)) {
+///         let mut once = xs.clone();
+///         once.sort_unstable();
+///         let mut twice = once.clone();
+///         twice.sort_unstable();
+///         det_assert!(once == twice, "sort must be idempotent");
+///     }
+/// }
+/// ```
+///
+/// Each `fn` becomes a `#[test]`. Arguments are `name in strategy` pairs
+/// where a strategy is an integer/float range, [`prop::vec`](crate::prop::vec),
+/// or any [`prop::Strategy`](crate::prop::Strategy). `cases = N` (default
+/// 32) sets the case count. Inside the body use
+/// [`det_assert!`](crate::det_assert), [`det_assert_eq!`](crate::det_assert_eq)
+/// and [`det_assume!`](crate::det_assume); plain `assert!` also works (it is
+/// caught and shrunk) but reports less context.
+#[macro_export]
+macro_rules! det_prop {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident(cases = $cases:expr, $($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let strategies = ($($strat,)+);
+            $crate::prop::run(
+                stringify!($name),
+                $cases,
+                &strategies,
+                |($($arg,)+)| { $body Ok(()) },
+            );
+        }
+        $crate::det_prop! { $($rest)* }
+    };
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $crate::det_prop! {
+            $(#[$meta])*
+            fn $name(cases = 32, $($arg in $strat),+) $body
+            $($rest)*
+        }
+    };
+}
+
+/// Assert inside a [`det_prop!`](crate::det_prop) body; failures shrink.
+#[macro_export]
+macro_rules! det_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "det_assert!({}) failed at {}:{}",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "det_assert!({}) failed at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a [`det_prop!`](crate::det_prop) body.
+#[macro_export]
+macro_rules! det_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "det_assert_eq! failed at {}:{}\n  left:  {:?}\n  right: {:?}",
+                file!(), line!(), l, r
+            ));
+        }
+    }};
+}
+
+/// Discard a generated case that does not meet a precondition.
+///
+/// Discarded cases count as passing; keep preconditions loose enough that
+/// most cases survive, or the property loses coverage silently.
+#[macro_export]
+macro_rules! det_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let strat = (0u64..100, vec(0u32..10, 1..5));
+        let mut r1 = DetRng::stream(BASE_SEED, fnv1a("some_test"));
+        let mut r2 = DetRng::stream(BASE_SEED, fnv1a("some_test"));
+        let s1 = r1.next_u64();
+        let s2 = r2.next_u64();
+        assert_eq!(s1, s2);
+        let a = strat.generate(&mut DetRng::seed_from_u64(s1));
+        let b = strat.generate(&mut DetRng::seed_from_u64(s2));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn integer_shrink_moves_toward_range_start() {
+        let strat = 3u64..100;
+        let cands = Strategy::shrink(&strat, &50);
+        assert!(cands.contains(&3), "{cands:?}");
+        assert!(cands.iter().all(|&c| c < 50), "{cands:?}");
+        assert!(Strategy::shrink(&strat, &3).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_offers_shorter_and_smaller() {
+        let strat = vec(0u64..100, 1..6);
+        let v = vec![7u64, 50, 99];
+        let cands = strat.shrink(&v);
+        assert!(cands.iter().any(|c| c.len() < v.len()), "{cands:?}");
+        assert!(cands.iter().any(|c| c.len() == v.len() && c != &v));
+        // Length never drops below the strategy minimum.
+        assert!(cands.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_the_boundary() {
+        // Property "x < 40" fails first at some x ≥ 40; the shrink loop
+        // must walk it down to exactly 40 (the minimal counterexample).
+        let strat = (0u64..1000,);
+        let prop = |(x,): (u64,)| -> Result<(), String> {
+            if x < 40 {
+                Ok(())
+            } else {
+                Err(format!("{x} too big"))
+            }
+        };
+        let (min, _err, _steps) = shrink_to_minimal(&strat, &prop, (700,), "seed".into());
+        assert_eq!(min.0, 40);
+    }
+
+    #[test]
+    fn panics_inside_properties_are_captured() {
+        let strat = (0u64..10,);
+        let prop = |(x,): (u64,)| -> Result<(), String> {
+            assert!(x < 100, "never fires");
+            if x > 3 {
+                panic!("boom at {x}");
+            }
+            Ok(())
+        };
+        let err = call(&prop, (7,)).unwrap_err();
+        assert!(err.contains("boom at 7"), "{err}");
+        let (min, _, _) = shrink_to_minimal(&strat, &prop, (9,), "e".into());
+        assert_eq!(min.0, 4);
+    }
+
+    det_prop! {
+        fn macro_smoke_addition(cases = 8, a in 0u64..50, b in 0u64..50) {
+            det_assert_eq!(a + b, b + a);
+        }
+
+        fn macro_smoke_default_cases(xs in vec(0u32..5, 1..4)) {
+            det_assume!(!xs.is_empty());
+            det_assert!(xs.iter().all(|&x| x < 5));
+        }
+    }
+}

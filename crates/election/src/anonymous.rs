@@ -1,4 +1,4 @@
-//! Deterministic anonymous election — refuted by symmetry (Angluin [7]).
+//! Deterministic anonymous election — refuted by symmetry (Angluin \[7\]).
 //!
 //! "Anything that one process can do, the others symmetric to it might do
 //! also." Any deterministic protocol in a ring of identical processes

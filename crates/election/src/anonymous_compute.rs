@@ -1,5 +1,5 @@
 //! Computing functions on anonymous rings — the Ω(n²) message bound of
-//! Attiya–Snir–Warmuth [14].
+//! Attiya–Snir–Warmuth \[14\].
 //!
 //! With distinct IDs, nontrivial functions cost Θ(n log n) messages; strip
 //! the IDs and the bound jumps to **Ω(n²)** for AND, MAX and every other

@@ -1,6 +1,6 @@
 //! Election in complete graphs — candidate capture, Θ(n log n) messages.
 //!
-//! Korach–Moran–Zaks [70] proved Ω(n log n) messages for election in
+//! Korach–Moran–Zaks \[70\] proved Ω(n log n) messages for election in
 //! complete asynchronous networks (Afek–Gafni extended to synchronous);
 //! the matching algorithm has candidates *capture* nodes one at a time,
 //! ranked by `(level, id)` where level = number of captures. A capture

@@ -193,11 +193,9 @@ mod tests {
 
     #[test]
     fn many_permutations_elect_exactly_one() {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
         for seed in 0..8 {
             let mut ids: Vec<u64> = (0..15).collect();
-            ids.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+            impossible_det::DetRng::seed_from_u64(seed).shuffle(&mut ids);
             let out = run_franklin(&ids, RingSchedule::Random(seed));
             assert!(out.complete, "seed {seed}");
             let max_pos = ids.iter().position(|&v| v == 14).unwrap();

@@ -1,4 +1,4 @@
-//! Itai–Rodeh randomized election in anonymous rings [66].
+//! Itai–Rodeh randomized election in anonymous rings \[66\].
 //!
 //! Angluin's theorem (see [`crate::anonymous`]) forbids *deterministic*
 //! election without IDs; Itai and Rodeh circumvent it with coins: each
@@ -10,8 +10,7 @@
 //! "getting around the inherent limitation" with randomization.
 
 use crate::ring::{Dir, ElectionOutcome, Status, SyncRingProcess, SyncRingRunner};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impossible_det::DetRng;
 
 /// A circulating token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +42,7 @@ pub struct ItaiRodeh {
     drawn: u64,
     status: Status,
     outbox: IrMsg,
-    rng: StdRng,
+    rng: DetRng,
     /// Phases survived (for the experiment's distribution plots).
     pub phases: usize,
 }
@@ -59,7 +58,7 @@ impl ItaiRodeh {
             drawn: 0,
             status: Status::Unknown,
             outbox: IrMsg::default(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             phases: 0,
         }
     }

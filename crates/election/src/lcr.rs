@@ -3,7 +3,7 @@
 //! Each process launches its ID clockwise; a process forwards IDs larger
 //! than its own and swallows smaller ones; an ID returning home wins.
 //! Worst case Θ(n²) messages (IDs arranged so each travels far), average
-//! O(n log n) — the gap the Ω(n log n) lower bound [25] pins from below.
+//! O(n log n) — the gap the Ω(n log n) lower bound \[25\] pins from below.
 
 use crate::ring::{Dir, ElectionOutcome, RingProcess, RingRunner, RingSchedule, Status};
 
@@ -123,11 +123,9 @@ mod tests {
 
     #[test]
     fn random_order_is_much_cheaper_than_worst_case() {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
         let n = 64;
         let mut ids: Vec<u64> = (0..n as u64).collect();
-        ids.shuffle(&mut rand::rngs::StdRng::seed_from_u64(1));
+        impossible_det::DetRng::seed_from_u64(1).shuffle(&mut ids);
         let random = run_lcr(&ids, RingSchedule::RoundRobin).messages;
         let worst = run_lcr(&worst_case_ids(n), RingSchedule::RoundRobin).messages;
         assert!(random * 2 < worst, "random {random} vs worst {worst}");

@@ -10,10 +10,10 @@
 //! * [`hs`] — Hirschberg–Sinclair: bidirectional doubling, O(n log n)
 //!   worst case, matching the Burns / Frederickson–Lynch lower bound.
 //! * [`peterson`] — Peterson's unidirectional O(n log n) algorithm.
-//! * [`timeslice`] — the [58] counterexample algorithm: **O(n) messages**
+//! * [`timeslice`] — the \[58\] counterexample algorithm: **O(n) messages**
 //!   in a synchronous ring by paying time exponential-in-ID — "it
 //!   demonstrates the need for the assumptions in the lower bound".
-//! * [`itai_rodeh`] — randomized election in *anonymous* rings [66],
+//! * [`itai_rodeh`] — randomized election in *anonymous* rings \[66\],
 //!   circumventing Angluin's impossibility.
 //! * [`anonymous`] — deterministic anonymous candidates refuted by the
 //!   symmetry engine (the Angluin folk theorem, executable).

@@ -155,11 +155,9 @@ mod tests {
 
     #[test]
     fn single_winner_on_many_permutations() {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
         for seed in 0..8 {
             let mut ids: Vec<u64> = (0..20).collect();
-            ids.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+            impossible_det::DetRng::seed_from_u64(seed).shuffle(&mut ids);
             let out = run_peterson(&ids, RingSchedule::RoundRobin);
             assert!(out.complete, "seed {seed}");
             assert!(out.leader.is_some(), "seed {seed}");

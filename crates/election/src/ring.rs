@@ -6,8 +6,7 @@
 //! [`SyncRingRunner`] drives synchronous ones and also counts *rounds* —
 //! the resource the TimeSlice counterexample algorithm trades away.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impossible_det::DetRng;
 use std::collections::VecDeque;
 use std::fmt::Debug;
 
@@ -118,7 +117,7 @@ impl<P: RingProcess> RingRunner<P> {
             }
         }
         let mut rng = match schedule {
-            RingSchedule::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+            RingSchedule::Random(seed) => Some(DetRng::seed_from_u64(seed)),
             RingSchedule::RoundRobin => None,
         };
         let mut rr_cursor = 0usize;

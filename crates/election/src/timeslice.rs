@@ -1,4 +1,4 @@
-//! The counterexample algorithms of [58]: O(n) messages in a synchronous
+//! The counterexample algorithms of \[58\]: O(n) messages in a synchronous
 //! ring, paying with time.
 //!
 //! The Ω(n log n) lower bound for synchronous rings needs its technical

@@ -6,7 +6,7 @@
 //!   in-flight message is delivered next. Admissibility ("all messages
 //!   eventually delivered") is guaranteed structurally by random and FIFO
 //!   schedulers and is the caller's obligation for custom ones.
-//! * [`TimedNet`] — the virtual-time measure of [8] and [77]: each message
+//! * [`TimedNet`] — the virtual-time measure of \[8\] and \[77\]: each message
 //!   takes a delay chosen from `[lo, hi]` (fixed, seeded-uniform, or
 //!   adversarial), local processing is instantaneous, and the executor
 //!   reports the real-time cost of the run. "Appropriate ways of measuring
@@ -14,8 +14,7 @@
 //!   bounds is a good area for future research" — this is that measure.
 
 use crate::topology::Topology;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impossible_det::DetRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
@@ -82,7 +81,7 @@ pub struct TimedNet<P: AsyncProcess> {
     topology: Topology,
     procs: Vec<P>,
     delay: DelayModel,
-    rng: StdRng,
+    rng: DetRng,
     // min-heap of (delivery_time, seq, from, to, msg)
     heap: BinaryHeap<Reverse<(Time, u64, usize, usize, PayloadSlot<P::Msg>)>>,
     seq: u64,
@@ -122,7 +121,7 @@ impl<P: AsyncProcess> TimedNet<P> {
             topology,
             procs,
             delay,
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             heap: BinaryHeap::new(),
             seq: 0,
             metrics: TimedMetrics::default(),
@@ -200,13 +199,13 @@ pub enum Scheduler {
     /// Deliver in send order.
     Fifo,
     /// Deliver a uniformly random in-flight message (seeded).
-    Random(StdRng),
+    Random(DetRng),
 }
 
 impl Scheduler {
     /// A seeded random scheduler.
     pub fn random(seed: u64) -> Self {
-        Scheduler::Random(StdRng::seed_from_u64(seed))
+        Scheduler::Random(DetRng::seed_from_u64(seed))
     }
 
     fn pick(&mut self, pending: usize) -> usize {

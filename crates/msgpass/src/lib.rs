@@ -12,7 +12,7 @@
 //! * [`asyncnet`] — the asynchronous model: an event-driven executor whose
 //!   *scheduler is the adversary*, with explicit admissibility (every
 //!   message eventually delivered) and a virtual-time measure in the style
-//!   of [8, 77] (each message delay in `[lo, hi]`, local steps instant).
+//!   of \[8, 77\] (each message delay in `[lo, hi]`, local steps instant).
 //! * [`sessions`] — the Arjomandi–Fischer–Lynch *s-sessions* problem: the
 //!   provable time gap between synchronous (`s`) and asynchronous
 //!   (`≈ s·diam`) systems.

@@ -1,4 +1,4 @@
-//! The Arjomandi–Fischer–Lynch *s-sessions* problem [8].
+//! The Arjomandi–Fischer–Lynch *s-sessions* problem \[8\].
 //!
 //! A *session* is an interval in which every process performs at least one
 //! output event. A synchronous system performs `s` sessions in time `s`

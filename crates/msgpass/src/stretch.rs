@@ -3,7 +3,7 @@
 //! "An execution can be represented by a diagram with time lines for
 //! processes and connecting edges for messages ... Such a diagram can be
 //! stretched without violating the dependencies, and processes will not be
-//! able to tell the difference" [8]. Lundelius–Lynch [77] sharpen this into
+//! able to tell the difference" \[8\]. Lundelius–Lynch \[77\] sharpen this into
 //! *shifting*: move each process's real-time axis by `s_i`; every message
 //! `(i → j)` then has its delay changed by `s_j − s_i`. As long as the new
 //! delays stay inside the admissible band `[lo, hi]`, the shifted diagram is

@@ -1,5 +1,5 @@
 //! The α-synchronizer — "a program designed to adapt synchronous algorithms
-//! for use in (reliable) asynchronous networks" (Awerbuch [16]).
+//! for use in (reliable) asynchronous networks" (Awerbuch \[16\]).
 //!
 //! Each simulated round, every process sends its round payload — or an
 //! explicit `Null` — to **every** neighbour, and advances when it has heard

@@ -1,10 +1,10 @@
 //! Network topologies.
 //!
 //! The survey's network bounds are parameterized by graph structure: ring
-//! election costs Ω(n log n) messages [25, 58], sessions cost time
-//! proportional to the *diameter* [8], Byzantine agreement needs
-//! *connectivity* `2t + 1` [39], and "involving all edges" bounds count `e`
-//! [15, 94]. [`Topology`] provides the graphs and those quantities.
+//! election costs Ω(n log n) messages \[25, 58\], sessions cost time
+//! proportional to the *diameter* \[8\], Byzantine agreement needs
+//! *connectivity* `2t + 1` \[39\], and "involving all edges" bounds count `e`
+//! \[15, 94\]. [`Topology`] provides the graphs and those quantities.
 
 use std::collections::VecDeque;
 

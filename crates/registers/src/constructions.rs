@@ -8,7 +8,7 @@
 //! * [`simulate_regular_to_atomic_srsw`] — regular → atomic for a single
 //!   reader via timestamps (no reader writes needed when there is only one
 //!   reader: monotone local memory suffices);
-//! * [`inversion_without_reader_writes`] — Lamport's theorem [71]: with
+//! * [`inversion_without_reader_writes`] — Lamport's theorem \[71\]: with
 //!   **two** readers that never write, the per-reader-copy construction
 //!   admits a *new/old inversion* across readers; the function constructs
 //!   the schedule and the linearizability checker rejects the history —
@@ -22,8 +22,7 @@ use crate::spec::{check_linearizable, History, Op};
 #[cfg(test)]
 use crate::spec::check_regular;
 use impossible_core::cert::{Certificate, Technique};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impossible_det::DetRng;
 
 /// Timestamped value stored in base registers.
 type Stamped = (u64, u64); // (timestamp, value)
@@ -36,7 +35,7 @@ type Stamped = (u64, u64); // (timestamp, value)
 /// because the construction skips redundant writes. Returns the high-level
 /// history (always regular; often not atomic).
 pub fn simulate_safe_to_regular(writes: usize, reads: usize, seed: u64) -> History {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut history = History::new();
     let mut t = 0.0f64;
     let mut stored = 0u64; // the base register's settled value
@@ -91,7 +90,7 @@ pub fn simulate_safe_to_regular(writes: usize, reads: usize, seed: u64) -> Histo
 /// remembers the largest timestamp it has returned and never goes backward.
 /// Every schedule linearizes.
 pub fn simulate_regular_to_atomic_srsw(ops: usize, seed: u64) -> History {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut history = History::new();
     let mut t = 0.0f64;
     let mut settled: Stamped = (0, 0);
@@ -168,7 +167,7 @@ pub fn simulate_mrsw_with_reader_writes(
     seed: u64,
 ) -> History {
     assert!(readers >= 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut history = History::new();
     let mut t = 0.0f64;
     let mut ts = 0u64;

@@ -1,9 +1,9 @@
-//! The consensus hierarchy [65], executable.
+//! The consensus hierarchy \[65\], executable.
 //!
 //! Herlihy connected wait-free implementability to consensus: registers
 //! cannot solve 2-process wait-free consensus, test-and-set and FIFO queues
 //! solve exactly 2, compare-and-swap solves any `n`. The engine here is the
-//! same bivalence machinery as FLP (Loui–Abu-Amara [76] did exactly this
+//! same bivalence machinery as FLP (Loui–Abu-Amara \[76\] did exactly this
 //! transfer — "the similarity between the ideas used in these two settings
 //! reinforces my intuition that there is an awful lot that is fundamentally
 //! the same").

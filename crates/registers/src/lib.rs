@@ -6,11 +6,11 @@
 //!   (atomicity), regularity and safeness, each returning a witness
 //!   ordering or the reason none exists.
 //! * [`constructions`] — register constructions: safe→regular,
-//!   regular→atomic (single reader, timestamps), and Lamport's theorem [71]
+//!   regular→atomic (single reader, timestamps), and Lamport's theorem \[71\]
 //!   that multi-reader atomicity *requires readers to write* — shown by
 //!   refuting the no-reader-write candidate with a concrete new/old
 //!   inversion, then verifying the reader-writes construction.
-//! * [`herlihy`] — the consensus hierarchy [65]: wait-free consensus
+//! * [`herlihy`] — the consensus hierarchy \[65\]: wait-free consensus
 //!   protocols over shared objects as transition systems. Test-and-set
 //!   solves 2-process consensus (verified exhaustively), compare-and-swap
 //!   solves n-process consensus, and the register-only / 3-process-TAS

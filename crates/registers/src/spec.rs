@@ -1,6 +1,6 @@
 //! Operation histories and register semantics.
 //!
-//! The three register grades of Lamport [71]:
+//! The three register grades of Lamport \[71\]:
 //!
 //! * **safe** — a read not overlapping any write returns the latest written
 //!   value; an overlapping read may return anything;

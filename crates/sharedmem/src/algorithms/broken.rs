@@ -1,6 +1,6 @@
 //! Single-variable read/write candidates — refuted mechanically.
 //!
-//! Burns–Lynch [27]: "mutual exclusion cannot be done at all using a single
+//! Burns–Lynch \[27\]: "mutual exclusion cannot be done at all using a single
 //! [read/write] shared variable ... (1) a process must write something in
 //! order to move to its critical region, and (2) a writing process
 //! obliterates any information previously in the variable." These candidate

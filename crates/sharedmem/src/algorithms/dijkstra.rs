@@ -1,4 +1,4 @@
-//! Dijkstra's original mutual-exclusion algorithm [38] (CACM 1965).
+//! Dijkstra's original mutual-exclusion algorithm \[38\] (CACM 1965).
 //!
 //! The algorithm the survey's story begins with: `n` processes, read/write
 //! variables `b[i]`, `c[i]` and a turn variable `k`. It guarantees mutual

@@ -6,7 +6,7 @@
 //! *handoff* (`BUSY_WAITER → GRANT`) that only the announcer may consume.
 //! This yields mutual exclusion, progress, and bypass bounded by 1.
 //!
-//! Burns et al. [26] show `n + 1` values are necessary for bounded waiting
+//! Burns et al. \[26\] show `n + 1` values are necessary for bounded waiting
 //! (3 for two processes) and Cremers–Hibbard built a delicate 3-valued
 //! solution; this algorithm spends one extra value (4 = n + 2) to keep the
 //! invariants simple enough to model-check at a glance. The 2-valued

@@ -6,10 +6,10 @@
 //! | [`tas_lock::TasLock`] | test-and-set | 1 (2 values) | mutex + progress, **no fairness** | shows why Cremers–Hibbard needed a 3rd value |
 //! | [`handoff::HandoffLock`] | test-and-set | 1 (4 values) | mutex + progress + 1-bounded bypass | the possibility side of E1 |
 //! | [`peterson::Peterson2`] | read/write | 3 | mutex + progress + lockout-freedom | classic 2-process RW solution |
-//! | [`dijkstra::Dijkstra`] | read/write | 2n+1 | mutex + progress, no fairness | the survey's starting point [38] |
+//! | [`dijkstra::Dijkstra`] | read/write | 2n+1 | mutex + progress, no fairness | the survey's starting point \[38\] |
 //! | [`bakery::Bakery`] | read/write | 2n | mutex + progress + FIFO fairness | unbounded values (contrast with E1 counting) |
-//! | [`one_bit::OneBit`] | read/write | n (1 bit each) | mutex + progress | matches the Burns–Lynch n-variable bound [27] |
-//! | [`broken::OwnerOverwrite`] | read/write | 1 | **violates mutex** | Burns–Lynch [27]: one RW variable cannot suffice |
+//! | [`one_bit::OneBit`] | read/write | n (1 bit each) | mutex + progress | matches the Burns–Lynch n-variable bound \[27\] |
+//! | [`broken::OwnerOverwrite`] | read/write | 1 | **violates mutex** | Burns–Lynch \[27\]: one RW variable cannot suffice |
 //! | [`broken::SingleFlag`] | read/write | 1 | **violates mutex** | the naive test-then-set race |
 
 pub mod bakery;

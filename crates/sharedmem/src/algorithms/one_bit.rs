@@ -1,7 +1,7 @@
 //! The one-bit mutual-exclusion algorithm (Burns; also Lamport).
 //!
 //! `n` processes, one single-writer **bit** per process — matching the
-//! Burns–Lynch lower bound [27] that read/write mutual exclusion requires
+//! Burns–Lynch lower bound \[27\] that read/write mutual exclusion requires
 //! `n` separate shared variables. Mutual exclusion and deadlock-freedom
 //! hold; fairness does not (low-numbered processes have priority).
 

@@ -3,7 +3,7 @@
 //! Three single-writer-ish variables — `flag[0]`, `flag[1]` and `turn` —
 //! give mutual exclusion, progress and lockout-freedom with 1-bounded
 //! bypass. Peterson's algorithm uses `n`-ish variables, consistent with the
-//! Burns–Lynch theorem [27] that read/write mutual exclusion needs `n`
+//! Burns–Lynch theorem \[27\] that read/write mutual exclusion needs `n`
 //! separate shared variables (a single variable is refuted in
 //! [`crate::algorithms::broken`]).
 

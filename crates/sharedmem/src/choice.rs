@@ -1,4 +1,4 @@
-//! Rabin's choice-coordination problem [92].
+//! Rabin's choice-coordination problem \[92\].
 //!
 //! Processes share two "boards" but have no agreed naming of them (each
 //! process starts at an arbitrary board); they must mark **exactly one**
@@ -6,7 +6,7 @@
 //! test-and-set solutions; randomized protocols solve the problem with small
 //! expected values.
 //!
-//! [`ChoiceProtocol`] is a Rabin-style randomized protocol whose safety
+//! The protocol here is Rabin-style and randomized; its safety
 //! ("never two marks") is *deterministic* — it holds for every coin outcome
 //! and schedule, which [`ChoiceSystem`] model-checks by treating coin flips
 //! as nondeterministic branching. Termination holds with probability 1 and
@@ -20,8 +20,7 @@
 use impossible_core::explore::Explorer;
 use impossible_core::ids::ProcessId;
 use impossible_core::system::System;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impossible_det::DetRng;
 
 /// Sentinel for a marked board.
 pub const MARK: u64 = u64::MAX;
@@ -189,7 +188,7 @@ pub struct ChoiceRun {
 ///
 /// Panics if the protocol violates agreement (it cannot, by the invariant).
 pub fn simulate(sys: &ChoiceSystem, seed: u64, max_steps: usize) -> Option<ChoiceRun> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut state = sys.initial_states().remove(0);
     let mut max_value = 0u64;
     for step in 0..max_steps {

@@ -1,4 +1,4 @@
-//! k-exclusion — the [57, 53] generalization of mutual exclusion to `k`
+//! k-exclusion — the \[57, 53\] generalization of mutual exclusion to `k`
 //! interchangeable resources.
 //!
 //! Fischer–Lynch–Burns–Borodin studied FIFO allocation of `k` identical

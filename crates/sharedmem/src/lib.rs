@@ -3,8 +3,8 @@
 //! The shared-memory substrate of §2.1 of Lynch's survey: asynchronous
 //! processes communicating through shared variables accessed by atomic
 //! read/write or test-and-set (general read-modify-write) operations, the
-//! setting of the Cremers–Hibbard [35] and Burns–Fischer–Jackson–Lynch–
-//! Peterson [26, 27] mutual-exclusion results that opened the field.
+//! setting of the Cremers–Hibbard \[35\] and Burns–Fischer–Jackson–Lynch–
+//! Peterson \[26, 27\] mutual-exclusion results that opened the field.
 //!
 //! * [`mutex`] — the mutual-exclusion framework: the four-region process
 //!   life-cycle (remainder → trying → critical → exit), algorithms as
@@ -19,15 +19,15 @@
 //!   lockout), a verified 4-value handoff lock with bounded bypass,
 //!   Peterson's and Dijkstra's read/write algorithms, Lamport's bakery,
 //!   Burns' one-bit protocol, and deliberately broken single-variable
-//!   read/write candidates that the checkers refute (Burns–Lynch [27]).
+//!   read/write candidates that the checkers refute (Burns–Lynch \[27\]).
 //! * [`synthesis`] — the executable Cremers–Hibbard theorem: exhaustive
 //!   enumeration of *every* 2-valued test-and-set protocol with bounded
 //!   local state, refuting each one.
 //! * [`sched`] — randomized adversarial schedulers for large-`n` simulation
 //!   and bypass counting.
-//! * [`kexclusion`] — k-exclusion generalization [57, 53] with value-space
+//! * [`kexclusion`] — k-exclusion generalization \[57, 53\] with value-space
 //!   accounting.
-//! * [`choice`] — Rabin's choice-coordination problem [92].
+//! * [`choice`] — Rabin's choice-coordination problem \[92\].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -13,7 +13,7 @@
 //! Every shared-variable access is one atomic read-modify-write: the process
 //! names a variable, observes its value, and updates its local state and the
 //! variable in one indivisible step (the general "test-and-set" primitive of
-//! [35]). Plain read/write algorithms fit the same interface — a read writes
+//! \[35\]). Plain read/write algorithms fit the same interface — a read writes
 //! the observed value back, a write stores a value chosen independently of
 //! the observation — and declare themselves via
 //! [`MutexAlgorithm::read_write_only`].
@@ -77,7 +77,7 @@ pub trait MutexAlgorithm {
 
     /// True if the algorithm only ever uses atomic *read* and *write*
     /// operations (never a value-dependent update) — the weaker primitive of
-    /// Burns–Lynch [27]. Classification only; not enforced mechanically.
+    /// Burns–Lynch \[27\]. Classification only; not enforced mechanically.
     fn read_write_only(&self) -> bool {
         false
     }
@@ -123,7 +123,7 @@ impl MutexAction {
 
 /// The composed transition system: `n` algorithm instances plus the
 /// requesting/releasing environment. `participants` restricts which
-/// processes ever try — the proofs of [26] repeatedly consider runs where
+/// processes ever try — the proofs of \[26\] repeatedly consider runs where
 /// only a subset of processes are active.
 pub struct MutexSystem<'a, A: MutexAlgorithm> {
     alg: &'a A,

@@ -1,4 +1,4 @@
-//! The Burns–Lynch n-variable lower bound [27] — candidates with fewer than
+//! The Burns–Lynch n-variable lower bound \[27\] — candidates with fewer than
 //! `n` read/write variables, refuted.
 //!
 //! "n processes cannot achieve mutual exclusion with progress, with fewer

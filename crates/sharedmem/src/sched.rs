@@ -7,8 +7,7 @@
 
 use crate::mutex::{MutexAction, MutexAlgorithm, MutexSystem, Region};
 use impossible_core::system::System;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use impossible_det::DetRng;
 
 /// Statistics from a randomized run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,7 +37,7 @@ pub fn simulate_random<A: MutexAlgorithm>(
     try_bias: f64,
 ) -> SimStats {
     let sys = MutexSystem::new(alg);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let n = alg.num_processes();
     let mut state = sys.initial_states().remove(0);
 

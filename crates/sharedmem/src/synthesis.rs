@@ -2,7 +2,7 @@
 //! protocol (with bounded local state) gives fair 2-process mutual
 //! exclusion.**
 //!
-//! The original proof [35] is a pigeonhole case analysis over the values the
+//! The original proof \[35\] is a pigeonhole case analysis over the values the
 //! shared variable can take. Here we go further than checking one candidate:
 //! we *enumerate every symmetric protocol* in a bounded shape — `k` trying
 //! states, a single-step exit, a 2-valued variable, arbitrary deterministic

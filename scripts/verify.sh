@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the `impossible` workspace.
+#
+# The workspace has zero external dependencies, so everything here must
+# succeed offline with an empty registry cache. Run from the repo root:
+#
+#   ./scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests (all crates, offline) =="
+cargo test -q --offline --workspace
+
+echo "== docs (no warnings allowed) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+echo "verify: OK"

@@ -17,6 +17,9 @@
 //! * [`election`] — ring and complete-graph leader election.
 //! * [`registers`] — register constructions and the Herlihy hierarchy.
 //! * [`datalink`] — lossy channels, ABP, Two Generals, message stealing.
+//! * [`det`] — the in-tree deterministic infrastructure: seeded PRNG,
+//!   property-testing harness (`det_prop!` with `DET_SEED` replay), bench
+//!   timer. Everything random in the workspace flows through it.
 //!
 //! ## Quick start
 //!
@@ -38,6 +41,7 @@ pub use impossible_clocksync as clocksync;
 pub use impossible_consensus as consensus;
 pub use impossible_core as core;
 pub use impossible_datalink as datalink;
+pub use impossible_det as det;
 pub use impossible_election as election;
 pub use impossible_msgpass as msgpass;
 pub use impossible_registers as registers;

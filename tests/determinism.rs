@@ -1,0 +1,76 @@
+//! Determinism regression: randomized algorithms are pure functions of
+//! their seed.
+//!
+//! The paper's standard — "it is not possible to fake an impossibility
+//! proof" — requires that any counterexample or randomized run be
+//! *replayable*. These tests pin that property for the two randomized
+//! algorithms in the workspace (Ben-Or consensus, Itai–Rodeh election):
+//! running twice with the same seed must produce **byte-identical
+//! transcripts**, and varying the seed must actually vary the run (the
+//! coins are real, not frozen).
+
+use impossible::consensus::benor::run_benor;
+use impossible::election::itai_rodeh::run_itai_rodeh;
+
+/// The Ben-Or transcript for one seed: every observable of the run.
+fn benor_transcript(seed: u64) -> String {
+    let run = run_benor(&[0, 1, 0, 1, 1], 2, seed, &[], 400);
+    format!("{run:?}")
+}
+
+/// The Itai–Rodeh transcript for one seed: outcome plus phase count.
+fn itai_rodeh_transcript(seed: u64) -> String {
+    let (outcome, phases) = run_itai_rodeh(6, seed, 50_000);
+    format!("{outcome:?} phases={phases}")
+}
+
+#[test]
+fn benor_same_seed_means_identical_transcript() {
+    for seed in [0u64, 1, 7, 42, 1989] {
+        let a = benor_transcript(seed);
+        let b = benor_transcript(seed);
+        assert_eq!(a, b, "Ben-Or diverged on seed {seed}");
+    }
+}
+
+#[test]
+fn benor_different_seeds_give_different_transcripts() {
+    // A perfectly split input (2–2) forces Ben-Or to the coin-flip branch,
+    // so across 16 seeds the runs must not all collapse to one transcript.
+    let transcripts: std::collections::HashSet<String> = (0..16)
+        .map(|seed| format!("{:?}", run_benor(&[0, 0, 1, 1], 1, seed, &[], 400)))
+        .collect();
+    assert!(
+        transcripts.len() > 1,
+        "all 16 seeds produced the same Ben-Or transcript"
+    );
+}
+
+#[test]
+fn itai_rodeh_same_seed_means_identical_transcript() {
+    for seed in [0u64, 3, 11, 77, 1989] {
+        let a = itai_rodeh_transcript(seed);
+        let b = itai_rodeh_transcript(seed);
+        assert_eq!(a, b, "Itai–Rodeh diverged on seed {seed}");
+    }
+}
+
+#[test]
+fn itai_rodeh_different_seeds_give_different_transcripts() {
+    let transcripts: std::collections::HashSet<String> =
+        (0..16).map(itai_rodeh_transcript).collect();
+    assert!(
+        transcripts.len() > 1,
+        "all 16 seeds produced the same Itai–Rodeh transcript"
+    );
+}
+
+#[test]
+fn transcripts_are_stable_under_crash_injection_too() {
+    // Fault injection must not introduce hidden nondeterminism either.
+    for seed in [2u64, 13] {
+        let a = run_benor(&[0, 1, 1, 0, 1], 2, seed, &[(0, 1, 2), (3, 4, 1)], 300);
+        let b = run_benor(&[0, 1, 1, 0, 1], 2, seed, &[(0, 1, 2), (3, 4, 1)], 300);
+        assert_eq!(a, b, "crash-injected Ben-Or diverged on seed {seed}");
+    }
+}

@@ -17,11 +17,9 @@ use impossible::election::ring::RingSchedule;
 
 #[test]
 fn all_four_ring_algorithms_agree_everywhere() {
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
     for seed in 0..6u64 {
         let mut ids: Vec<u64> = (0..20).collect();
-        ids.shuffle(&mut rand::rngs::StdRng::seed_from_u64(seed));
+        impossible_det::DetRng::seed_from_u64(seed).shuffle(&mut ids);
         let max_pos = ids.iter().position(|&v| v == 19).unwrap();
         assert_eq!(run_lcr(&ids, RingSchedule::RoundRobin).leader, Some(max_pos));
         assert_eq!(run_hs(&ids, RingSchedule::RoundRobin).leader, Some(max_pos));

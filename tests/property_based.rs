@@ -1,4 +1,8 @@
 //! Property-based tests: invariants under randomized inputs/schedules.
+//!
+//! Built on the in-tree [`impossible_det`] harness: cases are generated
+//! from per-test deterministic streams, failures shrink, and every failure
+//! prints a `DET_SEED=...` line that replays it exactly.
 
 use impossible::consensus::benor::run_benor;
 use impossible::consensus::eig::run_eig;
@@ -14,98 +18,93 @@ use impossible::registers::constructions::{
 use impossible::registers::spec::{check_linearizable, check_regular};
 use impossible::sharedmem::algorithms::{Bakery, OneBit, Peterson2};
 use impossible::sharedmem::sched::simulate_random;
-use proptest::prelude::*;
+use impossible_det::{det_assert, det_assert_eq, det_assume, det_prop, prop, DetRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
+det_prop! {
     fn floodset_agrees_under_random_crash_patterns(
-        inputs in prop::collection::vec(0u64..2, 4..7),
+        cases = 24,
+        inputs in prop::vec(0u64..2, 4..7),
         crash_proc in 0usize..4,
         crash_round in 1usize..3,
         prefix in 0usize..5,
     ) {
         let t = 2;
         let run = run_floodset(&inputs, t, false, &[(crash_proc, crash_round, prefix)]);
-        prop_assert!(run.agreement());
+        det_assert!(run.agreement());
         // Validity: the decision is someone's input.
         if let Some(v) = run.decisions.iter().flatten().next() {
-            prop_assert!(inputs.contains(v));
+            det_assert!(inputs.contains(v));
         }
     }
 
-    #[test]
     fn eig_agrees_under_any_single_traitor(
-        inputs in prop::collection::vec(0u64..2, 4..5),
+        cases = 24,
+        inputs in prop::vec(0u64..2, 4..5),
         traitor in 0usize..4,
     ) {
         let run = run_eig(&inputs, 1, &[traitor]);
-        prop_assert!(run.agreement());
+        det_assert!(run.agreement());
     }
 
-    #[test]
     fn benor_safe_for_all_seeds(
-        inputs in prop::collection::vec(0u64..2, 5..6),
+        cases = 24,
+        inputs in prop::vec(0u64..2, 5..6),
         seed in 0u64..1000,
     ) {
         let run = run_benor(&inputs, 2, seed, &[], 400);
-        prop_assert!(run.agreement());
+        det_assert!(run.agreement());
         if let Some(v) = run.decisions.iter().flatten().next() {
-            prop_assert!(inputs.contains(v));
+            det_assert!(inputs.contains(v));
         }
     }
 
-    #[test]
     fn ring_elections_agree_on_the_winner(
+        cases = 24,
         perm_seed in 0u64..500,
         n in 4usize..12,
     ) {
-        use rand::seq::SliceRandom;
-        use rand::SeedableRng;
         let mut ids: Vec<u64> = (0..n as u64).collect();
-        ids.shuffle(&mut rand::rngs::StdRng::seed_from_u64(perm_seed));
+        DetRng::seed_from_u64(perm_seed).shuffle(&mut ids);
         let max_pos = ids.iter().position(|&v| v == n as u64 - 1).unwrap();
 
         let l = run_lcr(&ids, RingSchedule::Random(perm_seed));
-        prop_assert_eq!(l.leader, Some(max_pos));
+        det_assert_eq!(l.leader, Some(max_pos));
         let h = hs::run_hs(&ids, RingSchedule::Random(perm_seed));
-        prop_assert_eq!(h.leader, Some(max_pos));
+        det_assert_eq!(h.leader, Some(max_pos));
         let p = peterson::run_peterson(&ids, RingSchedule::Random(perm_seed));
-        prop_assert!(p.leader.is_some());
+        det_assert!(p.leader.is_some());
     }
 
-    #[test]
     fn abp_delivers_exactly_the_sent_sequence(
-        msgs in prop::collection::vec(0u64..100, 1..15),
+        cases = 24,
+        msgs in prop::vec(0u64..100, 1..15),
         seed in 0u64..500,
         drop_pct in 0u32..40,
     ) {
-        let (delivered, _) = run_abp(&msgs, seed, drop_pct as f64 / 100.0, 0.2, 600_000);
-        prop_assert_eq!(delivered, msgs);
+        let (delivered, _) = run_abp(&msgs, seed, f64::from(drop_pct) / 100.0, 0.2, 600_000);
+        det_assert_eq!(delivered, msgs);
     }
 
-    #[test]
     fn mutex_algorithms_never_violate_safety_under_random_schedules(
+        cases = 24,
         seed in 0u64..200,
         bias in 1u32..10,
     ) {
-        let bias = bias as f64 / 10.0;
-        prop_assert!(!simulate_random(&Peterson2::new(), 30_000, seed, bias).mutex_violated);
-        prop_assert!(!simulate_random(&Bakery::new(3), 30_000, seed, bias).mutex_violated);
-        prop_assert!(!simulate_random(&OneBit::new(3), 30_000, seed, bias).mutex_violated);
+        let bias = f64::from(bias) / 10.0;
+        det_assert!(!simulate_random(&Peterson2::new(), 30_000, seed, bias).mutex_violated);
+        det_assert!(!simulate_random(&Bakery::new(3), 30_000, seed, bias).mutex_violated);
+        det_assert!(!simulate_random(&OneBit::new(3), 30_000, seed, bias).mutex_violated);
     }
 
-    #[test]
-    fn register_constructions_meet_their_grade(seed in 0u64..500) {
-        prop_assert!(check_regular(&simulate_safe_to_regular(5, 6, seed)).is_ok());
-        prop_assert!(check_linearizable(&simulate_regular_to_atomic_srsw(18, seed)).is_some());
-        prop_assert!(check_linearizable(&simulate_mrsw_with_reader_writes(2, 24, seed)).is_some());
+    fn register_constructions_meet_their_grade(cases = 24, seed in 0u64..500) {
+        det_assert!(check_regular(&simulate_safe_to_regular(5, 6, seed)).is_ok());
+        det_assert!(check_linearizable(&simulate_regular_to_atomic_srsw(18, seed)).is_some());
+        det_assert!(check_linearizable(&simulate_mrsw_with_reader_writes(2, 24, seed)).is_some());
     }
 
-    #[test]
     fn order_equivalence_is_an_equivalence_invariant_under_scaling(
-        xs in prop::collection::vec(0u64..1000, 2..6),
+        cases = 24,
+        xs in prop::vec(0u64..1000, 2..6),
         scale in 1u64..50,
         offset in 0u64..100,
     ) {
@@ -113,19 +112,18 @@ proptest! {
         let mut distinct = xs.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        prop_assume!(distinct.len() == xs.len());
+        det_assume!(distinct.len() == xs.len());
         let ys: Vec<u64> = xs.iter().map(|x| x * scale + offset).collect();
-        prop_assert!(order_equivalent(&xs, &xs));
-        prop_assert!(order_equivalent(&xs, &ys));
-        prop_assert!(order_equivalent(&ys, &xs));
+        det_assert!(order_equivalent(&xs, &xs));
+        det_assert!(order_equivalent(&xs, &ys));
+        det_assert!(order_equivalent(&ys, &xs));
     }
 
-    #[test]
-    fn symmetry_classes_partition_the_ring(k in 1usize..4) {
+    fn symmetry_classes_partition_the_ring(cases = 24, k in 1usize..4) {
         let ring = bit_reversal_ring(16);
         let classes = comparison_symmetry_classes(&ring, k);
         let mut seen: Vec<usize> = classes.concat();
         seen.sort_unstable();
-        prop_assert_eq!(seen, (0..16).collect::<Vec<_>>());
+        det_assert_eq!(seen, (0..16).collect::<Vec<_>>());
     }
 }
