@@ -375,6 +375,7 @@ fn bench_e21_dls(s: &mut BenchSuite) {
 fn main() {
     // `cargo bench` passes flags like `--bench`; positional args filter
     // groups by substring (e.g. `cargo bench --bench experiments -- e7`).
+    // LINT-ALLOW: det-ambient -- CLI bench filters; never protocol state
     let filters: Vec<String> = std::env::args()
         .skip(1)
         .filter(|a| !a.starts_with('-'))

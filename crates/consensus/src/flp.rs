@@ -19,7 +19,7 @@
 use impossible_core::ids::ProcessId;
 use impossible_core::system::{DecisionSystem, System};
 use impossible_core::valence::{ValenceEngine, ValenceReport};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -51,8 +51,8 @@ pub trait AsyncCandidate {
 }
 
 /// Global configuration: locals plus the multiset of in-flight messages
-/// (kept sorted for canonical hashing).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// (kept sorted for canonical ordering).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FlpState<L, M> {
     /// Per-process local states.
     pub locals: Vec<L>,
@@ -204,7 +204,7 @@ pub fn find_nontermination<C: AsyncCandidate>(
     // (it crashes at time zero).
     let n = sys.candidate.n();
     let mut order: Vec<FlpState<C::Local, C::M>> = Vec::new();
-    let mut index: HashMap<FlpState<C::Local, C::M>, usize> = HashMap::new();
+    let mut index: BTreeMap<FlpState<C::Local, C::M>, usize> = BTreeMap::new();
     let mut succ: Vec<Vec<(FlpAction, usize)>> = Vec::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
     for s in sys.initial_states() {
@@ -254,15 +254,15 @@ pub fn find_nontermination<C: AsyncCandidate>(
         })
         .collect();
 
-    let bit: HashMap<usize, u32> = live.iter().enumerate().map(|(k, &p)| (p, 1 << k)).collect();
+    let bit: BTreeMap<usize, u32> = live.iter().enumerate().map(|(k, &p)| (p, 1 << k)).collect();
     let full: u32 = (1 << live.len()) - 1;
 
     for (h, ok) in eligible.iter().enumerate() {
         if !ok {
             continue;
         }
-        let mut parent: HashMap<(usize, u32), (usize, u32, FlpAction)> = HashMap::new();
-        let mut seen: HashSet<(usize, u32)> = HashSet::new();
+        let mut parent: BTreeMap<(usize, u32), (usize, u32, FlpAction)> = BTreeMap::new();
+        let mut seen: BTreeSet<(usize, u32)> = BTreeSet::new();
         let mut q: VecDeque<(usize, u32)> = VecDeque::new();
         seen.insert((h, 0));
         q.push_back((h, 0));

@@ -10,7 +10,7 @@
 
 use crate::ids::ProcessId;
 use crate::system::System;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A finite execution fragment: `s0 -a1-> s1 -a2-> ... -ak-> sk`.
@@ -204,7 +204,7 @@ impl Admissibility {
 /// the engines use to certify that a constructed infinite run is admissible.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StepCensus {
-    counts: HashMap<ProcessId, usize>,
+    counts: BTreeMap<ProcessId, usize>,
     /// Steps owned by the environment (no process).
     pub environment_steps: usize,
 }

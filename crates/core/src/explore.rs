@@ -9,7 +9,7 @@
 
 use crate::exec::Execution;
 use crate::system::System;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Result of exploring a system's reachable state space.
 #[derive(Debug, Clone)]
@@ -94,7 +94,7 @@ impl<'a, Sys: System> Explorer<'a, Sys> {
 
     /// Enumerate all distinct reachable states (within bounds).
     pub fn reachable_states(&self) -> Vec<Sys::State> {
-        let mut seen: HashMap<Sys::State, ()> = HashMap::new();
+        let mut seen: BTreeMap<Sys::State, ()> = BTreeMap::new();
         let mut queue: VecDeque<(Sys::State, usize)> = VecDeque::new();
         for s in self.sys.initial_states() {
             if seen.len() >= self.max_states {
@@ -125,7 +125,7 @@ impl<'a, Sys: System> Explorer<'a, Sys> {
         F: Fn(&Sys::State) -> bool,
     {
         // Parent map for witness reconstruction: state -> (parent, action).
-        let mut parent: HashMap<Sys::State, Option<(Sys::State, Sys::Action)>> = HashMap::new();
+        let mut parent: BTreeMap<Sys::State, Option<(Sys::State, Sys::Action)>> = BTreeMap::new();
         let mut queue: VecDeque<(Sys::State, usize)> = VecDeque::new();
         let mut terminal = Vec::new();
         let mut transitions = 0usize;

@@ -59,7 +59,7 @@ impl From<usize> for ProcessId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn display_and_index() {
@@ -77,7 +77,7 @@ mod tests {
 
     #[test]
     fn hashable_and_ordered() {
-        let mut set = HashSet::new();
+        let mut set = BTreeSet::new();
         set.insert(ProcessId(1));
         set.insert(ProcessId(1));
         assert_eq!(set.len(), 1);

@@ -19,7 +19,7 @@
 //!    [`comparison_symmetry_classes`] computes the orbit structure the lower
 //!    bound counts with.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The bit-reversal ring of size `n = 2^k`: position `i` holds the ID whose
 /// binary representation is `i` reversed in `k` bits. For `k = 3` this is the
@@ -170,7 +170,7 @@ pub enum SymmetryVerdict {
 /// with its two neighbours each round.
 pub trait AnonymousRingProtocol {
     /// Per-process state.
-    type State: Clone + Eq + std::hash::Hash + std::fmt::Debug;
+    type State: Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug;
     /// Message payload (sent left and right each round).
     type Msg: Clone + Eq + std::fmt::Debug;
 
@@ -233,7 +233,7 @@ impl<'a, P: AnonymousRingProtocol> LockstepRing<'a, P> {
             .map(|&inp| self.protocol.init(n, inp))
             .collect();
 
-        let mut seen: HashMap<Vec<P::State>, usize> = HashMap::new();
+        let mut seen: BTreeMap<Vec<P::State>, usize> = BTreeMap::new();
         seen.insert(states.clone(), 0);
 
         for round in 1..=max_rounds {

@@ -13,8 +13,13 @@ use std::hash::Hash;
 
 /// A labelled transition system with per-process action ownership.
 ///
-/// States must be cheap-ish to clone and hashable so the explicit-state
-/// engines ([`crate::explore`], [`crate::valence`]) can deduplicate them.
+/// States must be cheap-ish to clone and **totally ordered** so the
+/// explicit-state engines ([`crate::explore`], [`crate::valence`]) can
+/// deduplicate them in ordered maps. Ordered (rather than hashed)
+/// containers are a soundness requirement, not a style choice: every
+/// engine output must be byte-for-byte replayable, and hash-iteration
+/// order is the classic silent nondeterminism source (the in-tree
+/// `impossible-lint` pass rejects hashed containers statically).
 ///
 /// `enabled` must be deterministic (same state → same action list); all
 /// nondeterminism of a distributed system is expressed through the *choice*
@@ -24,7 +29,7 @@ use std::hash::Hash;
 /// gets to move).
 pub trait System {
     /// Global configuration of the system.
-    type State: Clone + Eq + Hash + Debug;
+    type State: Clone + Eq + Ord + Hash + Debug;
     /// A transition label (a step of one process, a message delivery, ...).
     type Action: Clone + Eq + Hash + Debug;
 

@@ -49,7 +49,7 @@
 use crate::exec::{Admissibility, Execution, StepCensus};
 use crate::ids::ProcessId;
 use crate::system::{DecisionSystem, SystemExt};
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// The valence of a configuration: the set of decision values reachable from
 /// it. (The paper treats the binary case; we allow any `u64` values, so
@@ -78,7 +78,7 @@ impl Valence {
 #[derive(Debug)]
 pub struct ValenceReport<S> {
     /// Valence of every reachable configuration.
-    pub valence: HashMap<S, Valence>,
+    pub valence: BTreeMap<S, Valence>,
     /// Initial configurations that are bivalent.
     pub bivalent_initials: Vec<S>,
     /// Initial configurations that are univalent.
@@ -148,7 +148,7 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
     /// Build the reachable graph and classify every configuration's valence.
     pub fn analyze(&self) -> ValenceReport<Sys::State> {
         let (order, succ, truncated) = self.reachable_graph();
-        let index: HashMap<&Sys::State, usize> =
+        let index: BTreeMap<&Sys::State, usize> =
             order.iter().enumerate().map(|(i, s)| (s, i)).collect();
 
         // Immediate decisions per state.
@@ -196,7 +196,7 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
             .map(|(_, s)| s.clone())
             .collect();
 
-        let mut valence = HashMap::with_capacity(order.len());
+        let mut valence = BTreeMap::new();
         for (i, s) in order.iter().enumerate() {
             valence.insert(s.clone(), Valence(val[i].clone()));
         }
@@ -271,7 +271,7 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
         let failure_sets = subsets_up_to(n, adm.max_failures);
 
         for failed in failure_sets {
-            let failed_set: HashSet<ProcessId> = failed.iter().copied().collect();
+            let failed_set: BTreeSet<ProcessId> = failed.iter().copied().collect();
             let live: Vec<ProcessId> = ProcessId::all(n)
                 .filter(|p| !failed_set.contains(p))
                 .collect();
@@ -283,7 +283,7 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
             // path h,0 -> h,full. Restrict to bivalent states; actions owned
             // by failed processes are not taken (they have crashed).
             let full: u32 = (1u32 << live.len()) - 1;
-            let live_bit: HashMap<ProcessId, u32> = live
+            let live_bit: BTreeMap<ProcessId, u32> = live
                 .iter()
                 .enumerate()
                 .map(|(i, p)| (*p, 1u32 << i))
@@ -294,8 +294,8 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
                     continue;
                 }
                 // BFS in product space from (h, 0).
-                let mut parent: HashMap<(usize, u32), (usize, u32, Sys::Action)> = HashMap::new();
-                let mut seen: HashSet<(usize, u32)> = HashSet::new();
+                let mut parent: BTreeMap<(usize, u32), (usize, u32, Sys::Action)> = BTreeMap::new();
+                let mut seen: BTreeSet<(usize, u32)> = BTreeSet::new();
                 let mut q: VecDeque<(usize, u32)> = VecDeque::new();
                 seen.insert((h, 0));
                 q.push_back((h, 0));
@@ -372,7 +372,7 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
                 // Explore p-solo executions from s; collect reachable
                 // valences.
                 let mut reached: Vec<(Valence, Execution<Sys::State, Sys::Action>)> = Vec::new();
-                let mut seen: HashSet<Sys::State> = HashSet::new();
+                let mut seen: BTreeSet<Sys::State> = BTreeSet::new();
                 let mut q: VecDeque<Execution<Sys::State, Sys::Action>> = VecDeque::new();
                 q.push_back(Execution::start(s.clone()));
                 seen.insert(s.clone());
@@ -414,7 +414,7 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
     #[allow(clippy::type_complexity)]
     fn reachable_graph(&self) -> (Vec<Sys::State>, Vec<Vec<(Sys::Action, usize)>>, bool) {
         let mut order: Vec<Sys::State> = Vec::new();
-        let mut index: HashMap<Sys::State, usize> = HashMap::new();
+        let mut index: BTreeMap<Sys::State, usize> = BTreeMap::new();
         let mut succ: Vec<Vec<(Sys::Action, usize)>> = Vec::new();
         let mut truncated = false;
 
@@ -459,12 +459,12 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
         order: &[Sys::State],
         succ: &[Vec<(Sys::Action, usize)>],
         target: usize,
-        failed: &HashSet<ProcessId>,
+        failed: &BTreeSet<ProcessId>,
     ) -> Option<Execution<Sys::State, Sys::Action>> {
-        let index: HashMap<&Sys::State, usize> =
+        let index: BTreeMap<&Sys::State, usize> =
             order.iter().enumerate().map(|(i, s)| (s, i)).collect();
-        let mut parent: HashMap<usize, (usize, Sys::Action)> = HashMap::new();
-        let mut seen: HashSet<usize> = HashSet::new();
+        let mut parent: BTreeMap<usize, (usize, Sys::Action)> = BTreeMap::new();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
         let mut q: VecDeque<usize> = VecDeque::new();
         for s in self.sys.initial_states() {
             if let Some(&i) = index.get(&s) {

@@ -135,7 +135,7 @@ mod tests {
         for n in [2usize, 3, 8, 17, 33] {
             let ids: Vec<u64> = (0..n as u64).map(|i| i * 7 % n as u64).collect();
             // IDs must be distinct: build a permutation instead.
-            let ids: Vec<u64> = if ids.iter().collect::<std::collections::HashSet<_>>().len() == n {
+            let ids: Vec<u64> = if ids.iter().collect::<std::collections::BTreeSet<_>>().len() == n {
                 ids
             } else {
                 (0..n as u64).collect()

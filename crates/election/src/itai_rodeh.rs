@@ -203,7 +203,7 @@ mod tests {
         // Different seeds may elect different positions — anonymity means
         // the winner is chosen by luck, not by name. (They may coincide;
         // check over several seeds that at least two winners occur.)
-        let winners: std::collections::HashSet<_> = (0..10)
+        let winners: std::collections::BTreeSet<_> = (0..10)
             .filter_map(|s| run_itai_rodeh(5, s, 50_000).0.leader)
             .collect();
         assert!(winners.len() > 1, "winners {winners:?}");

@@ -1,0 +1,45 @@
+//! `impossible-lint` — the determinism & hermeticity static-analysis gate.
+//!
+//! Every proof engine in this workspace (valence, scenario, chain, symmetry)
+//! argues about *specific* executions: a bivalence proof exhibits a schedule,
+//! a scenario proof glues two executions together, a chain proof walks an
+//! indistinguishability chain. Those arguments are only sound if executions
+//! are replayable — any hidden nondeterminism (hash-iteration order,
+//! wall-clock reads, ambient randomness) silently invalidates them. The
+//! `determinism` integration test checks this *dynamically*; this crate
+//! proves it *statically*, by source inspection: no proof-engine or protocol
+//! crate can even mention a nondeterminism source.
+//!
+//! The scanner is hand-rolled (no `syn` — the workspace must stay hermetic)
+//! but string-, comment- and char-literal-aware, so `"HashMap"` inside a
+//! string literal or a comment never fires. Six rules are enforced (see
+//! `docs/LINTS.md` for the full rationale):
+//!
+//! | rule | forbids |
+//! |---|---|
+//! | `det-order` | `HashMap`/`HashSet` in engine & protocol crates |
+//! | `det-time` | `Instant::now`/`SystemTime` outside the bench timer |
+//! | `det-ambient` | `thread::spawn`, `std::process`, `std::env` reads |
+//! | `hermetic-deps` | any non-`path` dependency in any `Cargo.toml` |
+//! | `doc-cite` | bare `\[NN\]` citation brackets in rustdoc |
+//! | `map-coverage` | module files absent from `docs/PAPER_MAP.md` |
+//!
+//! Legitimate exceptions carry an inline waiver on (or immediately above)
+//! the offending line, so every exception is visible and grep-able:
+//!
+//! ```text
+//! // LINT-ALLOW: det-ambient -- CLI filter arguments, not protocol state
+//! ```
+//!
+//! Diagnostics are rustc-style `file:line:col: deny(<rule>): ...` lines;
+//! the binary (`cargo run -q -p impossible-lint --release -- --deny-all`)
+//! exits nonzero on any diagnostic and runs as a tier-1 gate in
+//! `scripts/verify.sh`.
+
+pub mod lex;
+pub mod manifest;
+pub mod rules;
+pub mod walk;
+
+pub use rules::{lint_rust_source, Diagnostic, RULE_NAMES};
+pub use walk::{lint_workspace, rules_for, WorkspaceReport};

@@ -1,0 +1,65 @@
+//! The `impossible-lint` binary: tier-1 gate wrapper around
+//! [`impossible_lint::lint_workspace`].
+//!
+//! ```text
+//! impossible-lint [--root DIR] [--deny-all]
+//! ```
+//!
+//! Prints rustc-style `file:line:col: deny(rule): message` diagnostics.
+//! With `--deny-all` (how `scripts/verify.sh` invokes it) any diagnostic
+//! is fatal; without it the pass only reports. Exit codes: `0` clean,
+//! `1` violations under `--deny-all`, `2` usage or root-detection error.
+
+use impossible_lint::{lint_workspace, RULE_NAMES};
+use std::path::PathBuf;
+
+fn main() {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => usage_error("--root needs a directory argument"),
+            },
+            "--help" | "-h" => {
+                println!("usage: impossible-lint [--root DIR] [--deny-all]");
+                println!("rules: {}", RULE_NAMES.join(", "));
+                return;
+            }
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if !root.join("Cargo.toml").exists() || !root.join("crates").is_dir() {
+        eprintln!(
+            "impossible-lint: `{}` does not look like the workspace root \
+             (expected Cargo.toml and crates/); run from the repo root or \
+             pass --root",
+            root.display()
+        );
+        std::process::exit(2);
+    }
+
+    let report = lint_workspace(&root);
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    println!(
+        "impossible-lint: {} source files + {} manifests checked, {} violation{}",
+        report.rust_files,
+        report.manifests,
+        report.diagnostics.len(),
+        if report.diagnostics.len() == 1 { "" } else { "s" },
+    );
+    if deny && !report.diagnostics.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("impossible-lint: {msg}");
+    eprintln!("usage: impossible-lint [--root DIR] [--deny-all]");
+    std::process::exit(2);
+}

@@ -1,0 +1,280 @@
+//! The six lint rules and their source-level scanners.
+//!
+//! Each rule protects a proof technique (see `docs/LINTS.md`):
+//! `det-order` keeps transcript-replay (bivalence/scenario) arguments
+//! honest, `det-time` and `det-ambient` keep the adversary model airtight,
+//! `hermetic-deps` keeps the offline build machine-checked, `doc-cite`
+//! keeps rustdoc's strict-docs gate from regressing, and `map-coverage`
+//! keeps `docs/PAPER_MAP.md` an exhaustive paper-to-module index.
+
+use crate::lex::{classify, waivers, ClassifiedLine, Waivers};
+
+/// The names of all six rules, in reporting order.
+pub const RULE_NAMES: [&str; 6] = [
+    "det-order",
+    "det-time",
+    "det-ambient",
+    "hermetic-deps",
+    "doc-cite",
+    "map-coverage",
+];
+
+/// A single rustc-style finding: `path:line:col: deny(rule): message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Human-readable explanation with the concrete offending token.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: deny({}): {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// `(rule, forbidden code patterns)` for the three determinism rules.
+const DET_PATTERNS: [(&str, &[&str]); 3] = [
+    ("det-order", &["HashMap", "HashSet"]),
+    ("det-time", &["Instant::now", "SystemTime"]),
+    (
+        "det-ambient",
+        &[
+            "thread::spawn",
+            "std::process",
+            "std::env",
+            "env::var",
+            "env::args",
+        ],
+    ),
+];
+
+fn det_message(rule: &str, pattern: &str) -> String {
+    match rule {
+        "det-order" => format!(
+            "`{pattern}` iterates in hash order, which varies between runs and \
+             silently invalidates transcript-replay arguments; use the ordered \
+             `BTree` equivalent"
+        ),
+        "det-time" => format!(
+            "wall-clock read `{pattern}` is a hidden nondeterminism source; \
+             model time explicitly (timed executors) or keep timing in the \
+             bench crates"
+        ),
+        _ => format!(
+            "ambient authority `{pattern}` escapes the modeled schedule; all \
+             nondeterminism must flow through the seeded `impossible-det` \
+             adversary"
+        ),
+    }
+}
+
+/// Run the given *source-level* rules over one Rust file.
+///
+/// `rules` contains rule names from [`RULE_NAMES`]; unknown names and the
+/// file-set-level `map-coverage` rule are ignored here (coverage is checked
+/// by [`crate::walk::lint_workspace`], which sees the whole file set).
+/// Scope decisions (which rules apply to which paths) are the caller's job
+/// — see [`crate::walk::rules_for`] — which is what makes the rules
+/// directly testable on fixture snippets.
+pub fn lint_rust_source(path: &str, src: &str, rules: &[&str]) -> Vec<Diagnostic> {
+    let lines = classify(src);
+    let w = waivers(&lines);
+    let mut out = Vec::new();
+
+    for (rule, patterns) in DET_PATTERNS {
+        if !rules.contains(&rule) {
+            continue;
+        }
+        scan_code_patterns(path, &lines, &w, rule, patterns, &mut out);
+    }
+    if rules.contains(&"doc-cite") {
+        scan_doc_citations(path, &lines, &w, &mut out);
+    }
+    out.sort();
+    out
+}
+
+/// Emit at most one diagnostic per (line, rule): the leftmost match.
+fn scan_code_patterns(
+    path: &str,
+    lines: &[ClassifiedLine],
+    w: &Waivers,
+    rule: &'static str,
+    patterns: &[&str],
+    out: &mut Vec<Diagnostic>,
+) {
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let hit = patterns
+            .iter()
+            .filter_map(|p| line.code.find(p).map(|col| (col, *p)))
+            .min();
+        if let Some((col, pattern)) = hit {
+            if !w.allows(lineno, rule) {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: lineno,
+                    col: col + 1,
+                    rule,
+                    message: det_message(rule, pattern),
+                });
+            }
+        }
+    }
+}
+
+/// `doc-cite`: bare `\[NN\]`-style citation brackets in rustdoc text.
+///
+/// Markdown treats `[54]` as a link reference, so rustdoc either renders a
+/// broken link or (under `-D warnings` with strict lints) refuses the
+/// build; the paper's citation style must be escaped. Skips fenced code
+/// blocks, inline backtick spans, escaped brackets, and genuine link syntax
+/// (`[54](…)` / `[54]: …`).
+fn scan_doc_citations(
+    path: &str,
+    lines: &[ClassifiedLine],
+    w: &Waivers,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut in_fence = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let text = strip_doc_marker(&line.doc);
+        if text.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let masked = mask_backtick_spans(&line.doc);
+        if let Some((col, cite)) = find_bare_citation(masked.as_bytes()) {
+            if !w.allows(lineno, "doc-cite") {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: lineno,
+                    col: col + 1,
+                    rule: "doc-cite",
+                    message: format!(
+                        "bare citation `{cite}` is parsed as a markdown link \
+                         reference; escape it as `\\[…\\]`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Drop the `///` / `//!` / `*` gutter from a doc shadow line.
+fn strip_doc_marker(doc: &str) -> &str {
+    doc.trim_start()
+        .trim_start_matches(['/', '!', '*'])
+        .trim_start_matches(' ')
+}
+
+/// Blank out `` `…` `` spans so code-ish text can't look like a citation.
+fn mask_backtick_spans(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut inside = false;
+    for c in s.chars() {
+        if c == '`' {
+            inside = !inside;
+            out.push(' ');
+        } else {
+            out.push(if inside { ' ' } else { c });
+        }
+    }
+    out
+}
+
+/// Find the first bare `[NN]` / `[NN, MM]` citation in a masked doc line.
+/// Returns `(byte_col0, matched_text)`.
+fn find_bare_citation(s: &[u8]) -> Option<(usize, String)> {
+    let mut k = 0;
+    while k < s.len() {
+        if s[k] == b'[' && (k == 0 || s[k - 1] != b'\\') {
+            if let Some(end) = citation_end(s, k) {
+                let followed_by = s.get(end + 1);
+                if followed_by != Some(&b'(') && followed_by != Some(&b':') {
+                    let text = String::from_utf8_lossy(&s[k..=end]).into_owned();
+                    return Some((k, text));
+                }
+                k = end;
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// If `s[open..]` is `[NN(, MM)*]`, return the index of the closing `]`.
+fn citation_end(s: &[u8], open: usize) -> Option<usize> {
+    let mut j = open + 1;
+    if !s.get(j)?.is_ascii_digit() {
+        return None;
+    }
+    while j < s.len() {
+        match s[j] {
+            b'0'..=b'9' => j += 1,
+            b',' => {
+                j += 1;
+                while s.get(j) == Some(&b' ') {
+                    j += 1;
+                }
+                if !s.get(j)?.is_ascii_digit() {
+                    return None;
+                }
+            }
+            b']' => return Some(j),
+            _ => return None,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_in_string_or_comment_is_silent() {
+        let src = r#"
+fn main() {
+    let s = "HashMap here is data, not code";
+    // HashMap in a comment is prose, not code
+    /* HashSet too */
+}
+"#;
+        assert!(lint_rust_source("x.rs", src, &["det-order"]).is_empty());
+    }
+
+    #[test]
+    fn pattern_in_code_fires_with_column() {
+        let src = "use std::collections::HashMap;\n";
+        let d = lint_rust_source("x.rs", src, &["det-order"]);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].line, d[0].col), (1, 23));
+    }
+
+    #[test]
+    fn citation_edge_cases() {
+        assert!(find_bare_citation(b"see [54] for details").is_some());
+        assert!(find_bare_citation(b"see [54, 82] for details").is_some());
+        assert!(find_bare_citation(br"see \[54\] for details").is_none());
+        assert!(find_bare_citation(b"see [54](https://x) link").is_none());
+        assert!(find_bare_citation(b"[54]: https://x").is_none());
+        assert!(find_bare_citation(b"index [i] and [54a]").is_none());
+    }
+}

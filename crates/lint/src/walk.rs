@@ -1,0 +1,217 @@
+//! Workspace walking, per-path rule scoping, and the `map-coverage` rule.
+//!
+//! The walker visits `crates/**`, `src/**` and `tests/**` in sorted order
+//! (the linter itself must be deterministic), skipping `target/` output and
+//! the linter's own `fixtures/` (which contain deliberate violations).
+//!
+//! # Scope table
+//!
+//! Rules apply per-path; exceptions are *structural* (documented here and
+//! in `docs/LINTS.md`), everything else needs an inline waiver:
+//!
+//! * `det-order` — everywhere except `crates/det` (hosts the seeded PRNG
+//!   and its distribution tests), `crates/bench` (perf harness, not part of
+//!   any modeled execution) and `crates/lint` (build-time tooling).
+//! * `det-time` — everywhere except `crates/det/src/bench.rs` and
+//!   `crates/bench` (the two sanctioned timer hosts) and `crates/lint`.
+//! * `det-ambient` — everywhere except `crates/det/src/prop.rs` (the
+//!   documented `DET_SEED` replay path) and `crates/lint` (the tool reads
+//!   the file system and process arguments by design).
+//! * `doc-cite` — every Rust file.
+//! * `hermetic-deps` — every `Cargo.toml`.
+//! * `map-coverage` — every `crates/*/src/**` module file except crate
+//!   roots (`lib.rs`, `mod.rs`, `main.rs`).
+
+use crate::lex::{classify, waivers};
+use crate::manifest::lint_manifest;
+use crate::rules::{lint_rust_source, Diagnostic};
+use std::path::{Path, PathBuf};
+
+/// Everything one `lint_workspace` pass saw and found.
+#[derive(Debug)]
+pub struct WorkspaceReport {
+    /// All findings, sorted by `(path, line, col)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of Rust source files scanned.
+    pub rust_files: usize,
+    /// Number of `Cargo.toml` manifests scanned.
+    pub manifests: usize,
+}
+
+/// The source-level rules that apply to the workspace-relative path `rel`
+/// (forward-slash separated). `map-coverage` is scoped separately by
+/// [`in_map_scope`] because it needs the whole file set.
+pub fn rules_for(rel: &str) -> Vec<&'static str> {
+    let mut rules = Vec::new();
+    let tooling = rel.starts_with("crates/lint/");
+    let det_crate = rel.starts_with("crates/det/");
+    let bench_crate = rel.starts_with("crates/bench/");
+
+    if !tooling && !det_crate && !bench_crate {
+        rules.push("det-order");
+    }
+    if !tooling && !bench_crate && rel != "crates/det/src/bench.rs" {
+        rules.push("det-time");
+    }
+    if !tooling && rel != "crates/det/src/prop.rs" {
+        rules.push("det-ambient");
+    }
+    rules.push("doc-cite");
+    rules
+}
+
+/// Does `rel` need a `docs/PAPER_MAP.md` entry? Crate roots are exempt —
+/// the map indexes *modules*, and a crate root is just the module list.
+pub fn in_map_scope(rel: &str) -> bool {
+    if !rel.starts_with("crates/") || !rel.ends_with(".rs") || !rel.contains("/src/") {
+        return false;
+    }
+    let stem = rel
+        .rsplit('/')
+        .next()
+        .unwrap_or_default()
+        .trim_end_matches(".rs");
+    !matches!(stem, "lib" | "mod" | "main")
+}
+
+/// `crates/core/src/valence.rs` → `core::valence` — the exact token the
+/// map must contain for the file to count as covered.
+pub fn module_token(rel: &str) -> Option<String> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (krate, tail) = rest.split_once("/src/")?;
+    let module = tail.trim_end_matches(".rs").replace('/', "::");
+    Some(format!("{krate}::{module}"))
+}
+
+fn should_skip_dir(name: &str) -> bool {
+    name == "target" || name == "fixtures" || name.starts_with('.')
+}
+
+fn collect(dir: &Path, want: &dyn Fn(&Path) -> bool, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !should_skip_dir(name) {
+                collect(&path, want, out);
+            }
+        } else if want(&path) {
+            out.push(path);
+        }
+    }
+}
+
+fn rel_str(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Run every rule over the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> WorkspaceReport {
+    let mut diagnostics = Vec::new();
+
+    // Rust sources under the three scanned roots.
+    let mut rust: Vec<PathBuf> = Vec::new();
+    for sub in ["crates", "src", "tests"] {
+        collect(
+            &root.join(sub),
+            &|p| p.extension().is_some_and(|e| e == "rs"),
+            &mut rust,
+        );
+    }
+
+    // Manifests: the workspace root plus every crate manifest.
+    let mut manifests: Vec<PathBuf> = vec![root.join("Cargo.toml")];
+    collect(
+        &root.join("crates"),
+        &|p| p.file_name().is_some_and(|n| n == "Cargo.toml"),
+        &mut manifests,
+    );
+
+    let map_src = std::fs::read_to_string(root.join("docs/PAPER_MAP.md")).unwrap_or_default();
+
+    for path in &rust {
+        let rel = rel_str(root, path);
+        let Ok(src) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        diagnostics.extend(lint_rust_source(&rel, &src, &rules_for(&rel)));
+        if in_map_scope(&rel) {
+            let token = module_token(&rel).unwrap_or_default();
+            if !map_src.contains(&token) {
+                let w = waivers(&classify(&src));
+                if !w.allows_file("map-coverage") {
+                    diagnostics.push(Diagnostic {
+                        path: rel.clone(),
+                        line: 1,
+                        col: 1,
+                        rule: "map-coverage",
+                        message: format!(
+                            "module `{token}` is not indexed in docs/PAPER_MAP.md; \
+                             add a row tying it to the paper (or waive with a \
+                             reason)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    for path in &manifests {
+        let rel = rel_str(root, path);
+        if let Ok(src) = std::fs::read_to_string(path) {
+            diagnostics.extend(lint_manifest(&rel, &src));
+        }
+    }
+
+    diagnostics.sort();
+    WorkspaceReport {
+        diagnostics,
+        rust_files: rust.len(),
+        manifests: manifests.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_table_structural_exceptions() {
+        // Engine crates get all det rules.
+        let r = rules_for("crates/core/src/valence.rs");
+        assert!(r.contains(&"det-order") && r.contains(&"det-time") && r.contains(&"det-ambient"));
+        // The PRNG crate may use hash containers internally…
+        assert!(!rules_for("crates/det/src/rng.rs").contains(&"det-order"));
+        // …its bench timer may read the clock…
+        assert!(!rules_for("crates/det/src/bench.rs").contains(&"det-time"));
+        assert!(rules_for("crates/det/src/rng.rs").contains(&"det-time"));
+        // …and only its DET_SEED replay path may read the environment.
+        assert!(!rules_for("crates/det/src/prop.rs").contains(&"det-ambient"));
+        assert!(rules_for("crates/det/src/rng.rs").contains(&"det-ambient"));
+        // The bench harness is exempt from order/time, not ambient.
+        let b = rules_for("crates/bench/benches/experiments.rs");
+        assert!(!b.contains(&"det-order") && !b.contains(&"det-time"));
+        assert!(b.contains(&"det-ambient"));
+        // doc-cite applies everywhere, even to the linter itself.
+        assert!(rules_for("crates/lint/src/lib.rs").contains(&"doc-cite"));
+    }
+
+    #[test]
+    fn map_scope_and_tokens() {
+        assert!(in_map_scope("crates/core/src/valence.rs"));
+        assert!(in_map_scope("crates/sharedmem/src/algorithms/bakery.rs"));
+        assert!(!in_map_scope("crates/core/src/lib.rs"));
+        assert!(!in_map_scope("tests/determinism.rs"));
+        assert_eq!(
+            module_token("crates/sharedmem/src/algorithms/bakery.rs").unwrap(),
+            "sharedmem::algorithms::bakery"
+        );
+    }
+}

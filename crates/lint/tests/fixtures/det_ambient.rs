@@ -1,0 +1,6 @@
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    std::thread::spawn(|| {});
+    // LINT-ALLOW: det-ambient -- fixture: waiver covers the next line
+    let v = std::env::var("HOME");
+}

@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+// A HashMap mentioned in prose must not fire.
+fn demo() {
+    let s = "HashMap here is data";
+    // LINT-ALLOW: det-order -- fixture: waiver on a comment-only line
+    let waived = HashMap::new();
+    let fired = HashSet::new();
+}

@@ -1,0 +1,6 @@
+fn now() {
+    let t = std::time::Instant::now();
+    // SystemTime in a comment is prose.
+    let s = "SystemTime";
+    let epoch = std::time::SystemTime::UNIX_EPOCH; // LINT-ALLOW: det-time -- fixture: same-line waiver
+}

@@ -1,0 +1,11 @@
+//! Module docs citing [55] bare.
+//!
+//! Escaped \[54\] is fine; linked [54](https://example.org) too.
+//!
+//! ```text
+//! [99] inside a fence is code, not prose.
+//! ```
+//! A `[77]` in backticks is code.
+
+/// Cites [54, 82] in a doc comment.
+fn documented() {}

@@ -14,10 +14,10 @@
 
 use crate::asyncnet::{AsyncProcess, DelayModel, Time, TimedNet, UNIT};
 use crate::topology::Topology;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Flood message: "origin has completed its output for session k".
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Done {
     /// Session index.
     pub session: usize,
@@ -34,7 +34,7 @@ pub struct SessionProcess {
     neighbors: Vec<usize>,
     target_sessions: usize,
     current: usize,
-    seen: HashSet<Done>,
+    seen: BTreeSet<Done>,
     /// Times at which this process performed each session's output event.
     pub output_times: Vec<Time>,
 }
@@ -47,7 +47,7 @@ impl SessionProcess {
             neighbors: topology.neighbors(me).to_vec(),
             target_sessions,
             current: 0,
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             output_times: Vec::new(),
         }
     }

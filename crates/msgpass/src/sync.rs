@@ -16,7 +16,7 @@
 //!   messages.
 
 use crate::topology::Topology;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Debug;
 
 /// A deterministic synchronous process.
@@ -94,7 +94,7 @@ pub struct SyncMetrics {
 pub struct SyncNet<P: SyncProcess> {
     topology: Topology,
     procs: Vec<P>,
-    faults: HashMap<usize, Fault<P::Msg>>,
+    faults: BTreeMap<usize, Fault<P::Msg>>,
     omission: Option<Box<dyn FnMut(usize, usize, usize) -> bool>>,
     crashed: Vec<bool>,
     round: usize,
@@ -113,7 +113,7 @@ impl<P: SyncProcess> SyncNet<P> {
         SyncNet {
             topology,
             procs,
-            faults: HashMap::new(),
+            faults: BTreeMap::new(),
             omission: None,
             crashed: vec![false; n],
             round: 0,

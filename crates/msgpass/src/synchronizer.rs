@@ -11,7 +11,7 @@
 
 use crate::asyncnet::{AsyncProcess, DelayModel, Time, TimedNet};
 use crate::topology::Topology;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Debug;
 
 /// A synchronous algorithm to be simulated on an asynchronous network.
@@ -51,8 +51,8 @@ pub struct AlphaProcess<A: SimpleSync> {
     neighbors: Vec<usize>,
     alg: A,
     round: usize,
-    heard: HashMap<usize, Vec<(usize, A::Msg)>>, // round -> received payloads
-    beats: HashMap<usize, usize>,                // round -> neighbours heard
+    heard: BTreeMap<usize, Vec<(usize, A::Msg)>>, // round -> received payloads
+    beats: BTreeMap<usize, usize>,                // round -> neighbours heard
     max_rounds: usize,
     /// Simulated rounds completed.
     pub rounds_done: usize,
@@ -67,8 +67,8 @@ impl<A: SimpleSync> AlphaProcess<A> {
             neighbors: topology.neighbors(me).to_vec(),
             alg,
             round: 0,
-            heard: HashMap::new(),
-            beats: HashMap::new(),
+            heard: BTreeMap::new(),
+            beats: BTreeMap::new(),
             max_rounds,
             rounds_done: 0,
         }

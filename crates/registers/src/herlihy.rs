@@ -72,7 +72,7 @@ pub enum ObjOp {
 /// A wait-free consensus protocol over shared objects.
 pub trait ObjectProtocol {
     /// Per-process local state.
-    type Local: Clone + Eq + Hash + Debug;
+    type Local: Clone + Eq + Ord + Hash + Debug;
 
     /// Number of processes.
     fn n(&self) -> usize;
@@ -94,7 +94,7 @@ pub trait ObjectProtocol {
 }
 
 /// Global configuration of an [`ObjectSystem`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjState<L> {
     /// Per-process locals.
     pub locals: Vec<L>,
@@ -294,7 +294,7 @@ pub fn consensus_verdict<P: ObjectProtocol>(proto: &P, max_states: usize) -> Hie
 // ---------------------------------------------------------------------
 
 /// Shared local shape for the simple protocols below.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SimpleLocal {
     /// About to write own input to own register.
     WriteOwn {
@@ -457,7 +457,7 @@ impl CasConsensus {
 }
 
 /// Local state of [`CasConsensus`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CasLocal {
     /// About to CAS.
     Try {
@@ -647,7 +647,7 @@ impl ObjectProtocol for RegisterWait2 {
 pub struct TasConsensus3;
 
 /// Local state of [`TasConsensus3`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Tas3Local {
     /// Write own register.
     WriteOwn {

@@ -15,7 +15,7 @@
 //! because the constructions in [`crate::constructions`] are *judged* by
 //! them.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The kind of a register operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -112,7 +112,7 @@ pub fn check_linearizable(history: &History) -> Option<Linearization> {
         done_count: usize,
         value: u64,
         order: &mut Vec<usize>,
-        failed: &mut HashSet<(Vec<bool>, u64)>,
+        failed: &mut BTreeSet<(Vec<bool>, u64)>,
     ) -> bool {
         if done_count == ops.len() {
             return true;
@@ -156,7 +156,7 @@ pub fn check_linearizable(history: &History) -> Option<Linearization> {
 
     let mut done = vec![false; n];
     let mut order = Vec::new();
-    let mut failed = HashSet::new();
+    let mut failed = BTreeSet::new();
     dfs(
         ops,
         &mut done,

@@ -42,7 +42,7 @@ impl Bakery {
 }
 
 /// Program counter of a [`Bakery`] process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BakeryLocal {
     /// Remainder region.
     Rem,

@@ -29,7 +29,7 @@ impl OwnerOverwrite {
 }
 
 /// Program counter of an [`OwnerOverwrite`] process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OwnerLocal {
     /// Remainder region.
     Rem,
@@ -133,7 +133,7 @@ impl SingleFlag {
 }
 
 /// Program counter of a [`SingleFlag`] process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FlagLocal {
     /// Remainder region.
     Rem,
@@ -228,7 +228,7 @@ mod tests {
         let witness = check::find_mutex_violation(&sys, 200_000)
             .expect("single RW variable cannot give mutual exclusion");
         // Both processes appear in the violating execution.
-        let procs: std::collections::HashSet<usize> = witness
+        let procs: std::collections::BTreeSet<usize> = witness
             .actions()
             .iter()
             .map(MutexAction::process)

@@ -35,7 +35,7 @@ impl Dijkstra {
 }
 
 /// Program counter of a [`Dijkstra`] process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DijkstraLocal {
     /// Remainder region.
     Rem,

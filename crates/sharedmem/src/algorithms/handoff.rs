@@ -35,7 +35,7 @@ impl HandoffLock {
 }
 
 /// Program counter of a [`HandoffLock`] process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HandoffLocal {
     /// Remainder region.
     Rem,

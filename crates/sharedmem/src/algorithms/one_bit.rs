@@ -23,7 +23,7 @@ impl OneBit {
 }
 
 /// Program counter of a [`OneBit`] process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum OneBitLocal {
     /// Remainder region.
     Rem,

@@ -25,7 +25,7 @@ impl Peterson2 {
 }
 
 /// Program counter of a [`Peterson2`] process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PetersonLocal {
     /// Remainder region.
     Rem,

@@ -27,7 +27,7 @@ impl TasLock {
 }
 
 /// Program counter of a [`TasLock`] process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TasLocal {
     /// In the remainder region.
     Rem,

@@ -18,7 +18,7 @@ use crate::mutex::{MutexAction, MutexAlgorithm, MutexState, MutexSystem, Region}
 use impossible_core::exec::Execution;
 use impossible_core::explore::Explorer;
 use impossible_core::system::System;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A mutual-exclusion violation: a shortest execution ending with two or
 /// more processes simultaneously critical.
@@ -118,7 +118,7 @@ pub fn find_lockout<A: MutexAlgorithm>(
         if obligated.len() > 20 {
             continue; // mask width guard; never hit for checkable instances
         }
-        let bit: HashMap<usize, u32> = obligated
+        let bit: BTreeMap<usize, u32> = obligated
             .iter()
             .enumerate()
             .map(|(k, &p)| (p, 1u32 << k))
@@ -126,8 +126,8 @@ pub fn find_lockout<A: MutexAlgorithm>(
         let full: u32 = (1u32 << obligated.len()) - 1;
 
         // BFS over (state, coverage mask); only through victim-trying states.
-        let mut parent: HashMap<(usize, u32), (usize, u32, MutexAction)> = HashMap::new();
-        let mut seen: HashSet<(usize, u32)> = HashSet::new();
+        let mut parent: BTreeMap<(usize, u32), (usize, u32, MutexAction)> = BTreeMap::new();
+        let mut seen: BTreeSet<(usize, u32)> = BTreeSet::new();
         let mut q: VecDeque<(usize, u32)> = VecDeque::new();
         seen.insert((h, 0));
         q.push_back((h, 0));
@@ -180,7 +180,7 @@ pub fn observed_value_spaces<A: MutexAlgorithm>(
 ) -> Vec<usize> {
     let states = Explorer::new(sys).max_states(max_states).reachable_states();
     let m = sys.algorithm().num_vars();
-    let mut seen: Vec<HashSet<u64>> = vec![HashSet::new(); m];
+    let mut seen: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); m];
     for s in &states {
         for (v, val) in s.vars.iter().enumerate() {
             seen[v].insert(*val);
@@ -198,7 +198,7 @@ fn reachable_graph<A: MutexAlgorithm>(
     Vec<Vec<(MutexAction, usize)>>,
 ) {
     let mut order: Vec<MutexState<A::Local>> = Vec::new();
-    let mut index: HashMap<MutexState<A::Local>, usize> = HashMap::new();
+    let mut index: BTreeMap<MutexState<A::Local>, usize> = BTreeMap::new();
     let mut succ: Vec<Vec<(MutexAction, usize)>> = Vec::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
     for s in sys.initial_states() {

@@ -26,7 +26,7 @@ use impossible_det::DetRng;
 pub const MARK: u64 = u64::MAX;
 
 /// Per-process protocol state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChoiceLocal {
     /// Which board the process is currently at (0 or 1).
     pub board: usize,
@@ -37,7 +37,7 @@ pub struct ChoiceLocal {
 }
 
 /// Global configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ChoiceState {
     /// The two shared boards.
     pub boards: [u64; 2],

@@ -39,7 +39,7 @@ impl CounterSemaphore {
 }
 
 /// Program counter of a [`CounterSemaphore`] process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SemLocal {
     /// Remainder region.
     Rem,

@@ -24,7 +24,7 @@ use std::fmt::Debug;
 use std::hash::Hash;
 
 /// The four regions of the mutual-exclusion life-cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Region {
     /// Not interested in the resource; takes no steps (and need not).
     Remainder,
@@ -40,7 +40,7 @@ pub enum Region {
 /// set of shared variables.
 pub trait MutexAlgorithm {
     /// Per-process local state (encodes the region and the program counter).
-    type Local: Clone + Eq + Hash + Debug;
+    type Local: Clone + Eq + Ord + Hash + Debug;
 
     /// Display name used in reports.
     fn name(&self) -> &'static str;
@@ -91,7 +91,7 @@ pub trait MutexAlgorithm {
 }
 
 /// Global configuration of a [`MutexSystem`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MutexState<L> {
     /// Per-process local states.
     pub locals: Vec<L>,

@@ -52,7 +52,7 @@ pub fn first_write_before_critical<A: MutexAlgorithm>(
 pub struct TwoVarThree;
 
 /// Program counter for [`TwoVarThree`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TwoVarLocal {
     /// Remainder region.
     Rem,
@@ -181,7 +181,7 @@ mod tests {
         // the precondition of the whole lower-bound argument.
         #[derive(Debug, Clone)]
         struct Silent;
-        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         enum L {
             Rem,
             Peek,

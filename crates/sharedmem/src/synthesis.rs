@@ -42,7 +42,7 @@ pub struct SynthProtocol {
 }
 
 /// Local state for a synthesized protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SynthLocal {
     /// Remainder region.
     Rem,

@@ -11,6 +11,9 @@ cd "$(dirname "$0")/.."
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
+echo "== impossible-lint (determinism & hermeticity, deny-all) =="
+cargo run -q -p impossible-lint --release --offline -- --deny-all
+
 echo "== tests (all crates, offline) =="
 cargo test -q --offline --workspace
 

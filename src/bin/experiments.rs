@@ -680,6 +680,7 @@ fn e21() {
 }
 
 fn main() {
+    // LINT-ALLOW: det-ambient -- CLI experiment filters; never protocol state
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
         "F1", "F2", "F3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",

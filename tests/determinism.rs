@@ -37,7 +37,7 @@ fn benor_same_seed_means_identical_transcript() {
 fn benor_different_seeds_give_different_transcripts() {
     // A perfectly split input (2–2) forces Ben-Or to the coin-flip branch,
     // so across 16 seeds the runs must not all collapse to one transcript.
-    let transcripts: std::collections::HashSet<String> = (0..16)
+    let transcripts: std::collections::BTreeSet<String> = (0..16)
         .map(|seed| format!("{:?}", run_benor(&[0, 0, 1, 1], 1, seed, &[], 400)))
         .collect();
     assert!(
@@ -57,7 +57,7 @@ fn itai_rodeh_same_seed_means_identical_transcript() {
 
 #[test]
 fn itai_rodeh_different_seeds_give_different_transcripts() {
-    let transcripts: std::collections::HashSet<String> =
+    let transcripts: std::collections::BTreeSet<String> =
         (0..16).map(itai_rodeh_transcript).collect();
     assert!(
         transcripts.len() > 1,
