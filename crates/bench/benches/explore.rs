@@ -1,0 +1,57 @@
+//! The search-subsystem speedup baseline (`BENCH_3.json`).
+//!
+//! Pits the legacy reference explorer (`impossible_core::explore::Explorer`,
+//! full-state `BTreeMap` visited set) against the fingerprint-dedup
+//! [`Search`](impossible_explore::Search) engine on `Grid { n: 6, max: 6 }`
+//! — 117,649 states, dense diamonds, dedup-bound. The committed baseline
+//! must show the new engine ≥ 2× faster on this ≥ 100k-state instance;
+//! `scripts/bench.sh` regenerates it.
+//!
+//! Run with `cargo bench --bench explore`.
+
+use impossible_core::explore::Explorer;
+use impossible_det::bench::BenchSuite;
+use impossible_explore::{Grid, Search};
+use std::hint::black_box;
+
+/// Timed samples per case (one full exploration per sample).
+const SAMPLES: usize = 9;
+
+fn main() {
+    let mut suite = BenchSuite::new("3");
+
+    let big = Grid { n: 6, max: 6 }; // 7^6 = 117,649 states
+    suite.case("explore/legacy_grid_6x6_117649", SAMPLES, || {
+        let r = Explorer::new(black_box(&big)).max_states(200_000).explore();
+        assert_eq!(r.num_states, 117_649);
+        black_box(r.num_transitions);
+    });
+    suite.case("explore/search_grid_6x6_117649", SAMPLES, || {
+        let r = Search::new(black_box(&big)).max_states(200_000).explore();
+        assert_eq!(r.num_states, 117_649);
+        black_box(r.num_transitions);
+    });
+    suite.case("explore/graph_grid_6x6_117649", SAMPLES, || {
+        let g = Search::new(black_box(&big)).max_states(200_000).graph();
+        assert_eq!(g.len(), 117_649);
+        black_box(g.succ.len());
+    });
+
+    let mid = Grid { n: 5, max: 5 }; // 6^5 = 7,776 states
+    suite.case("explore/legacy_grid_5x5_7776", SAMPLES, || {
+        black_box(Explorer::new(black_box(&mid)).explore().num_states);
+    });
+    suite.case("explore/search_grid_5x5_7776", SAMPLES, || {
+        black_box(Search::new(black_box(&mid)).explore().num_states);
+    });
+
+    let legacy = suite.cases()[0].median_ns;
+    let new = suite.cases()[1].median_ns;
+    println!(
+        "speedup (legacy/search, grid 6x6): {:.2}x  ({:.0} vs {:.0} states/s)",
+        legacy / new,
+        117_649.0 / (legacy / 1e9),
+        117_649.0 / (new / 1e9),
+    );
+    suite.finish().expect("write BENCH_3.json");
+}

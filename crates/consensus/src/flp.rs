@@ -6,8 +6,10 @@
 //! crash stops you forever*. [`AsyncCandidate`] expresses message-driven
 //! protocols (with null steps, as in FLP's model); [`FlpSystem`] compiles a
 //! candidate into a finite transition system; [`check_candidate`] then hands
-//! it to the [`ValenceEngine`] and to the non-termination lasso search, and
-//! reports which horn of the dilemma kills it.
+//! it to the valence classifier (via [`Search::valence`], the
+//! fingerprint-accelerated graph builder feeding
+//! `ValenceEngine::analyze_from_graph`) and to the non-termination lasso
+//! search, and reports which horn of the dilemma kills it.
 //!
 //! The [`Arbiter`] candidate is the pedagogical centerpiece: it is
 //! agreement-safe but schedule-dependent, so the engine exhibits a
@@ -18,7 +20,8 @@
 
 use impossible_core::ids::ProcessId;
 use impossible_core::system::{DecisionSystem, System};
-use impossible_core::valence::{ValenceEngine, ValenceReport};
+use impossible_core::valence::ValenceReport;
+use impossible_explore::{Encode, FpHasher, Search};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -58,6 +61,13 @@ pub struct FlpState<L, M> {
     pub locals: Vec<L>,
     /// In-flight messages `(from, to, payload)`, sorted.
     pub pending: Vec<(usize, usize, M)>,
+}
+
+impl<L: Encode, M: Encode> Encode for FlpState<L, M> {
+    fn encode(&self, h: &mut FpHasher) {
+        self.locals.encode(h);
+        self.pending.encode(h);
+    }
 }
 
 /// Scheduler choices.
@@ -199,45 +209,18 @@ pub fn find_nontermination<C: AsyncCandidate>(
     sys: &FlpSystem<'_, C>,
     failed: usize,
     max_states: usize,
-) -> Option<NonTermination<FlpState<C::Local, C::M>>> {
+) -> Option<NonTermination<FlpState<C::Local, C::M>>>
+where
+    C::Local: Encode,
+    C::M: Encode,
+{
     // Reachable graph avoiding actions of the failed process entirely
     // (it crashes at time zero).
     let n = sys.candidate.n();
-    let mut order: Vec<FlpState<C::Local, C::M>> = Vec::new();
-    let mut index: BTreeMap<FlpState<C::Local, C::M>, usize> = BTreeMap::new();
-    let mut succ: Vec<Vec<(FlpAction, usize)>> = Vec::new();
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    for s in sys.initial_states() {
-        if !index.contains_key(&s) {
-            index.insert(s.clone(), order.len());
-            order.push(s);
-            succ.push(Vec::new());
-            queue.push_back(order.len() - 1);
-        }
-    }
-    while let Some(i) = queue.pop_front() {
-        let state = order[i].clone();
-        for a in sys.enabled(&state) {
-            if sys.owner(&a) == Some(ProcessId(failed)) {
-                continue;
-            }
-            let t = sys.step(&state, &a);
-            let ti = match index.get(&t) {
-                Some(&ti) => ti,
-                None => {
-                    if order.len() >= max_states {
-                        continue;
-                    }
-                    index.insert(t.clone(), order.len());
-                    order.push(t);
-                    succ.push(Vec::new());
-                    queue.push_back(order.len() - 1);
-                    order.len() - 1
-                }
-            };
-            succ[i].push((a, ti));
-        }
-    }
+    let g = Search::new(sys)
+        .max_states(max_states)
+        .graph_filtered(|a| sys.owner(a) != Some(ProcessId(failed)));
+    let (order, succ) = (g.order, g.succ);
 
     // Eligible loop states: some live process undecided, and no pending
     // message addressed to a live process (else the loop would starve a
@@ -331,16 +314,20 @@ pub enum FlpVerdict<S> {
 pub fn check_candidate<C: AsyncCandidate>(
     candidate: &C,
     max_states: usize,
-) -> FlpVerdict<FlpState<C::Local, C::M>> {
+) -> FlpVerdict<FlpState<C::Local, C::M>>
+where
+    C::Local: Encode,
+    C::M: Encode,
+{
     let sys = FlpSystem::all_binary(candidate);
-    let report = ValenceEngine::new(&sys).max_states(max_states).analyze();
+    let report = Search::new(&sys).max_states(max_states).valence();
     if let Some(s) = report.agreement_violations.first() {
         return FlpVerdict::AgreementViolation(s.clone());
     }
     // Validity on unanimous instances.
     for v in [0u64, 1] {
         let unanimous = FlpSystem::with_inputs(candidate, vec![vec![v; candidate.n()]]);
-        let r = ValenceEngine::new(&unanimous).max_states(max_states).analyze();
+        let r = Search::new(&unanimous).max_states(max_states).valence();
         for init in unanimous.initial_states() {
             if let Some(val) = r.valence.get(&init) {
                 if let Some(bad) = val.0.iter().find(|&&d| d != v) {
@@ -364,9 +351,13 @@ pub fn check_candidate<C: AsyncCandidate>(
 pub fn analyze<C: AsyncCandidate>(
     candidate: &C,
     max_states: usize,
-) -> ValenceReport<FlpState<C::Local, C::M>> {
+) -> ValenceReport<FlpState<C::Local, C::M>>
+where
+    C::Local: Encode,
+    C::M: Encode,
+{
     let sys = FlpSystem::all_binary(candidate);
-    ValenceEngine::new(&sys).max_states(max_states).analyze()
+    Search::new(&sys).max_states(max_states).valence()
 }
 
 // ---------------------------------------------------------------------
@@ -406,6 +397,19 @@ pub enum ArbiterMsg {
     /// The arbiter's verdict.
     Verdict(u64),
 }
+
+impl Encode for ArbiterLocal {
+    fn encode(&self, h: &mut FpHasher) {
+        self.input.encode(h);
+        self.started.encode(h);
+        self.decided.encode(h);
+    }
+}
+
+impossible_explore::impl_encode_enum!(ArbiterMsg {
+    0: Claim(v),
+    1: Verdict(v),
+});
 
 impl AsyncCandidate for Arbiter {
     type Local = ArbiterLocal;
@@ -549,6 +553,15 @@ pub struct WaitLocal {
     started: bool,
     heard: Vec<Option<u64>>,
     decided: Option<u64>,
+}
+
+impl Encode for WaitLocal {
+    fn encode(&self, h: &mut FpHasher) {
+        self.input.encode(h);
+        self.started.encode(h);
+        self.heard.encode(h);
+        self.decided.encode(h);
+    }
 }
 
 impl AsyncCandidate for WaitForAll {

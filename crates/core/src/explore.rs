@@ -6,10 +6,29 @@
 //! synthesis refuters enumerate algorithm spaces. [`Explorer`] is a bounded
 //! breadth-first reachability engine with state deduplication, predicate
 //! search and trace reconstruction.
+//!
+//! `Explorer` dedups by storing full cloned states in a `BTreeMap` and runs
+//! single-threaded; it is kept as the simple **reference engine** (and as the
+//! oracle for the cross-engine equivalence suite). New code should prefer the
+//! `impossible-explore` crate, which reaches the same reports through a
+//! fingerprint visited-set, optional symmetry canonicalization, and
+//! deterministic parallel frontier expansion.
 
 use crate::exec::Execution;
 use crate::system::System;
 use std::collections::{BTreeMap, VecDeque};
+
+/// Which bound stopped an exploration before the space was exhausted.
+///
+/// Callers used to guess from the configured bounds; the report now says.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Truncation {
+    /// The distinct-state cap tripped (`num_states` equals the cap).
+    States,
+    /// The depth cap tripped: some non-terminal state at the cutoff depth
+    /// was left unexpanded.
+    Depth,
+}
 
 /// Result of exploring a system's reachable state space.
 #[derive(Debug, Clone)]
@@ -23,6 +42,8 @@ pub struct ExploreReport<S, A> {
     /// True if exploration hit the state or depth bound before exhausting
     /// the space (so absence of a violation is *not* a proof).
     pub truncated: bool,
+    /// The first bound that tripped, if any (`truncated` == `truncated_by.is_some()`).
+    pub truncated_by: Option<Truncation>,
     /// If a search predicate was installed and matched, a shortest execution
     /// witnessing it.
     pub witness: Option<Execution<S, A>>,
@@ -129,12 +150,12 @@ impl<'a, Sys: System> Explorer<'a, Sys> {
         let mut queue: VecDeque<(Sys::State, usize)> = VecDeque::new();
         let mut terminal = Vec::new();
         let mut transitions = 0usize;
-        let mut truncated = false;
+        let mut truncated_by: Option<Truncation> = None;
         let mut found: Option<Sys::State> = None;
 
         for s in self.sys.initial_states() {
             if parent.len() >= self.max_states {
-                truncated = true;
+                truncated_by.get_or_insert(Truncation::States);
                 break;
             }
             if !parent.contains_key(&s) {
@@ -156,7 +177,7 @@ impl<'a, Sys: System> Explorer<'a, Sys> {
                 continue;
             }
             if d >= self.max_depth {
-                truncated = true;
+                truncated_by.get_or_insert(Truncation::Depth);
                 continue;
             }
             for a in acts {
@@ -164,7 +185,7 @@ impl<'a, Sys: System> Explorer<'a, Sys> {
                 transitions += 1;
                 if !parent.contains_key(&t) {
                     if parent.len() >= self.max_states {
-                        truncated = true;
+                        truncated_by.get_or_insert(Truncation::States);
                         continue 'bfs;
                     }
                     parent.insert(t.clone(), Some((s.clone(), a.clone())));
@@ -196,7 +217,8 @@ impl<'a, Sys: System> Explorer<'a, Sys> {
             num_states: parent.len(),
             num_transitions: transitions,
             terminal_states: terminal,
-            truncated,
+            truncated: truncated_by.is_some(),
+            truncated_by,
             witness,
         }
     }
@@ -213,6 +235,7 @@ mod tests {
         let r = Explorer::new(&sys).explore();
         assert_eq!(r.num_states, 9); // 3 x 3 grid
         assert!(!r.truncated);
+        assert_eq!(r.truncated_by, None);
         assert_eq!(r.terminal_states, vec![vec![2, 2]]);
     }
 
@@ -232,6 +255,7 @@ mod tests {
         let sys = Counters { n: 2, max: 100 };
         let r = Explorer::new(&sys).max_states(10).explore();
         assert!(r.truncated);
+        assert_eq!(r.truncated_by, Some(Truncation::States));
         assert_eq!(r.num_states, 10);
     }
 
@@ -240,6 +264,7 @@ mod tests {
         let sys = Counters { n: 1, max: 100 };
         let r = Explorer::new(&sys).max_depth(3).explore();
         assert!(r.truncated);
+        assert_eq!(r.truncated_by, Some(Truncation::Depth));
         assert_eq!(r.num_states, 4); // depth 0..=3
     }
 

@@ -144,6 +144,43 @@ pub fn min_symmetry_class(ring: &[u64], k: usize) -> usize {
         .unwrap_or(0)
 }
 
+/// The lexicographically minimal rotation of `xs` — a canonical
+/// representative of its rotation orbit.
+///
+/// Two ring configurations are indistinguishable to anonymous processes iff
+/// they are rotations of each other, so quotienting a ring system's state
+/// space by `canonical_rotation` (e.g. as an `impossible-explore`
+/// canonicalization hook) explores each rotation orbit once — the search-side
+/// counterpart of the Angluin symmetry argument [`LockstepRing`] replays.
+///
+/// ```
+/// use impossible_core::symmetry::canonical_rotation;
+/// assert_eq!(canonical_rotation(&[2, 0, 1]), vec![0, 1, 2]);
+/// assert_eq!(canonical_rotation(&[1, 0, 1, 0]), vec![0, 1, 0, 1]);
+/// assert_eq!(canonical_rotation::<u8>(&[]), Vec::<u8>::new());
+/// ```
+pub fn canonical_rotation<T: Ord + Clone>(xs: &[T]) -> Vec<T> {
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut best = 0usize;
+    for cand in 1..n {
+        // Compare rotation `cand` against rotation `best` lexicographically.
+        for k in 0..n {
+            match xs[(cand + k) % n].cmp(&xs[(best + k) % n]) {
+                std::cmp::Ordering::Less => {
+                    best = cand;
+                    break;
+                }
+                std::cmp::Ordering::Greater => break,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+    }
+    (0..n).map(|k| xs[(best + k) % n].clone()).collect()
+}
+
 /// Outcome of running an anonymous deterministic ring protocol in lockstep.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SymmetryVerdict {
@@ -304,6 +341,23 @@ impl<'a, P: AnonymousRingProtocol> LockstepRing<'a, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn canonical_rotation_is_minimal_and_invariant() {
+        let orbit = [vec![2u64, 0, 1], vec![0, 1, 2], vec![1, 2, 0]];
+        for xs in &orbit {
+            assert_eq!(canonical_rotation(xs), vec![0, 1, 2]);
+        }
+        // Minimality: no rotation is lexicographically smaller.
+        let xs = [3u64, 1, 4, 1, 5];
+        let canon = canonical_rotation(&xs);
+        for r in 0..xs.len() {
+            let rot: Vec<u64> = (0..xs.len()).map(|k| xs[(r + k) % xs.len()]).collect();
+            assert!(canon <= rot);
+        }
+        // Periodic inputs keep their period.
+        assert_eq!(canonical_rotation(&[1u64, 0, 1, 0]), vec![0, 1, 0, 1]);
+    }
 
     #[test]
     fn figure_4_ring() {

@@ -148,6 +148,24 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
     /// Build the reachable graph and classify every configuration's valence.
     pub fn analyze(&self) -> ValenceReport<Sys::State> {
         let (order, succ, truncated) = self.reachable_graph();
+        self.analyze_from_graph(&order, &succ, truncated)
+    }
+
+    /// Classify valences over an externally built reachable graph.
+    ///
+    /// This is the seam that lets faster graph builders (notably
+    /// `impossible-explore`'s fingerprint-indexed builder) reuse the
+    /// classification fixpoint without this crate depending on them:
+    /// `order[i]` is state `i`, `succ[i]` its `(action, target_index)`
+    /// successors, and `truncated` whether the builder hit a bound. The
+    /// graph must be closed under `succ` (every target index < `order.len()`)
+    /// and contain every initial state it reached.
+    pub fn analyze_from_graph(
+        &self,
+        order: &[Sys::State],
+        succ: &[Vec<(Sys::Action, usize)>],
+        truncated: bool,
+    ) -> ValenceReport<Sys::State> {
         let index: BTreeMap<&Sys::State, usize> =
             order.iter().enumerate().map(|(i, s)| (s, i)).collect();
 

@@ -10,6 +10,9 @@
 //! * [`abp`] — the alternating-bit protocol: reliable FIFO message delivery
 //!   over a lossy, duplicating (FIFO) channel with just one header bit —
 //!   the possibility side.
+//! * [`abp_search`] — a bounded ABP instance compiled to a transition
+//!   system and model-checked against *every* loss schedule (and the
+//!   headerless straw man it refutes).
 //! * [`two_generals`] — Gray's impossibility as a chain argument: any rule
 //!   for attacking over an unreliable channel either breaks coordination
 //!   outright or is dragged by an indistinguishability chain into
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod abp;
+pub mod abp_search;
 pub mod sequence;
 pub mod channel;
 pub mod stealing;

@@ -17,6 +17,9 @@
 //!   circumventing Angluin's impossibility.
 //! * [`anonymous`] — deterministic anonymous candidates refuted by the
 //!   symmetry engine (the Angluin folk theorem, executable).
+//! * [`ring_search`] — rotation-quotiented exhaustive search over
+//!   anonymous token rings: the symmetry arguments run through the
+//!   canonicalization hook of the search subsystem.
 //! * [`complete`] — election in complete graphs (Korach–Moran–Zaks /
 //!   Afek–Gafni style candidate–capture, Θ(n log n) messages).
 
@@ -32,6 +35,7 @@ pub mod itai_rodeh;
 pub mod lcr;
 pub mod peterson;
 pub mod ring;
+pub mod ring_search;
 pub mod timeslice;
 
 pub use ring::{ElectionOutcome, RingRunner};

@@ -1,0 +1,134 @@
+//! Symmetry-quotiented search over anonymous token rings.
+//!
+//! The Angluin-style symmetry arguments of [`crate::anonymous`] reason
+//! about *rotations*: in an anonymous uniform ring every rotation of a
+//! configuration is another reachable configuration, indistinguishable to
+//! the processes. That is exactly the precondition for exploring the
+//! quotient space instead of the full one — plug
+//! [`canonical_rotation`] in as the
+//! [`Search::canon`](impossible_explore::Search::canon) hook and the
+//! visited set keeps one representative per rotation orbit (a *necklace*),
+//! shrinking the space without changing any verdict on
+//! rotation-invariant predicates.
+//!
+//! [`TokenRing`] is the workhorse: every process starts with a token
+//! (the uniform, fully symmetric start), and a step passes a token one hop
+//! clockwise, merging with any token already there. Electing a leader is
+//! reaching a single-token configuration — possible here only because
+//! token *merging* breaks symmetry, the loophole the deterministic
+//! message-passing candidates of [`crate::anonymous`] don't have.
+
+use impossible_core::symmetry::canonical_rotation;
+use impossible_core::system::System;
+use impossible_explore::{Search, SearchReport};
+
+/// An anonymous unidirectional token ring: `state[i] == 1` iff slot `i`
+/// holds a token; action `i` moves that token to slot `i+1 (mod n)`,
+/// merging if the target slot is already occupied.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenRing {
+    /// Ring size (number of slots / processes).
+    pub n: usize,
+}
+
+impl System for TokenRing {
+    type State = Vec<u8>;
+    type Action = usize;
+
+    fn initial_states(&self) -> Vec<Vec<u8>> {
+        vec![vec![1; self.n]] // uniform start: everyone holds a token
+    }
+
+    fn enabled(&self, s: &Vec<u8>) -> Vec<usize> {
+        // A lone token still circulates, so the system never terminates;
+        // searches are for *reaching* configurations, not terminals.
+        (0..self.n).filter(|&i| s[i] == 1).collect()
+    }
+
+    fn step(&self, s: &Vec<u8>, &i: &usize) -> Vec<u8> {
+        let mut t = s.clone();
+        t[i] = 0;
+        t[(i + 1) % self.n] = 1; // merge: target may already hold one
+        t
+    }
+}
+
+/// The rotation-canonicalization hook: lexicographically least rotation.
+/// Idempotent and orbit-respecting (rotations commute with token passing),
+/// as the [`Search::canon`](impossible_explore::Search::canon) contract
+/// requires.
+pub fn rotation_canon(s: &Vec<u8>) -> Vec<u8> {
+    canonical_rotation(s)
+}
+
+/// Explore the full configuration space (every nonempty token placement
+/// reachable from the uniform start).
+pub fn explore_full(n: usize, max_states: usize) -> SearchReport<Vec<u8>, usize> {
+    let sys = TokenRing { n };
+    Search::new(&sys).max_states(max_states).explore()
+}
+
+/// Explore the rotation quotient: one representative per necklace of
+/// tokens. Same truncation/verdict semantics, far fewer states.
+pub fn explore_quotient(n: usize, max_states: usize) -> SearchReport<Vec<u8>, usize> {
+    let sys = TokenRing { n };
+    Search::new(&sys)
+        .max_states(max_states)
+        .canon(rotation_canon)
+        .explore()
+}
+
+/// Shortest schedule electing a leader (reducing to a single token) in the
+/// rotation quotient, as a number of token-passing steps.
+pub fn shortest_election(n: usize, max_states: usize) -> Option<usize> {
+    let sys = TokenRing { n };
+    Search::new(&sys)
+        .max_states(max_states)
+        .canon(rotation_canon)
+        .search(|s| s.iter().filter(|&&b| b == 1).count() == 1)
+        .witness
+        .map(|w| w.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_space_is_all_nonempty_placements() {
+        // From all-ones every nonempty subset of slots is reachable:
+        // 2^6 - 1 = 63 configurations.
+        let r = explore_full(6, 100_000);
+        assert_eq!(r.num_states, 63);
+        assert!(!r.truncated());
+    }
+
+    #[test]
+    fn quotient_counts_nonempty_necklaces() {
+        // Binary necklaces of length 6 number 14; dropping the all-zero
+        // one leaves 13 rotation orbits.
+        let r = explore_quotient(6, 100_000);
+        assert_eq!(r.num_states, 13);
+        assert!(r.stats.canon_hits > 0);
+    }
+
+    #[test]
+    fn quotient_never_changes_the_election_verdict() {
+        // Merging one token per step is optimal: n - 1 passes.
+        for n in 2..=6 {
+            assert_eq!(shortest_election(n, 100_000), Some(n - 1));
+        }
+    }
+
+    #[test]
+    fn canon_hook_is_idempotent_on_reachable_states() {
+        let sys = TokenRing { n: 5 };
+        let states = Search::new(&sys).canon(rotation_canon).reachable_states();
+        assert!(!states.is_empty());
+        for s in &states {
+            assert_eq!(&rotation_canon(s), s); // quotient keeps canonical forms
+        }
+        // And the quotient really is smaller than the full space.
+        assert!(explore_full(5, 100_000).num_states > states.len());
+    }
+}

@@ -1,0 +1,119 @@
+//! Symmetry canonicalization hooks.
+//!
+//! Most of the paper's models are symmetric: anonymous ring configurations
+//! are indistinguishable under rotation, two-process protocols running the
+//! same code are indistinguishable under a process swap, and in general any
+//! automorphism of the system maps reachable states to reachable states.
+//! Exploring one representative per orbit shrinks the search by up to the
+//! orbit size — the search-side counterpart of the Angluin/fixed-point
+//! symmetry arguments in [`impossible_core::symmetry`].
+//!
+//! A canonicalization hook is a plain function pointer
+//! `fn(&S) -> S` installed with [`crate::Search::canon`]. Fn *pointers*
+//! rather than closures on purpose: they are `Copy + Sync`, trivially
+//! shareable with the worker pool, and cannot smuggle in ambient state —
+//! the hook must be a pure function of the state, or determinism and
+//! soundness both die. The hook must be
+//!
+//! * **idempotent**: `c(c(s)) == c(s)`, and
+//! * **orbit-respecting**: `c(s) == c(t)` exactly when `s` and `t` are
+//!   related by a system automorphism (equivariance: the enabled actions
+//!   and successors of `c(s)` mirror those of `s`).
+//!
+//! Under those two conditions the quotient search preserves reachability
+//! and violation-existence, and every witness it returns is a genuine
+//! execution of the quotient system (each step is `step` followed by `c`).
+//!
+//! This module provides the generic building blocks; model crates compose
+//! them into concrete hooks (e.g. `election`'s anonymous-ring search uses
+//! [`impossible_core::symmetry::canonical_rotation`]).
+
+/// The canonical representative of `state`'s orbit under an explicit set of
+/// process permutations.
+///
+/// `apply(state, perm)` must implement the group action: permute every
+/// process-indexed component of the state by `perm` (where `perm[i]` is the
+/// new index of process `i`). The representative is the `Ord`-minimum over
+/// all listed permutations, so the caller controls the group (full symmetric
+/// group, rotations only, a single swap, ...). Identity need not be listed;
+/// `state` itself is always a candidate.
+pub fn min_under_permutations<S, F>(state: &S, perms: &[Vec<usize>], apply: F) -> S
+where
+    S: Clone + Ord,
+    F: Fn(&S, &[usize]) -> S,
+{
+    let mut best = state.clone();
+    for p in perms {
+        let cand = apply(state, p);
+        if cand < best {
+            best = cand;
+        }
+    }
+    best
+}
+
+/// All `n!` permutations of `0..n`, in lexicographic order — the full
+/// symmetric group for [`min_under_permutations`]. Deterministic order;
+/// intended for small `n` (the finite instances the engines check).
+pub fn all_permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<usize> = (0..n).collect();
+    let mut used = vec![false; n];
+    fn rec(n: usize, cur: &mut Vec<usize>, used: &mut Vec<bool>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == n {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..n {
+            if !used[i] {
+                used[i] = true;
+                cur.push(i);
+                rec(n, cur, used, out);
+                cur.pop();
+                used[i] = false;
+            }
+        }
+    }
+    cur.clear();
+    rec(n, &mut cur, &mut used, &mut out);
+    out
+}
+
+/// The `n` cyclic rotations of `0..n` (including identity) — the rotation
+/// group of an anonymous ring.
+pub fn rotations(n: usize) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|r| (0..n).map(|i| (i + r) % n).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_generators() {
+        assert_eq!(all_permutations(3).len(), 6);
+        assert_eq!(all_permutations(0), vec![Vec::<usize>::new()]);
+        assert_eq!(rotations(3), vec![vec![0, 1, 2], vec![1, 2, 0], vec![2, 0, 1]]);
+    }
+
+    #[test]
+    fn min_under_swap_canonicalizes_pairs() {
+        // State = per-process values; action of a permutation moves value at
+        // i to position perm[i].
+        let apply = |s: &Vec<u8>, p: &[usize]| {
+            let mut t = vec![0u8; s.len()];
+            for (i, &v) in s.iter().enumerate() {
+                t[p[i]] = v;
+            }
+            t
+        };
+        let perms = all_permutations(2);
+        assert_eq!(min_under_permutations(&vec![9u8, 1], &perms, apply), vec![1, 9]);
+        assert_eq!(min_under_permutations(&vec![1u8, 9], &perms, apply), vec![1, 9]);
+        // Idempotent.
+        let c = min_under_permutations(&vec![9u8, 1], &perms, apply);
+        assert_eq!(min_under_permutations(&c, &perms, apply), c);
+    }
+}

@@ -1,0 +1,368 @@
+//! Seeded 64-bit state fingerprints.
+//!
+//! The legacy `core::explore::Explorer` dedups by storing full cloned states
+//! in a `BTreeMap` — every membership test walks a tree comparing whole
+//! states, and every insert clones one. This module replaces that with a
+//! *fingerprint visited-set*: each state is reduced to a 64-bit hash of a
+//! canonical byte/word encoding, and the visited set stores only the hashes.
+//!
+//! Three deliberate design points:
+//!
+//! * **Derive-free.** [`Fingerprint`] has a blanket impl for every
+//!   [`Encode`] type, and `Encode` is a tiny hand-written visitor over the
+//!   state's structure — no `Ord`/`Hash` bounds, no derive machinery, no
+//!   dependence on `std::hash`'s unstable-by-design hasher selection.
+//! * **Seeded.** The hash is keyed by an explicit `seed` (mixed through
+//!   [`impossible_det::rng::splitmix64`]), so a collision is not a fixed property
+//!   of a state pair: re-running under a different seed (or under
+//!   `DET_SEED`) re-randomizes the fingerprint function. Same seed → same
+//!   fingerprints, bit for bit, on every platform.
+//! * **Auditable.** Fingerprint equality is *assumed* to mean state equality
+//!   (a 64-bit hash over ≤ a few million states has collision probability
+//!   ≈ `n²/2⁶⁵`); the search engine's collision-audit mode keeps the full
+//!   states alongside and panics on a genuine collision, which is how the
+//!   test suite validates the policy on every engine's real state types.
+//!
+//! Encodings must be *prefix-unambiguous*: variable-length collections
+//! write their length first, enums write a variant tag first. That makes
+//! the map from state to word stream injective, so two distinct states
+//! collide only if the hash itself collides.
+
+use impossible_det::rng::splitmix64;
+
+/// Streaming word hasher behind [`Fingerprint`].
+///
+/// Each absorbed word is mixed into the running state with one
+/// `splitmix64` round; `finish` applies a final round so short encodings
+/// are still well avalanched.
+#[derive(Debug, Clone)]
+pub struct FpHasher {
+    h: u64,
+}
+
+impl FpHasher {
+    /// A hasher keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut s = seed ^ 0x9e37_79b9_7f4a_7c15;
+        FpHasher {
+            h: splitmix64(&mut s),
+        }
+    }
+
+    /// Absorb one 64-bit word.
+    #[inline]
+    pub fn write_u64(&mut self, word: u64) {
+        let mut s = self.h ^ word;
+        self.h = splitmix64(&mut s);
+    }
+
+    /// Absorb a usize (as u64 — encodings are width-independent).
+    #[inline]
+    pub fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    /// Absorb raw bytes, 8 per word, length included.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_usize(bytes.len());
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(w));
+        }
+    }
+
+    /// The 64-bit fingerprint of everything absorbed so far.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        let mut s = self.h;
+        splitmix64(&mut s)
+    }
+}
+
+/// A canonical, prefix-unambiguous word encoding of a value.
+///
+/// This is the only thing a state type must provide to participate in
+/// fingerprint dedup. Implementations must be **total and injective** on the
+/// type's reachable values: equal values produce equal streams, distinct
+/// values produce distinct streams (given the length/tag prefixing rules in
+/// the module docs). All primitive scalars, tuples, `Option`, `Vec`, slices,
+/// arrays and the ordered collections are covered here; model crates add
+/// impls for their own state structs/enums (see [`crate::impl_encode_enum!`]
+/// for C-like and field-carrying enums).
+pub trait Encode {
+    /// Feed this value's canonical encoding to `h`.
+    fn encode(&self, h: &mut FpHasher);
+}
+
+/// Seeded 64-bit fingerprints — blanket-implemented for every [`Encode`]
+/// type, never derived.
+pub trait Fingerprint {
+    /// The fingerprint of `self` under `seed`.
+    fn fingerprint(&self, seed: u64) -> u64;
+}
+
+impl<T: Encode + ?Sized> Fingerprint for T {
+    fn fingerprint(&self, seed: u64) -> u64 {
+        let mut h = FpHasher::new(seed);
+        self.encode(&mut h);
+        h.finish()
+    }
+}
+
+macro_rules! encode_scalar {
+    ($($ty:ty),+ $(,)?) => {$(
+        impl Encode for $ty {
+            #[inline]
+            fn encode(&self, h: &mut FpHasher) {
+                h.write_u64(*self as u64);
+            }
+        }
+    )+};
+}
+
+encode_scalar!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, char);
+
+impl Encode for () {
+    #[inline]
+    fn encode(&self, _h: &mut FpHasher) {}
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, h: &mut FpHasher) {
+        match self {
+            None => h.write_u64(0),
+            Some(x) => {
+                h.write_u64(1);
+                x.encode(h);
+            }
+        }
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode(&self, h: &mut FpHasher) {
+        h.write_usize(self.len());
+        for x in self {
+            x.encode(h);
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, h: &mut FpHasher) {
+        self.as_slice().encode(h);
+    }
+}
+
+impl<T: Encode, const N: usize> Encode for [T; N] {
+    fn encode(&self, h: &mut FpHasher) {
+        self.as_slice().encode(h);
+    }
+}
+
+impl<T: Encode + ?Sized> Encode for &T {
+    fn encode(&self, h: &mut FpHasher) {
+        (*self).encode(h);
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, h: &mut FpHasher) {
+        h.write_bytes(self.as_bytes());
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, h: &mut FpHasher) {
+        h.write_bytes(self.as_bytes());
+    }
+}
+
+macro_rules! encode_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Encode),+> Encode for ($($name,)+) {
+            fn encode(&self, h: &mut FpHasher) {
+                $(self.$idx.encode(h);)+
+            }
+        }
+    };
+}
+
+encode_tuple!(A: 0);
+encode_tuple!(A: 0, B: 1);
+encode_tuple!(A: 0, B: 1, C: 2);
+encode_tuple!(A: 0, B: 1, C: 2, D: 3);
+encode_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+impl<K: Encode, V: Encode> Encode for std::collections::BTreeMap<K, V> {
+    fn encode(&self, h: &mut FpHasher) {
+        h.write_usize(self.len());
+        for (k, v) in self {
+            k.encode(h);
+            v.encode(h);
+        }
+    }
+}
+
+impl<T: Encode> Encode for std::collections::BTreeSet<T> {
+    fn encode(&self, h: &mut FpHasher) {
+        h.write_usize(self.len());
+        for x in self {
+            x.encode(h);
+        }
+    }
+}
+
+impl Encode for impossible_core::ids::ProcessId {
+    #[inline]
+    fn encode(&self, h: &mut FpHasher) {
+        h.write_usize(self.0);
+    }
+}
+
+/// Implement [`Encode`] for an enum by listing every variant with an
+/// explicit tag. Handles unit, struct and tuple variants; fields encode in
+/// the listed order, after the tag. Tags need not be dense, only distinct.
+///
+/// ```
+/// use impossible_explore::{impl_encode_enum, Fingerprint};
+///
+/// #[derive(Clone)]
+/// enum Phase {
+///     Idle,
+///     Waiting { round: usize },
+///     Done(u64),
+/// }
+/// impl_encode_enum!(Phase {
+///     0: Idle,
+///     1: Waiting { round },
+///     2: Done(v),
+/// });
+///
+/// assert_ne!(
+///     Phase::Waiting { round: 3 }.fingerprint(7),
+///     Phase::Done(3).fingerprint(7),
+/// );
+/// ```
+#[macro_export]
+macro_rules! impl_encode_enum {
+    ($ty:ty { $($body:tt)* }) => {
+        impl $crate::Encode for $ty {
+            fn encode(&self, h: &mut $crate::FpHasher) {
+                $crate::__encode_enum_variants!(self, h; $($body)*);
+            }
+        }
+    };
+}
+
+/// Recursive helper for [`impl_encode_enum!`] — one `if let` per variant.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __encode_enum_variants {
+    ($s:expr, $h:expr; ) => {};
+    ($s:expr, $h:expr; $tag:literal : $v:ident, $($rest:tt)*) => {
+        if let Self::$v = $s {
+            $h.write_u64($tag);
+        }
+        $crate::__encode_enum_variants!($s, $h; $($rest)*);
+    };
+    ($s:expr, $h:expr; $tag:literal : $v:ident { $($f:ident),+ $(,)? }, $($rest:tt)*) => {
+        if let Self::$v { $($f),+ } = $s {
+            $h.write_u64($tag);
+            $($crate::Encode::encode($f, $h);)+
+        }
+        $crate::__encode_enum_variants!($s, $h; $($rest)*);
+    };
+    ($s:expr, $h:expr; $tag:literal : $v:ident ( $($f:ident),+ $(,)? ), $($rest:tt)*) => {
+        if let Self::$v($($f),+) = $s {
+            $h.write_u64($tag);
+            $($crate::Encode::encode($f, $h);)+
+        }
+        $crate::__encode_enum_variants!($s, $h; $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_value_same_seed_same_fingerprint() {
+        let a = vec![1u8, 2, 3];
+        assert_eq!(a.fingerprint(42), vec![1u8, 2, 3].fingerprint(42));
+    }
+
+    #[test]
+    fn seed_changes_fingerprint() {
+        let a = vec![1u8, 2, 3];
+        assert_ne!(a.fingerprint(1), a.fingerprint(2));
+    }
+
+    #[test]
+    fn length_prefix_disambiguates_adjacent_collections() {
+        // Without length prefixes these would absorb identical streams.
+        let a = (vec![1u64], vec![2u64, 3]);
+        let b = (vec![1u64, 2], vec![3u64]);
+        assert_ne!(a.fingerprint(0), b.fingerprint(0));
+        let c: (Vec<u64>, Vec<u64>) = (vec![], vec![1]);
+        let d: (Vec<u64>, Vec<u64>) = (vec![1], vec![]);
+        assert_ne!(c.fingerprint(0), d.fingerprint(0));
+    }
+
+    #[test]
+    fn option_tags_disambiguate() {
+        assert_ne!(Some(0u64).fingerprint(9), None::<u64>.fingerprint(9));
+        // Some(0) must differ from a bare 0 absorbed after a 1-tag of
+        // something else — spot-check nested shapes.
+        assert_ne!(
+            (Some(0u64), 1u64).fingerprint(9),
+            (None::<u64>, 1u64).fingerprint(9)
+        );
+    }
+
+    #[test]
+    fn byte_strings_roundtrip_length() {
+        assert_ne!("ab".fingerprint(3), "ab\0".fingerprint(3));
+        assert_ne!("".fingerprint(3), "\0".fingerprint(3));
+    }
+
+    #[test]
+    fn no_collisions_over_a_dense_small_space() {
+        // 4^6 = 4096 distinct states: a birthday bound of ~2^-41 per pair
+        // means any collision here is a bug, not bad luck.
+        let mut seen = std::collections::BTreeSet::new();
+        for x in 0u64..4096 {
+            let state: Vec<u64> = (0..6).map(|k| (x >> (2 * k)) & 3).collect();
+            assert!(seen.insert(state.fingerprint(0xDEAD_BEEF)));
+        }
+    }
+
+    #[derive(Clone)]
+    enum Demo {
+        A,
+        B { x: usize, y: u64 },
+        C(u8),
+    }
+    impl_encode_enum!(Demo {
+        0: A,
+        1: B { x, y },
+        2: C(b),
+    });
+
+    #[test]
+    fn enum_macro_covers_all_variant_shapes() {
+        let fps = [
+            Demo::A.fingerprint(5),
+            Demo::B { x: 0, y: 0 }.fingerprint(5),
+            Demo::C(0).fingerprint(5),
+            Demo::B { x: 1, y: 0 }.fingerprint(5),
+            Demo::B { x: 0, y: 1 }.fingerprint(5),
+        ];
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Exact reachable-graph construction for the analysis engines.
+//!
+//! The valence fixpoint, deadlock backward-reachability and lasso product
+//! searches all need the full graph — states *and* successor lists — so a
+//! fingerprint-only visited set is not enough, and a hash-indexed one would
+//! make graph shape depend on collision luck. This builder keeps every
+//! state (it must, to return them) and uses fingerprints purely as an
+//! **index acceleration**: dedup looks up the fingerprint bucket, then
+//! falls back to full equality within the bucket. A collision costs one
+//! extra comparison, never a wrong graph — so graph-based classifications
+//! (valence, deadlock, non-termination) are exact under any seed, while
+//! still skipping the full-state `BTreeMap` comparisons that made the
+//! legacy builder slow.
+//!
+//! Graphs honor the search's `max_states` bound and canonicalization hook,
+//! but not `max_depth` (matching the legacy `ValenceEngine` builder, which
+//! the seam [`ValenceEngine::analyze_from_graph`] pairs this with).
+
+use crate::fingerprint::{Encode, Fingerprint};
+use crate::search::Search;
+use crate::table::FpMap;
+use impossible_core::explore::Truncation;
+use impossible_core::system::{DecisionSystem, System};
+use impossible_core::valence::{ValenceEngine, ValenceReport};
+use std::collections::VecDeque;
+
+/// A reachable configuration graph: `order[i]` is state `i`, `succ[i]` its
+/// `(action, target_index)` edges in action order.
+#[derive(Debug, Clone)]
+pub struct ReachableGraph<S, A> {
+    /// States in discovery (BFS) order; initial states first.
+    pub order: Vec<S>,
+    /// Successor lists, indices into `order`.
+    pub succ: Vec<Vec<(A, usize)>>,
+    /// The bound that tripped, if any (only `States` is possible here).
+    pub truncated_by: Option<Truncation>,
+}
+
+impl<S, A> ReachableGraph<S, A> {
+    /// Did the builder hit the state bound?
+    pub fn truncated(&self) -> bool {
+        self.truncated_by.is_some()
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when no state was reached (no initial states).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+impl<'a, Sys: System> Search<'a, Sys>
+where
+    Sys::State: Encode,
+{
+    /// Build the reachable graph (within `max_states`), dedup accelerated by
+    /// fingerprint buckets with exact equality fallback.
+    pub fn graph(&self) -> ReachableGraph<Sys::State, Sys::Action> {
+        self.graph_filtered(|_| true)
+    }
+
+    /// All distinct reachable states (within `max_states`), sorted.
+    pub fn reachable_states(&self) -> Vec<Sys::State> {
+        let mut order = self.graph().order;
+        order.sort();
+        order
+    }
+
+    /// Reachable graph over the transitions whose action passes `keep` —
+    /// e.g. the FLP non-termination engine drops actions owned by failed
+    /// processes before hunting for bivalent cycles.
+    pub fn graph_filtered<F>(&self, keep: F) -> ReachableGraph<Sys::State, Sys::Action>
+    where
+        F: Fn(&Sys::Action) -> bool,
+    {
+        let sys = self.sys();
+        let (max_states, _) = self.bounds();
+        let canon = self.canon_hook();
+        let seed = self.seed_value();
+        let canonize = |s: Sys::State| match canon {
+            None => s,
+            Some(c) => c(&s),
+        };
+
+        let mut order: Vec<Sys::State> = Vec::new();
+        let mut succ: Vec<Vec<(Sys::Action, usize)>> = Vec::new();
+        let mut by_fp: FpMap<Vec<usize>> = FpMap::new();
+        let mut truncated_by: Option<Truncation> = None;
+        let mut queue: VecDeque<usize> = VecDeque::new();
+
+        for s0 in sys.initial_states() {
+            let sc = canonize(s0);
+            let fp = sc.fingerprint(seed);
+            let bucket = by_fp.get_or_insert_with(fp, Vec::new);
+            if bucket.iter().any(|&j| order[j] == sc) {
+                continue;
+            }
+            let j = order.len();
+            bucket.push(j);
+            order.push(sc);
+            succ.push(Vec::new());
+            queue.push_back(j);
+        }
+
+        while let Some(i) = queue.pop_front() {
+            let state = order[i].clone();
+            for a in sys.enabled(&state) {
+                if !keep(&a) {
+                    continue;
+                }
+                let tc = canonize(sys.step(&state, &a));
+                let fp = tc.fingerprint(seed);
+                let bucket = by_fp.get_or_insert_with(fp, Vec::new);
+                let ti = match bucket.iter().copied().find(|&j| order[j] == tc) {
+                    Some(j) => j,
+                    None => {
+                        if order.len() >= max_states {
+                            truncated_by.get_or_insert(Truncation::States);
+                            continue;
+                        }
+                        let j = order.len();
+                        bucket.push(j);
+                        order.push(tc);
+                        succ.push(Vec::new());
+                        queue.push_back(j);
+                        j
+                    }
+                };
+                succ[i].push((a, ti));
+            }
+        }
+
+        ReachableGraph {
+            order,
+            succ,
+            truncated_by,
+        }
+    }
+}
+
+impl<'a, Sys: DecisionSystem> Search<'a, Sys>
+where
+    Sys::State: Encode,
+{
+    /// Valence-classify the reachable space: build the graph here, run the
+    /// classification fixpoint through
+    /// [`ValenceEngine::analyze_from_graph`]. Drop-in for
+    /// `ValenceEngine::analyze` with the fast graph builder underneath.
+    pub fn valence(&self) -> ValenceReport<Sys::State> {
+        let g = self.graph();
+        ValenceEngine::new(self.sys())
+            .max_states(self.bounds().0)
+            .analyze_from_graph(&g.order, &g.succ, g.truncated())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::FpHasher;
+    use crate::grid::Grid;
+
+    #[test]
+    fn graph_matches_full_exploration() {
+        let sys = Grid { n: 2, max: 3 };
+        let g = Search::new(&sys).graph();
+        let r = Search::new(&sys).explore();
+        assert_eq!(g.len(), r.num_states);
+        assert_eq!(
+            g.succ.iter().map(Vec::len).sum::<usize>(),
+            r.num_transitions
+        );
+        assert!(!g.truncated());
+        // Initial state first, edges index-closed.
+        assert_eq!(g.order[0], vec![0, 0]);
+        assert!(g.succ.iter().flatten().all(|&(_, t)| t < g.len()));
+    }
+
+    #[test]
+    fn graph_filtered_drops_edges_and_their_cone() {
+        // Keep only counter-0 increments: a 1-dimensional chain remains.
+        let sys = Grid { n: 2, max: 3 };
+        let g = Search::new(&sys).graph_filtered(|a| *a == 0);
+        assert_eq!(g.len(), 4);
+        assert!(g.succ.iter().all(|es| es.len() <= 1));
+    }
+
+    #[test]
+    fn graph_is_exact_even_under_total_fingerprint_collision() {
+        // All states encode identically — every fingerprint collides. The
+        // equality fallback must still produce the exact graph.
+        struct Degenerate;
+        #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        struct Blind(u8);
+        impl Encode for Blind {
+            fn encode(&self, _h: &mut FpHasher) {}
+        }
+        impl System for Degenerate {
+            type State = Blind;
+            type Action = u8;
+            fn initial_states(&self) -> Vec<Blind> {
+                vec![Blind(0)]
+            }
+            fn enabled(&self, s: &Blind) -> Vec<u8> {
+                if s.0 < 9 {
+                    vec![0]
+                } else {
+                    vec![]
+                }
+            }
+            fn step(&self, s: &Blind, _a: &u8) -> Blind {
+                Blind(s.0 + 1)
+            }
+        }
+        let g = Search::new(&Degenerate).graph();
+        assert_eq!(g.len(), 10);
+        assert!(!g.truncated());
+    }
+
+    #[test]
+    fn state_cap_marks_truncation() {
+        let sys = Grid { n: 2, max: 50 };
+        let g = Search::new(&sys).max_states(7).graph();
+        assert_eq!(g.len(), 7);
+        assert_eq!(g.truncated_by, Some(Truncation::States));
+    }
+}

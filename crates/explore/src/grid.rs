@@ -1,0 +1,52 @@
+//! A tunable synthetic [`System`] for benchmarks and engine tests.
+//!
+//! `n` independent counters, each incrementable to `max`: exactly
+//! `(max+1)^n` reachable states, one terminal state (all saturated), and a
+//! dense diamond structure that stresses the visited set — every interior
+//! state is reachable along many paths, so dedup throughput dominates.
+//! This is the public sibling of `core`'s test-only `Counters` system; the
+//! `BENCH_3.json` speedup baseline uses `Grid { n: 6, max: 6 }` (117,649
+//! states).
+
+use impossible_core::system::System;
+
+/// `n` counters over `0..=max`; action `i` increments counter `i`.
+#[derive(Debug, Clone, Copy)]
+pub struct Grid {
+    /// Number of counters.
+    pub n: usize,
+    /// Saturation value per counter.
+    pub max: u8,
+}
+
+impl System for Grid {
+    type State = Vec<u8>;
+    type Action = usize;
+
+    fn initial_states(&self) -> Vec<Vec<u8>> {
+        vec![vec![0; self.n]]
+    }
+
+    fn enabled(&self, s: &Vec<u8>) -> Vec<usize> {
+        (0..self.n).filter(|&i| s[i] < self.max).collect()
+    }
+
+    fn step(&self, s: &Vec<u8>, a: &usize) -> Vec<u8> {
+        let mut t = s.clone();
+        t[*a] += 1;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::Search;
+
+    #[test]
+    fn state_count_is_exact() {
+        let r = Search::new(&Grid { n: 3, max: 4 }).explore();
+        assert_eq!(r.num_states, 125);
+        assert_eq!(r.terminal_states.len(), 1);
+    }
+}

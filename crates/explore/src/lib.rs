@@ -1,0 +1,55 @@
+//! # impossible-explore
+//!
+//! The workspace's state-space search subsystem. Every impossibility engine
+//! here bottoms out in "exhaustively cover the reachable configuration
+//! graph of a small instance" — valence classification (FLP, Figures 2–3),
+//! mutex safety/deadlock/lockout checking, synthesis refutation, election
+//! symmetry search. This crate makes that coverage cheap without giving up
+//! the determinism discipline the repo is built on:
+//!
+//! * [`fingerprint`] — seeded 64-bit fingerprint visited-sets over a
+//!   derive-free byte/word [`Encode`] trait, with a full-state
+//!   collision-audit mode for tests;
+//! * [`canon`] — symmetry canonicalization hooks (plug
+//!   [`impossible_core::symmetry`]'s permutation machinery into the visited
+//!   set so each orbit is explored once);
+//! * [`pool`] — the deterministic fork-join worker pool: fixed
+//!   fingerprint-partitioned frontiers, merged in partition order, so
+//!   reports are byte-identical for any worker count;
+//! * [`search`] — the unified [`Search`] API: BFS shortest-witness and
+//!   iterative-deepening DFS, with per-run counters exported as
+//!   deterministic JSON ([`SearchStats`]);
+//! * [`table`] — the open-addressing fingerprint table behind the visited
+//!   set (fingerprints are pre-mixed, so probing is `fp & mask` + linear
+//!   scan: the engine's speed over the legacy full-state `BTreeMap`);
+//! * [`graph`] — the exact fingerprint-accelerated reachable-graph builder
+//!   feeding `ValenceEngine::analyze_from_graph` and the product-space
+//!   engines;
+//! * [`grid`] — a tunable synthetic system for benchmarks and the
+//!   cross-engine equivalence suite.
+//!
+//! The legacy [`impossible_core::explore::Explorer`] remains as the simple
+//! reference engine; `tests/explore_equivalence.rs` (workspace root) pins
+//! agreement between the two on a system from every model crate. See
+//! `docs/EXPLORE.md` for the architecture and the determinism argument.
+
+pub mod canon;
+pub mod fingerprint;
+pub mod graph;
+pub mod grid;
+pub mod pool;
+pub mod search;
+pub mod stats;
+pub mod table;
+
+pub use fingerprint::{Encode, Fingerprint, FpHasher};
+pub use graph::ReachableGraph;
+pub use grid::Grid;
+pub use pool::WorkerPool;
+pub use search::{Search, SearchReport, DEFAULT_PARTITIONS, DEFAULT_SEED};
+pub use stats::SearchStats;
+pub use table::FpMap;
+
+// Re-export so downstream code can name the truncation cause without also
+// depending on `impossible-core` explicitly.
+pub use impossible_core::explore::Truncation;

@@ -1,0 +1,132 @@
+//! Deterministic fork-join worker pool.
+//!
+//! The one place in the workspace allowed to touch OS threads. The contract
+//! that keeps it deterministic is structural, not synchronization-based:
+//!
+//! * work arrives as an ordered list of **partitions** (the search engine
+//!   partitions each BFS level by state fingerprint, with a partition count
+//!   that is *fixed* — independent of the worker count);
+//! * worker `w` processes partitions `w, w + W, w + 2W, ...` — a pure
+//!   function of the partition index, never a work-stealing race;
+//! * each partition's results are returned **in partition order**, so the
+//!   caller's merge observes a sequence that depends only on the input,
+//!   never on thread scheduling.
+//!
+//! Consequently `map_partitions` is extensionally identical for any worker
+//! count — the determinism test in `tests/determinism.rs` pins byte-equal
+//! search reports for 1, 2 and 8 workers. Threads are *scoped* (joined
+//! before return) and share only the read-only closure, so no state leaks
+//! across calls. Panics in workers propagate to the caller.
+
+/// A fixed-size fork-join pool. `workers == 1` runs inline with no threads.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// A pool with `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        WorkerPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Apply `f` to every item of every partition, returning outputs grouped
+    /// by partition, in partition order and in-partition input order.
+    ///
+    /// The output is a pure function of `(parts, f)` — the worker count only
+    /// affects wall-clock time.
+    pub fn map_partitions<I, O, F>(&self, parts: &[Vec<I>], f: F) -> Vec<Vec<O>>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(&I) -> O + Sync,
+    {
+        self.map_each_partition(parts, |p| p.iter().map(&f).collect())
+    }
+
+    /// Apply `f` to each whole partition (one call per partition, so hot
+    /// callers can accumulate into a single buffer instead of allocating per
+    /// item), returning outputs in partition order.
+    ///
+    /// Same determinism contract as [`WorkerPool::map_partitions`]: the
+    /// output is a pure function of `(parts, f)`.
+    pub fn map_each_partition<I, O, F>(&self, parts: &[Vec<I>], f: F) -> Vec<O>
+    where
+        I: Sync,
+        O: Send,
+        F: Fn(&[I]) -> O + Sync,
+    {
+        if self.workers == 1 || parts.len() <= 1 {
+            return parts.iter().map(|p| f(p)).collect();
+        }
+        let mut out: Vec<O> = Vec::with_capacity(parts.len());
+        // Scoped threads: joined before return, borrowing `parts`/`f` only.
+        // Results are placed by partition index, so scheduling order cannot
+        // influence the output.
+        // LINT-ALLOW: det-ambient -- deterministic fork-join pool: fixed partition->worker map, ordered merge (docs/EXPLORE.md)
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = (0..self.workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let mut mine: Vec<(usize, O)> = Vec::new();
+                        let mut k = w;
+                        while k < parts.len() {
+                            mine.push((k, f(&parts[k])));
+                            k += self.workers;
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<O>> = (0..parts.len()).map(|_| None).collect();
+            for h in handles {
+                for (k, v) in h.join().expect("explore worker panicked") {
+                    slots[k] = Some(v);
+                }
+            }
+            out.extend(slots.into_iter().map(|s| s.expect("partition covered")));
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_parts(parts: &[Vec<u64>], workers: usize) -> Vec<Vec<u64>> {
+        WorkerPool::new(workers).map_partitions(parts, |x| x * x)
+    }
+
+    #[test]
+    fn output_is_worker_count_invariant() {
+        let parts: Vec<Vec<u64>> = (0..13).map(|k| (0..k).collect()).collect();
+        let one = square_parts(&parts, 1);
+        for w in [2, 3, 8, 64] {
+            assert_eq!(square_parts(&parts, w), one);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_partition_edge_cases() {
+        assert_eq!(square_parts(&[], 4), Vec::<Vec<u64>>::new());
+        assert_eq!(square_parts(&[vec![3]], 4), vec![vec![9]]);
+        assert_eq!(
+            square_parts(&[vec![], vec![2], vec![]], 2),
+            vec![vec![], vec![4], vec![]]
+        );
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(WorkerPool::new(0).workers(), 1);
+    }
+}

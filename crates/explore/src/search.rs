@@ -1,0 +1,821 @@
+//! The unified search engine: BFS shortest-witness and iterative-deepening
+//! DFS behind one [`Search`] builder.
+//!
+//! # BFS (fingerprint dedup, deterministic parallel frontiers)
+//!
+//! The breadth-first engine is level-synchronized. Each level is
+//! partitioned by `fingerprint % partitions` into a **fixed** number of
+//! partitions (independent of the worker count), expanded by the
+//! [`crate::pool::WorkerPool`], and merged strictly in partition order,
+//! in-partition in frontier order. Every name the report can mention —
+//! discovery order, witness, terminal list, counters — is derived from that
+//! merge order, so the report is a pure function of
+//! `(system, bounds, seed, canon, partitions)`: the worker count never
+//! changes a byte of output (`tests/determinism.rs` pins this for 1/2/8
+//! workers).
+//!
+//! The visited set stores 64-bit fingerprints, not states (see
+//! [`crate::fingerprint`] for the collision policy and
+//! [`Search::collision_audit`] for the test-mode check). Witnesses are
+//! reconstructed by walking a fingerprint-keyed parent map back to an
+//! initial state and replaying the actions through [`System::step`].
+//!
+//! # Semantics vs. the legacy `Explorer`
+//!
+//! On a full (predicate-free, untruncated) exploration the report agrees
+//! with [`impossible_core::explore::Explorer`] on `num_states`,
+//! `num_transitions` and the terminal-state *set* (the order differs:
+//! legacy emits queue order, this engine merge order). Predicate searches
+//! agree on witness *length* (both are shortest) but may return a different
+//! shortest witness, and stop mid-level, so state/transition counts of
+//! `search` runs are not comparable. The cross-engine equivalence suite in
+//! `tests/explore_equivalence.rs` pins all of this per model crate.
+//!
+//! # IDDFS (memory-bound runs)
+//!
+//! [`Search::search_iddfs`] holds only the current path (plus its
+//! fingerprint set for cycle pruning), re-expanding prefixes instead of
+//! remembering them — the classic memory/time trade. Depth limits iterate
+//! `0..=max_depth`, so the first hit is still a shortest witness.
+
+use crate::fingerprint::{Encode, Fingerprint};
+use crate::pool::WorkerPool;
+use crate::stats::SearchStats;
+use crate::table::{FpMap, TryInsert};
+use impossible_core::exec::Execution;
+use impossible_core::explore::Truncation;
+use impossible_core::system::System;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Default fingerprint seed (any fixed value works; overridable for
+/// collision re-randomization and `DET_SEED` integration).
+pub const DEFAULT_SEED: u64 = 0x5EED_FACE_0FDA_7A5E;
+
+/// Default number of frontier partitions. Fixed (never derived from the
+/// worker count) so reports are worker-count invariant; 64 keeps ≥ 8
+/// partitions per worker at the maximum sensible pool size.
+pub const DEFAULT_PARTITIONS: usize = 64;
+
+/// Result of a [`Search`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchReport<S, A> {
+    /// Distinct states visited (fingerprint-distinct; 0 for IDDFS, which
+    /// keeps no visited set — see `stats.expansions`).
+    pub num_states: usize,
+    /// Transitions traversed.
+    pub num_transitions: usize,
+    /// States with no enabled action, in merge order (empty for IDDFS).
+    pub terminal_states: Vec<S>,
+    /// The first bound that tripped, if any.
+    pub truncated_by: Option<Truncation>,
+    /// Shortest execution to a predicate match, if one was found.
+    pub witness: Option<Execution<S, A>>,
+    /// Per-run counters (deterministic; JSON via [`SearchStats::to_json`]).
+    pub stats: SearchStats,
+}
+
+impl<S, A> SearchReport<S, A> {
+    /// Did exploration hit a bound before exhausting the space?
+    pub fn truncated(&self) -> bool {
+        self.truncated_by.is_some()
+    }
+}
+
+/// Parent-map entry, keyed by child fingerprint.
+enum Parent<A> {
+    /// `initial_states()[i]`.
+    Root(usize),
+    /// Reached from the state fingerprinted `parent` via `action`.
+    Child { parent: u64, action: A },
+}
+
+/// Builder/engine for fingerprint-deduped state-space search.
+///
+/// ```
+/// use impossible_explore::{Grid, Search};
+///
+/// // 3×3 grid; shortest path to the far corner has 4 steps.
+/// let sys = Grid { n: 2, max: 2 };
+/// let report = Search::new(&sys).search(|s| s.iter().all(|&c| c == 2));
+/// assert_eq!(report.witness.unwrap().len(), 4);
+/// assert_eq!(report.stats.strategy, "bfs");
+/// ```
+pub struct Search<'a, Sys: System> {
+    sys: &'a Sys,
+    max_states: usize,
+    max_depth: usize,
+    workers: usize,
+    partitions: usize,
+    seed: u64,
+    canon: Option<fn(&Sys::State) -> Sys::State>,
+    audit: bool,
+}
+
+impl<'a, Sys: System> Search<'a, Sys> {
+    /// A search with the legacy default bounds (1M states, depth 10k), one
+    /// worker, and no canonicalization.
+    pub fn new(sys: &'a Sys) -> Self {
+        Search {
+            sys,
+            max_states: 1_000_000,
+            max_depth: 10_000,
+            workers: 1,
+            partitions: DEFAULT_PARTITIONS,
+            seed: DEFAULT_SEED,
+            canon: None,
+            audit: false,
+        }
+    }
+
+    /// Cap the number of distinct states visited.
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
+
+    /// Cap the BFS depth / IDDFS deepening limit.
+    pub fn max_depth(mut self, d: usize) -> Self {
+        self.max_depth = d;
+        self
+    }
+
+    /// Expand frontiers on `w` threads (clamped to ≥ 1). Output-invariant:
+    /// any worker count produces byte-identical reports.
+    pub fn workers(mut self, w: usize) -> Self {
+        self.workers = w.max(1);
+        self
+    }
+
+    /// Override the fixed partition count (must be ≥ 1). Changing this *is*
+    /// allowed to change discovery order (it redefines the merge order);
+    /// the worker count never does.
+    pub fn partitions(mut self, p: usize) -> Self {
+        self.partitions = p.max(1);
+        self
+    }
+
+    /// Re-key the fingerprint function.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Install a symmetry canonicalization hook (see [`crate::canon`] for
+    /// the idempotence/equivariance contract). Applied to initial states and
+    /// to every successor before fingerprinting.
+    pub fn canon(mut self, c: fn(&Sys::State) -> Sys::State) -> Self {
+        self.canon = c.into();
+        self
+    }
+
+    /// Keep full states beside their fingerprints and panic if two distinct
+    /// states ever share one — the collision-audit mode the test suite runs
+    /// against every engine's real state types. Costs the memory the
+    /// fingerprint set exists to avoid; not for production searches.
+    pub fn collision_audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    pub(crate) fn sys(&self) -> &'a Sys {
+        self.sys
+    }
+
+    pub(crate) fn bounds(&self) -> (usize, usize) {
+        (self.max_states, self.max_depth)
+    }
+
+    pub(crate) fn canon_hook(&self) -> Option<fn(&Sys::State) -> Sys::State> {
+        self.canon
+    }
+
+    pub(crate) fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
+    /// Canonicalize (if a hook is installed), counting orbit collapses.
+    fn canonize(&self, s: Sys::State, hits: &mut usize) -> Sys::State {
+        match self.canon {
+            None => s,
+            Some(c) => {
+                let cs = c(&s);
+                if cs != s {
+                    *hits += 1;
+                }
+                cs
+            }
+        }
+    }
+}
+
+/// Per-partition expansion record produced by workers, merged sequentially.
+/// One record (two buffers) per partition per level keeps the hot loop free
+/// of per-state allocations.
+struct Expanded<S, A> {
+    /// One entry per frontier item: `TERMINAL` for states with no enabled
+    /// action, otherwise the number of `out` entries the state produced.
+    /// Lets the merge replay the exact per-item traversal order the fused
+    /// single-worker path uses.
+    shape: Vec<u32>,
+    /// `(child fingerprint, canonical child, action, canon-hit?)` in
+    /// frontier order, in-state in action order.
+    out: Vec<(u64, S, A, bool)>,
+}
+
+/// `shape` marker for a terminal frontier item.
+const TERMINAL: u32 = u32::MAX;
+
+impl<'a, Sys: System> Search<'a, Sys>
+where
+    Sys: Sync,
+    Sys::State: Encode + Send + Sync,
+    Sys::Action: Send + Sync,
+{
+    /// Explore the full reachable space (within bounds), no predicate.
+    pub fn explore(&self) -> SearchReport<Sys::State, Sys::Action> {
+        self.run_bfs(None::<fn(&Sys::State) -> bool>)
+    }
+
+    /// BFS until `pred` matches; `witness` is a shortest execution from an
+    /// initial state to a matching state.
+    pub fn search<F>(&self, pred: F) -> SearchReport<Sys::State, Sys::Action>
+    where
+        F: Fn(&Sys::State) -> bool,
+    {
+        self.run_bfs(Some(pred))
+    }
+
+    fn run_bfs<F>(&self, pred: Option<F>) -> SearchReport<Sys::State, Sys::Action>
+    where
+        F: Fn(&Sys::State) -> bool,
+    {
+        let pool = WorkerPool::new(self.workers);
+        let mut stats = SearchStats::new("bfs", pool.workers(), self.partitions, self.seed);
+        let mut visited: FpMap<Parent<Sys::Action>> = FpMap::new();
+        let mut audit_states: BTreeMap<u64, Sys::State> = BTreeMap::new();
+        let mut terminal: Vec<Sys::State> = Vec::new();
+        let mut transitions = 0usize;
+        let mut truncated_by: Option<Truncation> = None;
+        let mut found: Option<u64> = None;
+        let mut frontier: Vec<(u64, Sys::State)> = Vec::new();
+
+        for (i, s0) in self.sys.initial_states().into_iter().enumerate() {
+            if visited.len() >= self.max_states {
+                truncated_by.get_or_insert(Truncation::States);
+                break;
+            }
+            let sc = self.canonize(s0, &mut stats.canon_hits);
+            let fp = sc.fingerprint(self.seed);
+            if visited.try_insert_with(fp, usize::MAX, || Parent::Root(i)) == TryInsert::Present {
+                stats.dedup_hits += 1;
+                self.audit_check(&audit_states, fp, &sc);
+                continue;
+            }
+            if self.audit {
+                audit_states.insert(fp, sc.clone());
+            }
+            if found.is_none() && pred.as_ref().is_some_and(|p| p(&sc)) {
+                found = Some(fp);
+            }
+            frontier.push((fp, sc));
+        }
+
+        let mut depth = 0usize;
+        // Partition buffers live across levels; cleared (not dropped) after
+        // each merge so steady-state levels allocate nothing here.
+        let mut parts: Vec<Vec<(u64, Sys::State)>> =
+            (0..self.partitions).map(|_| Vec::new()).collect();
+        while found.is_none() && !frontier.is_empty() {
+            stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+            if depth >= self.max_depth {
+                // Cutoff level: record terminals, flag unexpanded work.
+                for (_, s) in &frontier {
+                    stats.expansions += 1;
+                    if self.sys.enabled(s).is_empty() {
+                        terminal.push(s.clone());
+                    } else {
+                        truncated_by.get_or_insert(Truncation::Depth);
+                    }
+                }
+                break;
+            }
+
+            for item in frontier.drain(..) {
+                let k = (item.0 % self.partitions as u64) as usize;
+                parts[k].push(item);
+            }
+
+            let sys = self.sys;
+            let canon = self.canon;
+            let seed = self.seed;
+            stats.levels += 1;
+
+            let mut next: Vec<(u64, Sys::State)> = Vec::new();
+            // One transition's worth of merge: dedup/cap/insert in a single
+            // probe (the dedup check takes precedence over the cap, exactly
+            // as in the legacy engine), then predicate + frontier push.
+            // Yields `true` when the predicate just matched. A macro so the
+            // fused and buffered paths below share the exact mutation
+            // sequence.
+            macro_rules! absorb {
+                ($parent:expr, $fp_t:expr, $tc:expr, $a:expr) => {{
+                    let fp_t: u64 = $fp_t;
+                    let tc = $tc;
+                    transitions += 1;
+                    match visited.try_insert_with(fp_t, self.max_states, || Parent::Child {
+                        parent: $parent,
+                        action: $a,
+                    }) {
+                        TryInsert::Present => {
+                            stats.dedup_hits += 1;
+                            self.audit_check(&audit_states, fp_t, &tc);
+                            false
+                        }
+                        TryInsert::Full => {
+                            truncated_by.get_or_insert(Truncation::States);
+                            false
+                        }
+                        TryInsert::Inserted => {
+                            if self.audit {
+                                audit_states.insert(fp_t, tc.clone());
+                            }
+                            if pred.as_ref().is_some_and(|p| p(&tc)) {
+                                found = Some(fp_t);
+                                true
+                            } else {
+                                next.push((fp_t, tc));
+                                false
+                            }
+                        }
+                    }
+                }};
+            }
+
+            if pool.workers() == 1 {
+                // Fused expand + merge: the same traversal (partition order,
+                // in-partition frontier order, in-state action order) without
+                // materializing expansion records. Byte-identical to the
+                // buffered path — `tests/determinism.rs` pins it.
+                'fused: for part in &parts {
+                    for (pfp, s) in part {
+                        stats.expansions += 1;
+                        let acts = sys.enabled(s);
+                        if acts.is_empty() {
+                            terminal.push(s.clone());
+                            continue;
+                        }
+                        for a in acts {
+                            let t = sys.step(s, &a);
+                            let tc = self.canonize(t, &mut stats.canon_hits);
+                            let fp_t = tc.fingerprint(seed);
+                            if absorb!(*pfp, fp_t, tc, a) {
+                                break 'fused;
+                            }
+                        }
+                    }
+                }
+            } else {
+                let outputs = pool.map_each_partition(&parts, |part: &[(u64, Sys::State)]| {
+                    let mut rec = Expanded {
+                        shape: Vec::with_capacity(part.len()),
+                        out: Vec::new(),
+                    };
+                    for (_, s) in part {
+                        let acts = sys.enabled(s);
+                        if acts.is_empty() {
+                            rec.shape.push(TERMINAL);
+                            continue;
+                        }
+                        rec.shape.push(acts.len() as u32);
+                        for a in acts {
+                            let t = sys.step(s, &a);
+                            let (tc, hit) = match canon {
+                                None => (t, false),
+                                Some(c) => {
+                                    let tc = c(&t);
+                                    let hit = tc != t;
+                                    (tc, hit)
+                                }
+                            };
+                            let fp = tc.fingerprint(seed);
+                            rec.out.push((fp, tc, a, hit));
+                        }
+                    }
+                    rec
+                });
+
+                // Sequential merge in partition order, replaying each item
+                // in frontier order: the single point where search state
+                // mutates.
+                'merge: for (part, rec) in parts.iter().zip(outputs) {
+                    let mut out = rec.out.into_iter();
+                    for (item, &n) in part.iter().zip(&rec.shape) {
+                        stats.expansions += 1;
+                        if n == TERMINAL {
+                            terminal.push(item.1.clone());
+                            continue;
+                        }
+                        for _ in 0..n {
+                            let (fp_t, tc, a, hit) = out.next().expect("shape covers out");
+                            if hit {
+                                stats.canon_hits += 1;
+                            }
+                            if absorb!(item.0, fp_t, tc, a) {
+                                break 'merge;
+                            }
+                        }
+                    }
+                }
+            }
+            for p in &mut parts {
+                p.clear();
+            }
+            frontier = next;
+            depth += 1;
+        }
+
+        let witness = found.map(|target| self.replay_witness(&visited, target));
+
+        SearchReport {
+            num_states: visited.len(),
+            num_transitions: transitions,
+            terminal_states: terminal,
+            truncated_by,
+            witness,
+            stats,
+        }
+    }
+
+    /// Walk the fingerprint parent map back to a root, then replay forward
+    /// through `step` (+ canon) to materialize the actual states.
+    fn replay_witness(
+        &self,
+        visited: &FpMap<Parent<Sys::Action>>,
+        target: u64,
+    ) -> Execution<Sys::State, Sys::Action> {
+        let mut rev_actions: Vec<Sys::Action> = Vec::new();
+        let mut cur = target;
+        let root = loop {
+            match visited.get(cur).expect("parent chain intact") {
+                Parent::Root(i) => break *i,
+                Parent::Child { parent, action } => {
+                    rev_actions.push(action.clone());
+                    cur = *parent;
+                }
+            }
+        };
+        rev_actions.reverse();
+        let init = self
+            .sys
+            .initial_states()
+            .into_iter()
+            .nth(root)
+            .expect("root index valid");
+        let mut sink = 0usize;
+        let mut exec = Execution::start(self.canonize(init, &mut sink));
+        for a in rev_actions {
+            let t = self.sys.step(exec.last(), &a);
+            let tc = self.canonize(t, &mut sink);
+            exec.push(a, tc);
+        }
+        exec
+    }
+
+    fn audit_check(&self, audit_states: &BTreeMap<u64, Sys::State>, fp: u64, state: &Sys::State) {
+        if self.audit {
+            let prev = audit_states.get(&fp).expect("audit map tracks visited");
+            assert!(
+                prev == state,
+                "fingerprint collision under seed {:#x}: fp {:#x} covers two distinct states\n  {:?}\n  {:?}\nre-run with a different .seed(...)",
+                self.seed,
+                fp,
+                prev,
+                state,
+            );
+        }
+    }
+}
+
+impl<'a, Sys: System> Search<'a, Sys>
+where
+    Sys::State: Encode,
+{
+    /// Iterative-deepening DFS until `pred` matches. Memory is O(longest
+    /// path); the first hit is still a shortest witness (limits iterate
+    /// `0..=max_depth`, and path-cycle pruning never prunes a shortest
+    /// path). Single-threaded; `max_states` does not apply.
+    pub fn search_iddfs<F>(&self, pred: F) -> SearchReport<Sys::State, Sys::Action>
+    where
+        F: Fn(&Sys::State) -> bool,
+    {
+        let mut stats = SearchStats::new("iddfs", 1, self.partitions, self.seed);
+        let mut truncated_by: Option<Truncation> = None;
+        let mut witness: Option<Execution<Sys::State, Sys::Action>> = None;
+        let mut transitions = 0usize;
+
+        'deepen: for limit in 0..=self.max_depth {
+            let mut cutoff = false;
+            for s0 in self.sys.initial_states() {
+                let sc = self.canonize(s0, &mut stats.canon_hits);
+                if let Some(exec) = self.depth_limited(
+                    sc,
+                    limit,
+                    &pred,
+                    &mut stats,
+                    &mut transitions,
+                    &mut cutoff,
+                ) {
+                    witness = Some(exec);
+                    break 'deepen;
+                }
+            }
+            stats.levels = limit;
+            if !cutoff {
+                // Space exhausted below the limit: deepening cannot help.
+                break;
+            }
+            if limit == self.max_depth {
+                truncated_by = Some(Truncation::Depth);
+            }
+        }
+
+        SearchReport {
+            num_states: 0,
+            num_transitions: transitions,
+            terminal_states: Vec::new(),
+            truncated_by,
+            witness,
+            stats,
+        }
+    }
+
+    /// One depth-limited DFS from `root`. Returns the path to the first
+    /// match (in deterministic child order), setting `cutoff` if any node
+    /// at the limit still had enabled actions.
+    #[allow(clippy::too_many_arguments)]
+    fn depth_limited<F>(
+        &self,
+        root: Sys::State,
+        limit: usize,
+        pred: &F,
+        stats: &mut SearchStats,
+        transitions: &mut usize,
+        cutoff: &mut bool,
+    ) -> Option<Execution<Sys::State, Sys::Action>>
+    where
+        F: Fn(&Sys::State) -> bool,
+    {
+        if pred(&root) {
+            return Some(Execution::start(root));
+        }
+        let root_fp = root.fingerprint(self.seed);
+        let mut path_states: Vec<Sys::State> = vec![root];
+        let mut path_actions: Vec<Sys::Action> = Vec::new();
+        let mut path_fps: BTreeSet<u64> = BTreeSet::new();
+        path_fps.insert(root_fp);
+        let mut path_fp_stack: Vec<u64> = vec![root_fp];
+        // Per-depth pending children, popped from the back (children are
+        // pushed reversed so expansion follows action order).
+        let mut frames: Vec<Vec<(Sys::Action, Sys::State, u64)>> = Vec::new();
+
+        // Expand the root.
+        let mut first = self.expand_for_dfs(&path_states[0], limit, 0, stats, cutoff);
+        first.reverse();
+        frames.push(first);
+
+        while let Some(frame) = frames.last_mut() {
+            match frame.pop() {
+                None => {
+                    frames.pop();
+                    if frames.is_empty() {
+                        break;
+                    }
+                    path_states.pop();
+                    path_actions.pop();
+                    let fp = path_fp_stack.pop().expect("fp stack aligned");
+                    path_fps.remove(&fp);
+                }
+                Some((a, t, fp)) => {
+                    *transitions += 1;
+                    if path_fps.contains(&fp) {
+                        // On-path cycle: pruning it cannot lose a shortest
+                        // witness (shortest paths are simple).
+                        stats.dedup_hits += 1;
+                        continue;
+                    }
+                    path_actions.push(a);
+                    path_states.push(t);
+                    path_fps.insert(fp);
+                    path_fp_stack.push(fp);
+                    stats.peak_frontier = stats.peak_frontier.max(path_states.len());
+                    let depth = path_actions.len();
+                    let cur = path_states.last().expect("nonempty path");
+                    if pred(cur) {
+                        return Some(Execution::from_parts(path_states, path_actions));
+                    }
+                    let mut kids = self.expand_for_dfs(cur, limit, depth, stats, cutoff);
+                    kids.reverse();
+                    frames.push(kids);
+                }
+            }
+        }
+        None
+    }
+
+    /// Children of `s` for depth-limited DFS, or empty at the cutoff.
+    fn expand_for_dfs(
+        &self,
+        s: &Sys::State,
+        limit: usize,
+        depth: usize,
+        stats: &mut SearchStats,
+        cutoff: &mut bool,
+    ) -> Vec<(Sys::Action, Sys::State, u64)> {
+        stats.expansions += 1;
+        let acts = self.sys.enabled(s);
+        if depth >= limit {
+            if !acts.is_empty() {
+                *cutoff = true;
+            }
+            return Vec::new();
+        }
+        acts.into_iter()
+            .map(|a| {
+                let t = self.sys.step(s, &a);
+                let tc = self.canonize(t, &mut stats.canon_hits);
+                let fp = tc.fingerprint(self.seed);
+                (a, tc, fp)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use impossible_core::explore::Explorer;
+
+    #[test]
+    fn explores_full_space_like_legacy() {
+        let sys = Grid { n: 2, max: 2 };
+        let r = Search::new(&sys).explore();
+        let legacy = Explorer::new(&sys).explore();
+        assert_eq!(r.num_states, 9);
+        assert_eq!(r.num_states, legacy.num_states);
+        assert_eq!(r.num_transitions, legacy.num_transitions);
+        assert_eq!(r.truncated_by, None);
+        assert_eq!(r.terminal_states, vec![vec![2, 2]]);
+        assert_eq!(r.stats.levels, 5); // depths 0..=4 all expand
+        assert!(r.stats.dedup_hits > 0); // the grid is full of diamonds
+    }
+
+    #[test]
+    fn search_finds_shortest_witness() {
+        let sys = Grid { n: 2, max: 5 };
+        let r = Search::new(&sys).search(|s| s[0] == 2 && s[1] == 1);
+        let w = r.witness.expect("target reachable");
+        assert_eq!(w.len(), 3);
+        assert_eq!(*w.last(), vec![2, 1]);
+        assert_eq!(*w.first(), vec![0, 0]);
+    }
+
+    #[test]
+    fn state_bound_truncates_exactly() {
+        let sys = Grid { n: 2, max: 100 };
+        let r = Search::new(&sys).max_states(10).explore();
+        assert_eq!(r.truncated_by, Some(Truncation::States));
+        assert_eq!(r.num_states, 10);
+    }
+
+    #[test]
+    fn depth_bound_truncates() {
+        let sys = Grid { n: 1, max: 100 };
+        let r = Search::new(&sys).max_depth(3).explore();
+        assert_eq!(r.truncated_by, Some(Truncation::Depth));
+        assert_eq!(r.num_states, 4);
+    }
+
+    #[test]
+    fn unreachable_predicate_yields_no_witness() {
+        let sys = Grid { n: 2, max: 2 };
+        let r = Search::new(&sys).search(|s| s[0] == 99);
+        assert!(r.witness.is_none());
+        assert!(!r.truncated());
+        assert_eq!(r.num_states, 9);
+    }
+
+    #[test]
+    fn initial_state_match_gives_empty_witness() {
+        let sys = Grid { n: 2, max: 2 };
+        let r = Search::new(&sys).search(|s| s == &vec![0, 0]);
+        assert_eq!(r.witness.expect("initial matches").len(), 0);
+    }
+
+    #[test]
+    fn collision_audit_passes_on_honest_encodings() {
+        let sys = Grid { n: 3, max: 3 };
+        let r = Search::new(&sys).collision_audit(true).explore();
+        assert_eq!(r.num_states, 64);
+    }
+
+    #[test]
+    fn collision_audit_catches_a_lying_encoding() {
+        // A system whose states all encode identically: the audit must trip.
+        struct Degenerate;
+        #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        struct Blind(u8);
+        impl Encode for Blind {
+            fn encode(&self, _h: &mut crate::fingerprint::FpHasher) {}
+        }
+        impl System for Degenerate {
+            type State = Blind;
+            type Action = u8;
+            fn initial_states(&self) -> Vec<Blind> {
+                vec![Blind(0)]
+            }
+            fn enabled(&self, s: &Blind) -> Vec<u8> {
+                if s.0 < 2 {
+                    vec![0]
+                } else {
+                    vec![]
+                }
+            }
+            fn step(&self, s: &Blind, _a: &u8) -> Blind {
+                Blind(s.0 + 1)
+            }
+        }
+        let caught = std::panic::catch_unwind(|| {
+            Search::new(&Degenerate).collision_audit(true).explore()
+        });
+        assert!(caught.is_err(), "collision audit failed to trip");
+    }
+
+    #[test]
+    fn iddfs_matches_bfs_witness_length() {
+        let sys = Grid { n: 2, max: 4 };
+        let target = |s: &Vec<u8>| s[0] == 3 && s[1] == 2;
+        let bfs = Search::new(&sys).search(target);
+        let iddfs = Search::new(&sys).search_iddfs(target);
+        assert_eq!(iddfs.stats.strategy, "iddfs");
+        assert_eq!(
+            iddfs.witness.expect("found").len(),
+            bfs.witness.expect("found").len(),
+        );
+    }
+
+    #[test]
+    fn iddfs_exhausts_without_truncation_on_finite_space() {
+        let sys = Grid { n: 2, max: 2 };
+        let r = Search::new(&sys).search_iddfs(|s| s[0] == 99);
+        assert!(r.witness.is_none());
+        assert_eq!(r.truncated_by, None);
+    }
+
+    #[test]
+    fn iddfs_reports_depth_truncation() {
+        let sys = Grid { n: 1, max: 100 };
+        let r = Search::new(&sys).max_depth(3).search_iddfs(|s| s[0] == 50);
+        assert!(r.witness.is_none());
+        assert_eq!(r.truncated_by, Some(Truncation::Depth));
+    }
+
+    #[test]
+    fn canon_quotients_the_space() {
+        // Sorting the counter vector = full-permutation canonicalization
+        // for the (symmetric) grid: 2 counters to max 3 → 16 raw states,
+        // 10 sorted multisets.
+        fn sort_canon(s: &Vec<u8>) -> Vec<u8> {
+            let mut t = s.clone();
+            t.sort();
+            t
+        }
+        let sys = Grid { n: 2, max: 3 };
+        let plain = Search::new(&sys).explore();
+        let quotient = Search::new(&sys).canon(sort_canon).explore();
+        assert_eq!(plain.num_states, 16);
+        assert_eq!(quotient.num_states, 10);
+        assert!(quotient.stats.canon_hits > 0);
+        // Witnesses in the quotient are executions of the quotient system.
+        let w = Search::new(&sys)
+            .canon(sort_canon)
+            .search(|s| s == &vec![3, 3])
+            .witness
+            .expect("reachable");
+        assert_eq!(w.len(), 6);
+    }
+
+    #[test]
+    fn seed_changes_fingerprints_not_results() {
+        let sys = Grid { n: 3, max: 2 };
+        let a = Search::new(&sys).seed(1).explore();
+        let b = Search::new(&sys).seed(2).explore();
+        assert_eq!(a.num_states, b.num_states);
+        assert_eq!(a.num_transitions, b.num_transitions);
+        let mut ta = a.terminal_states.clone();
+        let mut tb = b.terminal_states.clone();
+        ta.sort();
+        tb.sort();
+        assert_eq!(ta, tb);
+    }
+}

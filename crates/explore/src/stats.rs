@@ -1,0 +1,87 @@
+//! Per-run search counters with deterministic JSON export.
+//!
+//! Everything here is a pure count of search events — no wall-clock times
+//! (the workspace's `det-time` lint bans ambient clocks outside the bench
+//! harness). Throughput (states/sec) is derived where timing is legitimate:
+//! `crates/bench` divides [`SearchStats::expansions`] by its own measured
+//! wall time and records both in `BENCH_3.json`.
+
+/// Counters for one `Search` run.
+///
+/// Field order below is the JSON key order; [`SearchStats::to_json`] is
+/// byte-deterministic for equal runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Search strategy: `"bfs"` or `"iddfs"`.
+    pub strategy: &'static str,
+    /// Worker threads configured (output-invariant; recorded for the log).
+    pub workers: usize,
+    /// Fixed partition count the frontier is split across.
+    pub partitions: usize,
+    /// Fingerprint seed.
+    pub seed: u64,
+    /// BFS levels completed / maximum IDDFS depth reached.
+    pub levels: usize,
+    /// States expanded (`enabled` calls; IDDFS counts revisits).
+    pub expansions: usize,
+    /// Transitions that led to an already-fingerprinted state.
+    pub dedup_hits: usize,
+    /// Successors changed by the canonicalization hook (orbit collapses).
+    pub canon_hits: usize,
+    /// Largest frontier (BFS) / deepest path (IDDFS) held at once.
+    pub peak_frontier: usize,
+}
+
+impl SearchStats {
+    pub(crate) fn new(strategy: &'static str, workers: usize, partitions: usize, seed: u64) -> Self {
+        SearchStats {
+            strategy,
+            workers,
+            partitions,
+            seed,
+            levels: 0,
+            expansions: 0,
+            dedup_hits: 0,
+            canon_hits: 0,
+            peak_frontier: 0,
+        }
+    }
+
+    /// Deterministic single-line JSON: fixed key order, no whitespace
+    /// variation, integers only. Equal stats encode to equal bytes.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"strategy\":\"{}\",\"workers\":{},\"partitions\":{},\"seed\":{},\"levels\":{},\"expansions\":{},\"dedup_hits\":{},\"canon_hits\":{},\"peak_frontier\":{}}}",
+            self.strategy,
+            self.workers,
+            self.partitions,
+            self.seed,
+            self.levels,
+            self.expansions,
+            self.dedup_hits,
+            self.canon_hits,
+            self.peak_frontier,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_stable_and_complete() {
+        let mut s = SearchStats::new("bfs", 2, 64, 7);
+        s.levels = 3;
+        s.expansions = 10;
+        s.dedup_hits = 4;
+        s.canon_hits = 1;
+        s.peak_frontier = 5;
+        assert_eq!(
+            s.to_json(),
+            "{\"strategy\":\"bfs\",\"workers\":2,\"partitions\":64,\"seed\":7,\"levels\":3,\"expansions\":10,\"dedup_hits\":4,\"canon_hits\":1,\"peak_frontier\":5}"
+        );
+        // Byte-determinism: same stats, same bytes.
+        assert_eq!(s.to_json(), s.clone().to_json());
+    }
+}

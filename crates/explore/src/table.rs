@@ -1,0 +1,212 @@
+//! The open-addressing fingerprint table behind the visited set.
+//!
+//! Fingerprints come out of [`crate::fingerprint::FpHasher`] already mixed,
+//! so the table indexes them directly: slot `fp & mask`, linear probing,
+//! growth at 50% load. Lookups touch one or two cache lines where a
+//! `BTreeMap<u64, _>` chases five nodes — on dedup-bound exploration this
+//! is most of the engine's speed over the legacy explorer (see
+//! `BENCH_3.json`).
+//!
+//! Determinism: the table is only ever *probed* (by fingerprint) — nothing
+//! iterates it — so neither probe order nor growth timing can influence a
+//! report. No hashing happens here at all; the key is the fingerprint.
+//!
+//! The unoccupied sentinel is fingerprint `0`; real zero fingerprints are
+//! folded onto key `1`. That conflates a zero-fingerprint state with a
+//! one-fingerprint state at the same 2⁻⁶⁴-ish odds as any other fingerprint
+//! collision, which the collision policy (and the audit mode that checks
+//! it) already covers.
+
+/// A `u64 → V` map keyed by (pre-mixed) fingerprints.
+#[derive(Debug, Clone)]
+pub struct FpMap<V> {
+    keys: Vec<u64>,
+    vals: Vec<Option<V>>,
+    len: usize,
+}
+
+/// Outcome of [`FpMap::try_insert_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryInsert {
+    /// The fingerprint was already present; nothing inserted.
+    Present,
+    /// The map was at `cap` entries; nothing inserted.
+    Full,
+    /// Inserted.
+    Inserted,
+}
+
+const EMPTY: u64 = 0;
+
+#[inline]
+fn key_of(fp: u64) -> u64 {
+    if fp == EMPTY {
+        1
+    } else {
+        fp
+    }
+}
+
+impl<V> FpMap<V> {
+    /// An empty table.
+    pub fn new() -> Self {
+        FpMap {
+            keys: vec![EMPTY; 64],
+            vals: (0..64).map(|_| None).collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn slot(&self, key: u64) -> usize {
+        let mask = self.keys.len() - 1;
+        let mut i = (key as usize) & mask;
+        loop {
+            let k = self.keys[i];
+            if k == EMPTY || k == key {
+                return i;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let old_vals = std::mem::replace(
+            &mut self.vals,
+            (0..new_cap).map(|_| None).collect(),
+        );
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY {
+                let i = self.slot(k);
+                self.keys[i] = k;
+                self.vals[i] = v;
+            }
+        }
+    }
+
+    /// Is `fp` present?
+    pub fn contains(&self, fp: u64) -> bool {
+        let key = key_of(fp);
+        self.keys[self.slot(key)] == key
+    }
+
+    /// The value stored for `fp`, if any.
+    pub fn get(&self, fp: u64) -> Option<&V> {
+        let key = key_of(fp);
+        let i = self.slot(key);
+        if self.keys[i] == key {
+            self.vals[i].as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Insert `make()` under `fp` unless present or already holding `cap`
+    /// entries. One probe for all three outcomes.
+    pub fn try_insert_with(&mut self, fp: u64, cap: usize, make: impl FnOnce() -> V) -> TryInsert {
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let key = key_of(fp);
+        let i = self.slot(key);
+        if self.keys[i] == key {
+            return TryInsert::Present;
+        }
+        if self.len >= cap {
+            return TryInsert::Full;
+        }
+        self.keys[i] = key;
+        self.vals[i] = Some(make());
+        self.len += 1;
+        TryInsert::Inserted
+    }
+
+    /// The value under `fp`, inserting `make()` first if absent (no cap).
+    pub fn get_or_insert_with(&mut self, fp: u64, make: impl FnOnce() -> V) -> &mut V {
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let key = key_of(fp);
+        let i = self.slot(key);
+        if self.keys[i] != key {
+            self.keys[i] = key;
+            self.vals[i] = Some(make());
+            self.len += 1;
+        }
+        self.vals[i].as_mut().expect("occupied slot holds a value")
+    }
+}
+
+impl<V> Default for FpMap<V> {
+    fn default() -> Self {
+        FpMap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_and_dedup() {
+        let mut m: FpMap<usize> = FpMap::new();
+        for fp in 1..=500u64 {
+            assert_eq!(
+                m.try_insert_with(fp * 0x9E37_79B9, usize::MAX, || fp as usize),
+                TryInsert::Inserted
+            );
+        }
+        assert_eq!(m.len(), 500);
+        for fp in 1..=500u64 {
+            assert!(m.contains(fp * 0x9E37_79B9));
+            assert_eq!(m.get(fp * 0x9E37_79B9), Some(&(fp as usize)));
+            assert_eq!(
+                m.try_insert_with(fp * 0x9E37_79B9, usize::MAX, || 0),
+                TryInsert::Present
+            );
+        }
+        assert!(!m.contains(12345));
+        assert_eq!(m.get(12345), None);
+    }
+
+    #[test]
+    fn cap_refuses_new_entries_but_admits_lookups() {
+        let mut m: FpMap<()> = FpMap::new();
+        assert_eq!(m.try_insert_with(7, 1, || ()), TryInsert::Inserted);
+        assert_eq!(m.try_insert_with(8, 1, || ()), TryInsert::Full);
+        assert_eq!(m.try_insert_with(7, 1, || ()), TryInsert::Present);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn zero_fingerprint_folds_onto_key_one() {
+        let mut m: FpMap<u8> = FpMap::new();
+        assert_eq!(m.try_insert_with(0, 10, || 1), TryInsert::Inserted);
+        assert_eq!(m.try_insert_with(1, 10, || 2), TryInsert::Present);
+        assert!(m.contains(0) && m.contains(1));
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut m: FpMap<u64> = FpMap::new();
+        for fp in 0..10_000u64 {
+            m.get_or_insert_with(fp.wrapping_mul(0x2545_F491_4F6C_DD1D), || fp);
+        }
+        for fp in 0..10_000u64 {
+            let k = fp.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            assert_eq!(m.get(k), Some(&fp), "lost {fp}");
+        }
+    }
+}

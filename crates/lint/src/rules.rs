@@ -52,6 +52,7 @@ const DET_PATTERNS: [(&str, &[&str]); 3] = [
         "det-ambient",
         &[
             "thread::spawn",
+            "thread::scope",
             "std::process",
             "std::env",
             "env::var",

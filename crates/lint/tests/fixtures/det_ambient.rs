@@ -1,6 +1,7 @@
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     std::thread::spawn(|| {});
+    std::thread::scope(|_s| {});
     // LINT-ALLOW: det-ambient -- fixture: waiver covers the next line
     let v = std::env::var("HOME");
 }

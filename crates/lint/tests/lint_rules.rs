@@ -40,8 +40,31 @@ fn det_ambient_fires_leftmost_and_waiver_covers_next_line() {
     let src = include_str!("fixtures/det_ambient.rs");
     let d = lint_rust_source("fixtures/det_ambient.rs", src, &["det-ambient"]);
     // Line 2 reports the leftmost pattern (`std::env`, not `env::args`);
-    // line 5 is covered by the comment-only waiver on line 4.
-    assert_eq!(positions(&d), vec![(2, 29), (3, 10)]);
+    // lines 3–4 catch both thread entry points (`spawn` and scoped);
+    // line 6 is covered by the comment-only waiver on line 5.
+    assert_eq!(positions(&d), vec![(2, 29), (3, 10), (4, 10)]);
+}
+
+#[test]
+fn pool_waiver_is_audited_and_load_bearing() {
+    // The worker pool is the one place allowed to touch OS threads; its
+    // `thread::scope` rides on exactly one reasoned waiver. Strip the
+    // waiver and the rule must re-arm — i.e. the waiver is load-bearing,
+    // not dead annotation.
+    let src = include_str!("../../explore/src/pool.rs");
+    let d = lint_rust_source("crates/explore/src/pool.rs", src, &["det-ambient"]);
+    assert!(d.is_empty(), "pool.rs waiver stopped covering: {d:?}");
+    assert_eq!(src.matches("LINT-ALLOW: det-ambient").count(), 1);
+    let stripped: String = src
+        .lines()
+        .filter(|l| !l.contains("LINT-ALLOW"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let d = lint_rust_source("crates/explore/src/pool.rs", &stripped, &["det-ambient"]);
+    assert!(
+        d.iter().any(|d| d.message.contains("thread::scope")),
+        "det-ambient no longer catches an un-waivered thread::scope"
+    );
 }
 
 #[test]

@@ -13,6 +13,9 @@
 //!   *scheduler is the adversary*, with explicit admissibility (every
 //!   message eventually delivered) and a virtual-time measure in the style
 //!   of \[8, 77\] (each message delay in `[lo, hi]`, local steps instant).
+//! * [`flood`] — broadcast flooding compiled to an explorable transition
+//!   system (the "information spreads only along channels" substrate of
+//!   the edge-counting bounds), searched exhaustively.
 //! * [`sessions`] — the Arjomandi–Fischer–Lynch *s-sessions* problem: the
 //!   provable time gap between synchronous (`s`) and asynchronous
 //!   (`≈ s·diam`) systems.
@@ -24,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod asyncnet;
+pub mod flood;
 pub mod sessions;
 pub mod stretch;
 pub mod sync;

@@ -18,7 +18,7 @@
 
 use impossible_core::ids::ProcessId;
 use impossible_core::system::{DecisionSystem, System};
-use impossible_core::valence::ValenceEngine;
+use impossible_explore::{Encode, FpHasher, Search};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -236,9 +236,12 @@ pub enum HierarchyVerdict {
 }
 
 /// Exhaustively check a candidate protocol.
-pub fn consensus_verdict<P: ObjectProtocol>(proto: &P, max_states: usize) -> HierarchyVerdict {
+pub fn consensus_verdict<P: ObjectProtocol>(proto: &P, max_states: usize) -> HierarchyVerdict
+where
+    P::Local: Encode,
+{
     let sys = ObjectSystem::all_binary(proto);
-    let report = ValenceEngine::new(&sys).max_states(max_states).analyze();
+    let report = Search::new(&sys).max_states(max_states).valence();
     if !report.agreement_violations.is_empty() {
         return HierarchyVerdict::AgreementViolation;
     }
@@ -252,7 +255,7 @@ pub fn consensus_verdict<P: ObjectProtocol>(proto: &P, max_states: usize) -> Hie
             proto,
             inputs: vec![input.clone()],
         };
-        let r = ValenceEngine::new(&single).max_states(max_states).analyze();
+        let r = Search::new(&single).max_states(max_states).valence();
         for init in single.initial_states() {
             if let Some(val) = r.valence.get(&init) {
                 if val.0.iter().any(|v| !input.contains(v)) {
@@ -263,9 +266,7 @@ pub fn consensus_verdict<P: ObjectProtocol>(proto: &P, max_states: usize) -> Hie
     }
     // Wait-freedom: from every reachable configuration, every undecided
     // process with work left must decide within a bounded solo run.
-    let states = impossible_core::explore::Explorer::new(&sys)
-        .max_states(max_states)
-        .reachable_states();
+    let states = Search::new(&sys).max_states(max_states).reachable_states();
     let solo_bound = 64;
     for s in states {
         for i in 0..proto.n() {
@@ -319,6 +320,33 @@ pub enum SimpleLocal {
         value: u64,
     },
 }
+
+impl<L: Encode> Encode for ObjState<L> {
+    fn encode(&self, h: &mut FpHasher) {
+        self.locals.encode(h);
+        self.objects.encode(h);
+    }
+}
+
+impossible_explore::impl_encode_enum!(SimpleLocal {
+    0: WriteOwn { input },
+    1: Contend { input },
+    2: ReadPeer { input, idx },
+    3: Done { value },
+});
+
+impossible_explore::impl_encode_enum!(CasLocal {
+    0: Try { input },
+    1: ReadBack,
+    2: Done { value },
+});
+
+impossible_explore::impl_encode_enum!(Tas3Local {
+    0: WriteOwn { input },
+    1: Contend { input },
+    2: ReadPeer { input, k, first },
+    3: Done { value },
+});
 
 /// Test-and-set consensus for two processes: write input, TAS, winner takes
 /// own value, loser reads the winner's register. Consensus number of TAS
@@ -809,7 +837,9 @@ mod tests {
         // The Loui–Abu-Amara transfer: a bivalent initial configuration for
         // the TAS protocol (mixed inputs — the race decides).
         let sys = ObjectSystem::all_binary(&TasConsensus2);
-        let report = ValenceEngine::new(&sys).max_states(500_000).analyze();
+        let report = impossible_core::valence::ValenceEngine::new(&sys)
+            .max_states(500_000)
+            .analyze();
         assert!(!report.bivalent_initials.is_empty());
         assert!(report.agreement_violations.is_empty());
     }

@@ -234,3 +234,15 @@ mod tests {
         assert!(check::find_deadlock(&sys, 50_000).is_none());
     }
 }
+
+impossible_explore::impl_encode_enum!(BakeryLocal {
+    0: Rem,
+    1: SetChoosing,
+    2: ReadMax { j, max },
+    3: WriteNumber { max },
+    4: ClearChoosing { ticket },
+    5: WaitChoosing { j, ticket },
+    6: WaitNumber { j, ticket },
+    7: Crit,
+    8: ClearNumber,
+});

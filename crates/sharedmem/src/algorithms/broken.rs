@@ -266,3 +266,20 @@ mod tests {
         assert!(check::find_deadlock(&sys, 100_000).is_none());
     }
 }
+
+impossible_explore::impl_encode_enum!(OwnerLocal {
+    0: Rem,
+    1: ReadFree,
+    2: WriteId,
+    3: Confirm,
+    4: Crit,
+    5: Release,
+});
+
+impossible_explore::impl_encode_enum!(FlagLocal {
+    0: Rem,
+    1: Check,
+    2: Set,
+    3: Crit,
+    4: Clear,
+});

@@ -233,3 +233,17 @@ mod tests {
         assert!(check::find_deadlock(&sys, 500_000).is_none());
     }
 }
+
+impossible_explore::impl_encode_enum!(DijkstraLocal {
+    0: Rem,
+    1: SetB,
+    2: ReadK,
+    3: SetCTrue { k },
+    4: ReadBk { k },
+    5: WriteK,
+    6: SetCFalse,
+    7: CheckC { j },
+    8: Crit,
+    9: ExitC,
+    10: ExitB,
+});

@@ -188,3 +188,10 @@ mod tests {
         assert!(check::find_mutex_violation(&sys, 100_000).is_none());
     }
 }
+
+impossible_explore::impl_encode_enum!(HandoffLocal {
+    0: Rem,
+    1: Try { announced },
+    2: Crit,
+    3: Rel,
+});

@@ -214,3 +214,14 @@ mod tests {
         assert!(check::find_lockout(&sys, 1, 300_000).is_some());
     }
 }
+
+impossible_explore::impl_encode_enum!(OneBitLocal {
+    0: Rem,
+    1: SetFlag,
+    2: ScanLow { j },
+    3: Retreat { j },
+    4: WaitLow { j },
+    5: ScanHigh { j },
+    6: Crit,
+    7: ClearFlag,
+});

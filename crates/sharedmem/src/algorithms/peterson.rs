@@ -171,3 +171,13 @@ mod tests {
         assert!(check::find_deadlock(&sys, 100_000).is_none());
     }
 }
+
+impossible_explore::impl_encode_enum!(PetersonLocal {
+    0: Rem,
+    1: SetFlag,
+    2: SetTurn,
+    3: CheckFlag,
+    4: CheckTurn,
+    5: Crit,
+    6: ClearFlag,
+});

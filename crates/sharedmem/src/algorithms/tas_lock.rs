@@ -139,3 +139,10 @@ mod tests {
         assert!(witness.cycle.len() >= 2);
     }
 }
+
+impossible_explore::impl_encode_enum!(TasLocal {
+    0: Rem,
+    1: Spin,
+    2: Crit,
+    3: Rel,
+});

@@ -16,17 +16,20 @@
 
 use crate::mutex::{MutexAction, MutexAlgorithm, MutexState, MutexSystem, Region};
 use impossible_core::exec::Execution;
-use impossible_core::explore::Explorer;
-use impossible_core::system::System;
+use impossible_explore::{Encode, Search};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A mutual-exclusion violation: a shortest execution ending with two or
 /// more processes simultaneously critical.
-pub fn find_mutex_violation<A: MutexAlgorithm>(
+pub fn find_mutex_violation<A>(
     sys: &MutexSystem<'_, A>,
     max_states: usize,
-) -> Option<Execution<MutexState<A::Local>, MutexAction>> {
-    let report = Explorer::new(sys)
+) -> Option<Execution<MutexState<A::Local>, MutexAction>>
+where
+    A: MutexAlgorithm + Sync,
+    A::Local: Encode + Send + Sync,
+{
+    let report = Search::new(sys)
         .max_states(max_states)
         .search(|s| sys.critical_processes(s).len() >= 2);
     report.witness
@@ -41,8 +44,12 @@ pub fn find_mutex_violation<A: MutexAlgorithm>(
 pub fn find_deadlock<A: MutexAlgorithm>(
     sys: &MutexSystem<'_, A>,
     max_states: usize,
-) -> Option<MutexState<A::Local>> {
-    let (order, succ) = reachable_graph(sys, max_states);
+) -> Option<MutexState<A::Local>>
+where
+    A::Local: Encode,
+{
+    let g = Search::new(sys).max_states(max_states).graph();
+    let (order, succ) = (g.order, g.succ);
 
     // Backward reachability from "some process critical" states.
     let mut can_reach_crit = vec![false; order.len()];
@@ -96,8 +103,12 @@ pub fn find_lockout<A: MutexAlgorithm>(
     sys: &MutexSystem<'_, A>,
     victim: usize,
     max_states: usize,
-) -> Option<LockoutWitness<A::Local>> {
-    let (order, succ) = reachable_graph(sys, max_states);
+) -> Option<LockoutWitness<A::Local>>
+where
+    A::Local: Encode,
+{
+    let g = Search::new(sys).max_states(max_states).graph();
+    let (order, succ) = (g.order, g.succ);
     let n = sys.algorithm().num_processes();
 
     let victim_trying: Vec<bool> = order
@@ -177,8 +188,11 @@ pub fn find_lockout<A: MutexAlgorithm>(
 pub fn observed_value_spaces<A: MutexAlgorithm>(
     sys: &MutexSystem<'_, A>,
     max_states: usize,
-) -> Vec<usize> {
-    let states = Explorer::new(sys).max_states(max_states).reachable_states();
+) -> Vec<usize>
+where
+    A::Local: Encode,
+{
+    let states = Search::new(sys).max_states(max_states).reachable_states();
     let m = sys.algorithm().num_vars();
     let mut seen: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); m];
     for s in &states {
@@ -189,53 +203,11 @@ pub fn observed_value_spaces<A: MutexAlgorithm>(
     seen.into_iter().map(|s| s.len()).collect()
 }
 
-#[allow(clippy::type_complexity)]
-fn reachable_graph<A: MutexAlgorithm>(
-    sys: &MutexSystem<'_, A>,
-    max_states: usize,
-) -> (
-    Vec<MutexState<A::Local>>,
-    Vec<Vec<(MutexAction, usize)>>,
-) {
-    let mut order: Vec<MutexState<A::Local>> = Vec::new();
-    let mut index: BTreeMap<MutexState<A::Local>, usize> = BTreeMap::new();
-    let mut succ: Vec<Vec<(MutexAction, usize)>> = Vec::new();
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    for s in sys.initial_states() {
-        let i = order.len();
-        index.insert(s.clone(), i);
-        order.push(s);
-        succ.push(Vec::new());
-        queue.push_back(i);
-    }
-    while let Some(i) = queue.pop_front() {
-        let state = order[i].clone();
-        for a in sys.enabled(&state) {
-            let t = sys.step(&state, &a);
-            let ti = match index.get(&t) {
-                Some(&ti) => ti,
-                None => {
-                    if order.len() >= max_states {
-                        continue;
-                    }
-                    let ti = order.len();
-                    index.insert(t.clone(), ti);
-                    order.push(t);
-                    succ.push(Vec::new());
-                    queue.push_back(ti);
-                    ti
-                }
-            };
-            succ[i].push((a, ti));
-        }
-    }
-    (order, succ)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::algorithms::tas_lock::TasLock;
+    use impossible_core::system::System;
 
     #[test]
     fn tas_lock_value_space_is_two() {

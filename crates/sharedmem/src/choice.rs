@@ -17,10 +17,10 @@
 //! the process's count, and counts are only ever adopted from board values —
 //! so two opposite marks would force `v_A < c_P ≤ v_B < c_Q ≤ v_A`, a cycle.
 
-use impossible_core::explore::Explorer;
 use impossible_core::ids::ProcessId;
 use impossible_core::system::System;
 use impossible_det::DetRng;
+use impossible_explore::{Encode, FpHasher, Search};
 
 /// Sentinel for a marked board.
 pub const MARK: u64 = u64::MAX;
@@ -43,6 +43,21 @@ pub struct ChoiceState {
     pub boards: [u64; 2],
     /// Process states.
     pub locals: Vec<ChoiceLocal>,
+}
+
+impl Encode for ChoiceLocal {
+    fn encode(&self, h: &mut FpHasher) {
+        self.board.encode(h);
+        self.count.encode(h);
+        self.decided.encode(h);
+    }
+}
+
+impl Encode for ChoiceState {
+    fn encode(&self, h: &mut FpHasher) {
+        self.boards.encode(h);
+        self.locals.encode(h);
+    }
 }
 
 /// One step of a process; `coin` is meaningful only when the protocol
@@ -152,7 +167,7 @@ impl System for ChoiceSystem {
 /// processes decide different boards. Bounded (values grow); returns the
 /// violating state if found within `max_states`.
 pub fn find_safety_violation(sys: &ChoiceSystem, max_states: usize) -> Option<ChoiceState> {
-    Explorer::new(sys)
+    Search::new(sys)
         .max_states(max_states)
         .search(|s: &ChoiceState| {
             let double_mark = s.boards[0] == MARK && s.boards[1] == MARK;

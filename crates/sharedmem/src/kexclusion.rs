@@ -11,7 +11,7 @@
 
 use crate::mutex::{MutexAction, MutexAlgorithm, MutexState, MutexSystem, Region};
 use impossible_core::exec::Execution;
-use impossible_core::explore::Explorer;
+use impossible_explore::Search;
 
 /// A counting semaphore over one (k+1)-valued test-and-set variable: the
 /// variable holds the number of current holders.
@@ -122,7 +122,7 @@ pub fn find_kexclusion_violation(
 ) -> Option<Execution<MutexState<SemLocal>, MutexAction>> {
     let k = alg.k() as usize;
     let sys = MutexSystem::new(alg);
-    Explorer::new(&sys)
+    Search::new(&sys)
         .max_states(max_states)
         .search(|s| sys.critical_processes(s).len() > k)
         .witness
@@ -137,7 +137,7 @@ pub fn find_counter_inaccuracy(
     max_states: usize,
 ) -> Option<MutexState<SemLocal>> {
     let sys = MutexSystem::new(alg);
-    let states = Explorer::new(&sys).max_states(max_states).reachable_states();
+    let states = Search::new(&sys).max_states(max_states).reachable_states();
     states.into_iter().find(|s| {
         let holders = s
             .locals
@@ -184,7 +184,7 @@ mod tests {
         let alg = CounterSemaphore::new(3, 2);
         let sys = MutexSystem::new(&alg);
         // Reach a state with exactly 2 concurrent holders.
-        let hit = Explorer::new(&sys)
+        let hit = Search::new(&sys)
             .max_states(100_000)
             .search(|s| sys.critical_processes(s).len() == 2);
         assert!(hit.witness.is_some());
@@ -199,3 +199,10 @@ mod tests {
         assert_eq!(spaces, vec![4]); // values 0..=3
     }
 }
+
+impossible_explore::impl_encode_enum!(SemLocal {
+    0: Rem,
+    1: Spin,
+    2: Crit,
+    3: Rel,
+});

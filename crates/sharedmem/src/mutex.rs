@@ -99,6 +99,13 @@ pub struct MutexState<L> {
     pub vars: Vec<u64>,
 }
 
+impl<L: impossible_explore::Encode> impossible_explore::Encode for MutexState<L> {
+    fn encode(&self, h: &mut impossible_explore::FpHasher) {
+        self.locals.encode(h);
+        self.vars.encode(h);
+    }
+}
+
 /// Actions of the composed system. `Try` and `Exit` belong to the
 /// environment (but are attributed to the process for fairness accounting);
 /// `Step` is one atomic variable access by the algorithm.

@@ -13,24 +13,28 @@
 //! the matching upper bound.
 
 use crate::mutex::{MutexAction, MutexAlgorithm, MutexSystem, Region};
-use impossible_core::explore::Explorer;
+use impossible_explore::{Encode, Search};
 
 /// Check idea (1): on every path from `Try` to the critical region, the
 /// process performs at least one step that *changes* some shared variable
 /// (a write). Returns a counterexample execution if some process can reach
 /// the critical region silently — which would let it be invisible to the
 /// others, an immediate mutex violation setup.
-pub fn first_write_before_critical<A: MutexAlgorithm>(
+pub fn first_write_before_critical<A>(
     alg: &A,
     max_states: usize,
-) -> Result<(), Vec<MutexAction>> {
+) -> Result<(), Vec<MutexAction>>
+where
+    A: MutexAlgorithm + Sync,
+    A::Local: Encode + Send + Sync,
+{
     // Explore the solo system for each process: if it can reach Critical
     // without any variable changing, report the silent path.
     for i in 0..alg.num_processes() {
         let participants = (0..alg.num_processes()).map(|p| p == i).collect();
         let sys = MutexSystem::with_participants(alg, participants);
         let initial_vars: Vec<u64> = (0..alg.num_vars()).map(|v| alg.initial_var(v)).collect();
-        let report = Explorer::new(&sys).max_states(max_states).search(|s| {
+        let report = Search::new(&sys).max_states(max_states).search(|s| {
             s.locals
                 .iter()
                 .any(|l| alg.region(l) == Region::Critical)
@@ -188,6 +192,12 @@ mod tests {
             Crit,
             Out,
         }
+        impossible_explore::impl_encode_enum!(L {
+            0: Rem,
+            1: Peek,
+            2: Crit,
+            3: Out,
+        });
         impl MutexAlgorithm for Silent {
             type Local = L;
             fn name(&self) -> &'static str {
@@ -245,3 +255,14 @@ mod tests {
         assert!(check::find_mutex_violation(&sys, 600_000).is_none());
     }
 }
+
+impossible_explore::impl_encode_enum!(TwoVarLocal {
+    0: Rem,
+    1: ReadTicket,
+    2: WriteTicket,
+    3: WriteOwner,
+    4: Confirm,
+    5: Crit,
+    6: ClearOwner,
+    7: ClearTicket,
+});

@@ -299,3 +299,10 @@ mod tests {
         assert!(report.survivors.is_empty());
     }
 }
+
+impossible_explore::impl_encode_enum!(SynthLocal {
+    0: Rem,
+    1: Try(t),
+    2: Crit,
+    3: Exit,
+});

@@ -6,6 +6,7 @@
 use impossible::consensus::flp::{analyze, find_nontermination, Arbiter, FlpSystem};
 use impossible::core::exec::Admissibility;
 use impossible::core::valence::ValenceEngine;
+use impossible::explore::Search;
 
 fn main() {
     let candidate = Arbiter::new(3);
@@ -49,6 +50,16 @@ fn main() {
             nt.failed, nt.cycle
         );
     }
+
+    // Run the same space through the search subsystem and dump its
+    // deterministic run counters (byte-identical across reruns and worker
+    // counts — see docs/EXPLORE.md).
+    let search_report = Search::new(&sys).max_states(500_000).explore();
+    println!(
+        "\nSearch subsystem: {} states, {} transitions.",
+        search_report.num_states, search_report.num_transitions
+    );
+    println!("  stats: {}", search_report.stats.to_json());
 
     // The lasso search through the generic engine needs 1-resilient
     // admissibility; show it is exercised.

@@ -10,7 +10,10 @@ use impossible::sharedmem::mutex::{MutexAlgorithm, MutexSystem};
 use impossible::sharedmem::sched::simulate_random;
 use impossible::sharedmem::synthesis;
 
-fn judge<A: MutexAlgorithm>(alg: &A, budget: usize) {
+fn judge<A: MutexAlgorithm + Sync>(alg: &A, budget: usize)
+where
+    A::Local: impossible::explore::Encode + Send + Sync,
+{
     let sys = MutexSystem::new(alg);
     let safe = find_mutex_violation(&sys, budget).is_none();
     let live = find_deadlock(&sys, budget).is_none();

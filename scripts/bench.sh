@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Regenerate the committed benchmark baselines.
+#
+# Runs the crates/bench harnesses (release, offline) and moves their JSON
+# outputs to the repo root, where they are committed:
+#
+#   BENCH_3.json — the search-subsystem speedup baseline (new fingerprint
+#                  engine vs the legacy explorer on a 117k-state grid; the
+#                  committed file must show >= 2x on the big instance).
+#
+# Usage: ./scripts/bench.sh [extra cargo-bench args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== bench: explore (writes BENCH_3.json) =="
+cargo bench -q --offline -p impossible-bench --bench explore -- "$@"
+
+# Bench binaries write BENCH_<suite>.json into the package directory.
+if [ -f crates/bench/BENCH_3.json ]; then
+    mv crates/bench/BENCH_3.json BENCH_3.json
+fi
+echo "baseline: $(cat BENCH_3.json)"

@@ -17,6 +17,10 @@
 //! * [`election`] — ring and complete-graph leader election.
 //! * [`registers`] — register constructions and the Herlihy hierarchy.
 //! * [`datalink`] — lossy channels, ABP, Two Generals, message stealing.
+//! * [`explore`] — the state-space search subsystem: fingerprint visited
+//!   sets, symmetry canonicalization hooks, deterministic parallel
+//!   frontiers, and the unified [`Search`](impossible_explore::Search)
+//!   API every engine above explores through (see `docs/EXPLORE.md`).
 //! * [`det`] — the in-tree deterministic infrastructure: seeded PRNG,
 //!   property-testing harness (`det_prop!` with `DET_SEED` replay), bench
 //!   timer. Everything random in the workspace flows through it.
@@ -43,6 +47,7 @@ pub use impossible_core as core;
 pub use impossible_datalink as datalink;
 pub use impossible_det as det;
 pub use impossible_election as election;
+pub use impossible_explore as explore;
 pub use impossible_msgpass as msgpass;
 pub use impossible_registers as registers;
 pub use impossible_sharedmem as sharedmem;

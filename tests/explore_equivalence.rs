@@ -1,0 +1,130 @@
+//! Cross-engine equivalence: the new search subsystem
+//! (`impossible_explore::Search`) against the legacy reference explorer
+//! (`impossible::core::explore::Explorer`), on one real system from every
+//! model crate.
+//!
+//! Discovery *order* legitimately differs (the legacy engine pops a global
+//! FIFO; the new one merges fingerprint partitions level by level), so the
+//! suite pins the order-independent facts the engines must agree on:
+//! state count, transition count, the terminal set (sorted), the truncation
+//! verdict, and — for predicate searches — the *length* of the shortest
+//! witness. Each comparison runs the new engine with 1 and 2 workers.
+
+use impossible::core::explore::Explorer;
+use impossible::core::system::System;
+use impossible::explore::{Encode, Search};
+
+/// Explore `sys` with both engines and pin the order-independent facts.
+fn assert_full_equivalence<Sys>(sys: &Sys, max_states: usize)
+where
+    Sys: System + Sync,
+    Sys::State: Encode + Send + Sync,
+    Sys::Action: Send + Sync,
+{
+    let legacy = Explorer::new(sys).max_states(max_states).explore();
+    for workers in [1, 2] {
+        let new = Search::new(sys)
+            .max_states(max_states)
+            .workers(workers)
+            .explore();
+        assert_eq!(new.num_states, legacy.num_states, "workers={workers}");
+        assert_eq!(
+            new.num_transitions, legacy.num_transitions,
+            "workers={workers}"
+        );
+        assert_eq!(new.truncated(), legacy.truncated, "workers={workers}");
+        let mut lt = legacy.terminal_states.clone();
+        let mut nt = new.terminal_states.clone();
+        lt.sort();
+        nt.sort();
+        assert_eq!(nt, lt, "terminal sets differ (workers={workers})");
+    }
+}
+
+/// Search both engines for `pred`; shortest-witness lengths must agree.
+fn assert_search_equivalence<Sys, F>(sys: &Sys, max_states: usize, pred: F)
+where
+    Sys: System + Sync,
+    Sys::State: Encode + Send + Sync,
+    Sys::Action: Send + Sync,
+    F: Fn(&Sys::State) -> bool + Copy,
+{
+    let legacy = Explorer::new(sys).max_states(max_states).search(pred);
+    for workers in [1, 2] {
+        let new = Search::new(sys)
+            .max_states(max_states)
+            .workers(workers)
+            .search(pred);
+        assert_eq!(
+            new.witness.as_ref().map(|w| w.len()),
+            legacy.witness.as_ref().map(|w| w.len()),
+            "shortest-witness length differs (workers={workers})"
+        );
+    }
+}
+
+#[test]
+fn sharedmem_tas_lock_agrees() {
+    use impossible::sharedmem::algorithms::tas_lock::TasLock;
+    use impossible::sharedmem::mutex::MutexSystem;
+    let alg = TasLock::new(2);
+    let sys = MutexSystem::new(&alg);
+    assert_full_equivalence(&sys, 100_000);
+    assert_search_equivalence(&sys, 100_000, |s| {
+        s.locals
+            .iter()
+            .filter(|l| format!("{l:?}").contains("Crit"))
+            .count()
+            >= 1
+    });
+}
+
+#[test]
+fn msgpass_flood_agrees() {
+    use impossible::msgpass::flood::FloodSystem;
+    use impossible::msgpass::topology::Topology;
+    let sys = FloodSystem::new(Topology::mesh(2, 3), 0);
+    assert_full_equivalence(&sys, 100_000);
+    assert_search_equivalence(&sys, 100_000, |s| s.iter().all(|&b| b));
+}
+
+#[test]
+fn consensus_flp_arbiter_agrees() {
+    use impossible::consensus::flp::{Arbiter, FlpSystem};
+    let candidate = Arbiter::new(2);
+    let sys = FlpSystem::all_binary(&candidate);
+    assert_full_equivalence(&sys, 200_000);
+    assert_search_equivalence(&sys, 200_000, |s| {
+        s.locals.iter().all(|l| format!("{l:?}").contains("Some"))
+    });
+}
+
+#[test]
+fn election_token_ring_agrees() {
+    use impossible::election::ring_search::TokenRing;
+    let sys = TokenRing { n: 5 };
+    assert_full_equivalence(&sys, 100_000);
+    assert_search_equivalence(&sys, 100_000, |s| {
+        s.iter().filter(|&&b| b == 1).count() == 1
+    });
+}
+
+#[test]
+fn datalink_abp_agrees() {
+    use impossible::datalink::abp_search::AbpSearchSystem;
+    let sys = AbpSearchSystem::new(2, 2);
+    assert_full_equivalence(&sys, 200_000);
+    assert_search_equivalence(&sys, 200_000, |s| s.delivered == 2);
+}
+
+#[test]
+fn truncated_explorations_agree_on_the_cap() {
+    // Both engines land exactly on the cap and say so.
+    use impossible::election::ring_search::TokenRing;
+    let sys = TokenRing { n: 6 };
+    let legacy = Explorer::new(&sys).max_states(40).explore();
+    let new = Search::new(&sys).max_states(40).explore();
+    assert!(legacy.truncated && new.truncated());
+    assert_eq!(legacy.num_states, 40);
+    assert_eq!(new.num_states, 40);
+}
