@@ -14,6 +14,7 @@
 use impossible_msgpass::sync::{Fault, SyncNet, SyncProcess};
 use impossible_msgpass::topology::Topology;
 use impossible_det::DetRng;
+use impossible_obs::{trace_event, NoopTracer, Tracer};
 
 /// Ben-Or wire format.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,6 +73,16 @@ impl BenOr {
     /// The decision, if made.
     pub fn decision(&self) -> Option<u64> {
         self.decision
+    }
+
+    /// The current estimate (what the process would report next phase).
+    pub fn estimate(&self) -> u64 {
+        self.estimate
+    }
+
+    /// The phase the process is currently in (1-based).
+    pub fn phase(&self) -> usize {
+        self.phase
     }
 }
 
@@ -198,6 +209,43 @@ pub fn run_benor(
     crashes: &[(usize, usize, usize)],
     max_phases: usize,
 ) -> BenOrRun {
+    run_benor_traced(inputs, t, seed, crashes, max_phases, &mut NoopTracer)
+}
+
+/// One-character-per-process snapshot used by Ben-Or trace fields:
+/// `x` = crashed, `-` = no value, otherwise the (binary) value.
+fn census(net: &SyncNet<BenOr>, value_of: impl Fn(&BenOr) -> Option<u64>) -> String {
+    net.processes()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            if net.is_crashed(i) {
+                'x'
+            } else {
+                match value_of(p) {
+                    None => '-',
+                    Some(0) => '0',
+                    Some(_) => '1',
+                }
+            }
+        })
+        .collect()
+}
+
+/// [`run_benor`], recording a round transcript into `tracer` (scope
+/// `"benor"`): one `phase` event per completed report+proposal exchange
+/// (with the estimate census), one `decide` event per process the moment
+/// it decides, then `end`. Emission is sequential with the lock-step
+/// round loop, so the trace is a pure function of
+/// `(inputs, t, seed, crashes, max_phases)`.
+pub fn run_benor_traced(
+    inputs: &[u64],
+    t: usize,
+    seed: u64,
+    crashes: &[(usize, usize, usize)],
+    max_phases: usize,
+    tracer: &mut dyn Tracer,
+) -> BenOrRun {
     let n = inputs.len();
     let procs: Vec<BenOr> = inputs
         .iter()
@@ -214,7 +262,52 @@ pub fn run_benor(
             },
         );
     }
-    let complete = net.run_until_halted(2 * max_phases);
+    trace_event!(tracer, "benor", "start",
+        "n": n,
+        "t": t,
+        "seed": seed,
+        "max_phases": max_phases,
+        "inputs": census(&net, |p| Some(p.estimate())),
+    );
+
+    // Step rounds manually (same halt rule as `SyncNet::run_until_halted`)
+    // so the transcript can record each phase as it completes.
+    let all_halted = |net: &SyncNet<BenOr>| {
+        (0..n).all(|i| net.is_crashed(i) || net.processes()[i].halted())
+    };
+    let mut decided = vec![false; n];
+    let mut complete = false;
+    for _ in 0..2 * max_phases {
+        if all_halted(&net) {
+            complete = true;
+            break;
+        }
+        let round = net.step_round();
+        for i in 0..n {
+            let p = &net.processes()[i];
+            if !decided[i] && !net.is_crashed(i) {
+                if let (Some(v), Some(ph)) = (p.decision(), p.decided_phase) {
+                    decided[i] = true;
+                    trace_event!(tracer, "benor", "decide",
+                        "process": i,
+                        "phase": ph,
+                        "value": v,
+                    );
+                }
+            }
+        }
+        if round % 2 == 0 {
+            trace_event!(tracer, "benor", "phase",
+                "phase": round / 2,
+                "estimates": census(&net, |p| Some(p.estimate())),
+                "decided": census(&net, |p| p.decision()),
+            );
+        }
+    }
+    if !complete {
+        complete = all_halted(&net);
+    }
+
     let decisions: Vec<Option<u64>> = (0..n)
         .map(|i| {
             if net.is_crashed(i) {
@@ -230,6 +323,11 @@ pub fn run_benor(
         .flat_map(|p| p.decided_phase)
         .max()
         .unwrap_or(max_phases);
+    trace_event!(tracer, "benor", "end",
+        "complete": complete,
+        "phases": phases,
+        "decisions": census(&net, |p| p.decision()),
+    );
     BenOrRun {
         decisions,
         phases,

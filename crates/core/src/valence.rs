@@ -49,6 +49,7 @@
 use crate::exec::{Admissibility, Execution, StepCensus};
 use crate::ids::ProcessId;
 use crate::system::{DecisionSystem, SystemExt};
+use impossible_obs::{trace_event, NoopTracer, Tracer};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// The valence of a configuration: the set of decision values reachable from
@@ -147,8 +148,15 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
 
     /// Build the reachable graph and classify every configuration's valence.
     pub fn analyze(&self) -> ValenceReport<Sys::State> {
+        self.analyze_traced(&mut NoopTracer)
+    }
+
+    /// [`ValenceEngine::analyze`], recording trace events into `tracer`
+    /// (scope `"valence"`): graph size, fixpoint effort, the valence of
+    /// each initial configuration, and the classification tallies.
+    pub fn analyze_traced(&self, tracer: &mut dyn Tracer) -> ValenceReport<Sys::State> {
         let (order, succ, truncated) = self.reachable_graph();
-        self.analyze_from_graph(&order, &succ, truncated)
+        self.analyze_from_graph_traced(&order, &succ, truncated, tracer)
     }
 
     /// Classify valences over an externally built reachable graph.
@@ -166,6 +174,22 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
         succ: &[Vec<(Sys::Action, usize)>],
         truncated: bool,
     ) -> ValenceReport<Sys::State> {
+        self.analyze_from_graph_traced(order, succ, truncated, &mut NoopTracer)
+    }
+
+    /// [`ValenceEngine::analyze_from_graph`], recording trace events into
+    /// `tracer` (scope `"valence"`).
+    pub fn analyze_from_graph_traced(
+        &self,
+        order: &[Sys::State],
+        succ: &[Vec<(Sys::Action, usize)>],
+        truncated: bool,
+        tracer: &mut dyn Tracer,
+    ) -> ValenceReport<Sys::State> {
+        trace_event!(tracer, "valence", "classify.start",
+            "states": order.len(),
+            "truncated": truncated,
+        );
         let index: BTreeMap<&Sys::State, usize> =
             order.iter().enumerate().map(|(i, s)| (s, i)).collect();
 
@@ -185,7 +209,10 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
         let mut val: Vec<BTreeSet<u64>> = own.clone();
         let mut queue: VecDeque<usize> = (0..order.len()).collect();
         let mut queued: Vec<bool> = vec![true; order.len()];
+        let mut pops = 0usize;
+        let mut changed = 0usize;
         while let Some(i) = queue.pop_front() {
+            pops += 1;
             queued[i] = false;
             // Recompute val[i] from own + successors.
             let mut v = own[i].clone();
@@ -195,6 +222,7 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
                 }
             }
             if v != val[i] {
+                changed += 1;
                 val[i] = v;
                 for &p in &preds[i] {
                     if !queued[p] {
@@ -204,6 +232,7 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
                 }
             }
         }
+        trace_event!(tracer, "valence", "fixpoint", "pops": pops, "changed": changed);
 
         // Agreement diagnostics: a state where two distinct values are
         // *already decided* simultaneously.
@@ -223,6 +252,11 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
         let mut univalent_initials = Vec::new();
         for s in self.sys.initial_states() {
             if let Some(i) = index.get(&s) {
+                trace_event!(tracer, "valence", "initial",
+                    "index": *i,
+                    "values": val[*i].len(),
+                    "bivalent": val[*i].len() >= 2,
+                );
                 if val[*i].len() >= 2 {
                     bivalent_initials.push(s);
                 } else {
@@ -234,7 +268,7 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
         // Critical configurations (Figure 3): bivalent, and every *real*
         // successor (ignoring stutter self-loops such as null steps) is
         // univalent.
-        let critical = order
+        let critical: Vec<Sys::State> = order
             .iter()
             .enumerate()
             .filter(|(i, _)| {
@@ -249,6 +283,13 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
             })
             .map(|(_, s)| s.clone())
             .collect();
+
+        trace_event!(tracer, "valence", "classify.end",
+            "bivalent_initials": bivalent_initials.len(),
+            "univalent_initials": univalent_initials.len(),
+            "critical": critical.len(),
+            "violations": agreement_violations.len(),
+        );
 
         ValenceReport {
             valence,
@@ -378,9 +419,24 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
 
     /// Search for a Bridgeland–Watro decider configuration (Figure 2).
     pub fn find_decider(&self) -> Option<Decider<Sys::State, Sys::Action>> {
+        self.find_decider_traced(&mut NoopTracer)
+    }
+
+    /// [`ValenceEngine::find_decider`], recording trace events into
+    /// `tracer` (scope `"valence"`): one `decider.probe` per
+    /// (bivalent configuration, process) solo-run attempt, then
+    /// `decider.found` or `decider.none`.
+    pub fn find_decider_traced(
+        &self,
+        tracer: &mut dyn Tracer,
+    ) -> Option<Decider<Sys::State, Sys::Action>> {
         let report = self.analyze();
         let (order, succ, _) = self.reachable_graph();
         let n = self.sys.num_processes()?;
+        trace_event!(tracer, "valence", "decider.hunt",
+            "states": order.len(),
+            "processes": n,
+        );
         for (i, s) in order.iter().enumerate() {
             if !report.valence[s].is_bivalent() {
                 continue;
@@ -411,7 +467,16 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
                         }
                     }
                 }
+                trace_event!(tracer, "valence", "decider.probe",
+                    "config": i,
+                    "process": p.0,
+                    "valences": reached.len(),
+                );
                 if reached.len() >= 2 {
+                    trace_event!(tracer, "valence", "decider.found",
+                        "config": i,
+                        "process": p.0,
+                    );
                     let mut it = reached.into_iter();
                     let (_, to_first) = it.next().expect("len >= 2");
                     let (_, to_second) = it.next().expect("len >= 2");
@@ -424,6 +489,7 @@ impl<'a, Sys: DecisionSystem> ValenceEngine<'a, Sys> {
                 }
             }
         }
+        trace_event!(tracer, "valence", "decider.none");
         None
     }
 

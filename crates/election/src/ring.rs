@@ -7,6 +7,7 @@
 //! the resource the TimeSlice counterexample algorithm trades away.
 
 use impossible_det::DetRng;
+use impossible_obs::{trace_event, NoopTracer, Tracer};
 use std::collections::VecDeque;
 use std::fmt::Debug;
 
@@ -110,7 +111,35 @@ impl<P: RingProcess> RingRunner<P> {
 
     /// Run to quiescence (or `max_events`); returns the outcome.
     pub fn run(&mut self, schedule: RingSchedule, max_events: usize) -> ElectionOutcome {
+        self.run_traced(schedule, max_events, &mut NoopTracer)
+    }
+
+    /// [`RingRunner::run`], recording trace events into `tracer` (scope
+    /// `"election"`): one `deliver` event per message delivery (the
+    /// scheduler's full decision sequence), plus `elected` the moment a
+    /// process declares leadership, then `end`. The runner is sequential,
+    /// so the trace is a pure function of `(processes, schedule,
+    /// max_events)`.
+    pub fn run_traced(
+        &mut self,
+        schedule: RingSchedule,
+        max_events: usize,
+        tracer: &mut dyn Tracer,
+    ) -> ElectionOutcome {
         let n = self.procs.len();
+        match &schedule {
+            RingSchedule::RoundRobin => trace_event!(tracer, "election", "start",
+                "mode": "async",
+                "n": n,
+                "schedule": "round-robin",
+            ),
+            RingSchedule::Random(seed) => trace_event!(tracer, "election", "start",
+                "mode": "async",
+                "n": n,
+                "schedule": "random",
+                "seed": *seed,
+            ),
+        }
         for i in 0..n {
             for (dir, msg) in self.procs[i].start() {
                 self.route(i, dir, msg);
@@ -141,13 +170,38 @@ impl<P: RingProcess> RingRunner<P> {
             };
             let msg = self.inboxes[i][side].pop_front().expect("nonempty");
             let from = if side == 0 { Dir::Right } else { Dir::Left };
-            for (dir, out) in self.procs[i].on_msg(from, msg) {
-                self.route(i, dir, out);
+            let was_leader = self.procs[i].status() == Status::Leader;
+            let sent = {
+                let outs = self.procs[i].on_msg(from, msg);
+                let k = outs.len();
+                for (dir, out) in outs {
+                    self.route(i, dir, out);
+                }
+                k
+            };
+            trace_event!(tracer, "election", "deliver",
+                "event": delivered,
+                "process": i,
+                "from": if side == 0 { "right" } else { "left" },
+                "sent": sent,
+            );
+            if !was_leader && self.procs[i].status() == Status::Leader {
+                trace_event!(tracer, "election", "elected",
+                    "process": i,
+                    "event": delivered,
+                );
             }
             delivered += 1;
             self.messages += 1;
         }
-        self.outcome(0, delivered < max_events)
+        let complete = delivered < max_events;
+        let out = self.outcome(0, complete);
+        trace_event!(tracer, "election", "end",
+            "messages": out.messages,
+            "leader": out.leader.map_or(-1i64, |l| l as i64),
+            "complete": out.complete,
+        );
+        out
     }
 
     fn outcome(&self, rounds: usize, complete: bool) -> ElectionOutcome {
@@ -203,7 +257,19 @@ impl<P: SyncRingProcess> SyncRingRunner<P> {
     /// Run until some process declares leadership and everyone else has
     /// resolved, or `max_rounds` pass.
     pub fn run(&mut self, max_rounds: usize) -> ElectionOutcome {
+        self.run_traced(max_rounds, &mut NoopTracer)
+    }
+
+    /// [`SyncRingRunner::run`], recording trace events into `tracer`
+    /// (scope `"election"`): one `round` event per synchronous round with
+    /// cumulative message and resolution counts, then `end`.
+    pub fn run_traced(&mut self, max_rounds: usize, tracer: &mut dyn Tracer) -> ElectionOutcome {
         let n = self.procs.len();
+        trace_event!(tracer, "election", "start",
+            "mode": "sync",
+            "n": n,
+            "max_rounds": max_rounds,
+        );
         for round in 1..=max_rounds {
             let mut to_left: Vec<Option<P::Msg>> = vec![None; n]; // arriving from the right
             let mut to_right: Vec<Option<P::Msg>> = vec![None; n]; // arriving from the left
@@ -221,15 +287,35 @@ impl<P: SyncRingProcess> SyncRingRunner<P> {
                 let from_right = to_left[i].take();
                 self.procs[i].receive(round, from_left, from_right);
             }
-            if self
+            let resolved = self
                 .procs
                 .iter()
-                .all(|p| p.status() != Status::Unknown)
-            {
-                return self.outcome(round, true);
+                .filter(|p| p.status() != Status::Unknown)
+                .count();
+            trace_event!(tracer, "election", "round",
+                "round": round,
+                "messages": self.messages,
+                "resolved": resolved,
+            );
+            if resolved == n {
+                let out = self.outcome(round, true);
+                trace_event!(tracer, "election", "end",
+                    "messages": out.messages,
+                    "rounds": out.rounds,
+                    "leader": out.leader.map_or(-1i64, |l| l as i64),
+                    "complete": out.complete,
+                );
+                return out;
             }
         }
-        self.outcome(max_rounds, false)
+        let out = self.outcome(max_rounds, false);
+        trace_event!(tracer, "election", "end",
+            "messages": out.messages,
+            "rounds": out.rounds,
+            "leader": out.leader.map_or(-1i64, |l| l as i64),
+            "complete": out.complete,
+        );
+        out
     }
 
     fn outcome(&self, rounds: usize, complete: bool) -> ElectionOutcome {

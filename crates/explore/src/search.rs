@@ -45,7 +45,13 @@ use crate::table::{FpMap, TryInsert};
 use impossible_core::exec::Execution;
 use impossible_core::explore::Truncation;
 use impossible_core::system::System;
+use impossible_obs::{trace_event, NoopTracer, Tracer};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Trace field value for a truncation cause ("none" when unbounded).
+fn truncation_name(t: &Option<Truncation>) -> &'static str {
+    t.map_or("none", |t| t.name())
+}
 
 /// Default fingerprint seed (any fixed value works; overridable for
 /// collision re-randomization and `DET_SEED` integration).
@@ -233,7 +239,18 @@ where
 {
     /// Explore the full reachable space (within bounds), no predicate.
     pub fn explore(&self) -> SearchReport<Sys::State, Sys::Action> {
-        self.run_bfs(None::<fn(&Sys::State) -> bool>)
+        self.explore_traced(&mut NoopTracer)
+    }
+
+    /// [`Search::explore`], recording trace events into `tracer` (scope
+    /// `"search"`). The trace is a pure function of
+    /// `(system, bounds, seed, canon, partitions)` — the worker count never
+    /// changes a byte (`tests/trace_determinism.rs` pins this).
+    pub fn explore_traced(
+        &self,
+        tracer: &mut dyn Tracer,
+    ) -> SearchReport<Sys::State, Sys::Action> {
+        self.run_bfs(None::<fn(&Sys::State) -> bool>, tracer)
     }
 
     /// BFS until `pred` matches; `witness` is a shortest execution from an
@@ -242,10 +259,31 @@ where
     where
         F: Fn(&Sys::State) -> bool,
     {
-        self.run_bfs(Some(pred))
+        self.search_traced(pred, &mut NoopTracer)
     }
 
-    fn run_bfs<F>(&self, pred: Option<F>) -> SearchReport<Sys::State, Sys::Action>
+    /// [`Search::search`], recording trace events into `tracer` (scope
+    /// `"search"`); same determinism contract as [`Search::explore_traced`].
+    pub fn search_traced<F>(
+        &self,
+        pred: F,
+        tracer: &mut dyn Tracer,
+    ) -> SearchReport<Sys::State, Sys::Action>
+    where
+        F: Fn(&Sys::State) -> bool,
+    {
+        self.run_bfs(Some(pred), tracer)
+    }
+
+    /// The BFS engine. Trace emissions happen only on the sequential
+    /// control path (init loop, level boundaries, and the ordered merge) —
+    /// never inside worker closures — and no event carries the worker
+    /// count, which is what makes traces worker-count invariant.
+    fn run_bfs<F>(
+        &self,
+        pred: Option<F>,
+        tracer: &mut dyn Tracer,
+    ) -> SearchReport<Sys::State, Sys::Action>
     where
         F: Fn(&Sys::State) -> bool,
     {
@@ -259,8 +297,20 @@ where
         let mut found: Option<u64> = None;
         let mut frontier: Vec<(u64, Sys::State)> = Vec::new();
 
+        trace_event!(tracer, "search", "start",
+            "strategy": "bfs",
+            "partitions": self.partitions,
+            "seed": self.seed,
+            "max_states": self.max_states,
+            "max_depth": self.max_depth,
+            "canon": self.canon.is_some(),
+        );
+
         for (i, s0) in self.sys.initial_states().into_iter().enumerate() {
             if visited.len() >= self.max_states {
+                if truncated_by.is_none() {
+                    trace_event!(tracer, "search", "truncate", "cause": "states", "level": 0usize);
+                }
                 truncated_by.get_or_insert(Truncation::States);
                 break;
             }
@@ -280,6 +330,20 @@ where
             frontier.push((fp, sc));
         }
 
+        // The initial frontier is a real frontier: record it before the
+        // level loop so `peak_frontier` is never 0 on runs where the loop
+        // body is skipped (predicate matched an initial state, or the space
+        // has no initial states to expand).
+        stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+        trace_event!(tracer, "search", "init",
+            "frontier": frontier.len(),
+            "states": visited.len(),
+            "dedup": stats.dedup_hits,
+        );
+        if let Some(fp) = found {
+            trace_event!(tracer, "search", "found", "depth": 0usize, "fp": fp);
+        }
+
         let mut depth = 0usize;
         // Partition buffers live across levels; cleared (not dropped) after
         // each merge so steady-state levels allocate nothing here.
@@ -289,16 +353,30 @@ where
             stats.peak_frontier = stats.peak_frontier.max(frontier.len());
             if depth >= self.max_depth {
                 // Cutoff level: record terminals, flag unexpanded work.
+                trace_event!(tracer, "search", "cutoff",
+                    "level": depth,
+                    "frontier": frontier.len(),
+                );
                 for (_, s) in &frontier {
                     stats.expansions += 1;
                     if self.sys.enabled(s).is_empty() {
                         terminal.push(s.clone());
                     } else {
+                        if truncated_by.is_none() {
+                            trace_event!(tracer, "search", "truncate",
+                                "cause": "depth",
+                                "level": depth,
+                            );
+                        }
                         truncated_by.get_or_insert(Truncation::Depth);
                     }
                 }
                 break;
             }
+            trace_event!(tracer, "search", "level.enter",
+                "level": depth,
+                "frontier": frontier.len(),
+            );
 
             for item in frontier.drain(..) {
                 let k = (item.0 % self.partitions as u64) as usize;
@@ -332,6 +410,12 @@ where
                             false
                         }
                         TryInsert::Full => {
+                            if truncated_by.is_none() {
+                                trace_event!(tracer, "search", "truncate",
+                                    "cause": "states",
+                                    "level": depth,
+                                );
+                            }
                             truncated_by.get_or_insert(Truncation::States);
                             false
                         }
@@ -341,6 +425,10 @@ where
                             }
                             if pred.as_ref().is_some_and(|p| p(&tc)) {
                                 found = Some(fp_t);
+                                trace_event!(tracer, "search", "found",
+                                    "depth": depth + 1,
+                                    "fp": fp_t,
+                                );
                                 true
                             } else {
                                 next.push((fp_t, tc));
@@ -431,8 +519,26 @@ where
                 p.clear();
             }
             frontier = next;
+            trace_event!(tracer, "search", "level.exit",
+                "level": depth,
+                "next": frontier.len(),
+                "states": visited.len(),
+                "transitions": transitions,
+                "dedup": stats.dedup_hits,
+                "canon": stats.canon_hits,
+                "terminals": terminal.len(),
+            );
             depth += 1;
         }
+        trace_event!(tracer, "search", "end",
+            "states": visited.len(),
+            "transitions": transitions,
+            "levels": stats.levels,
+            "expansions": stats.expansions,
+            "peak_frontier": stats.peak_frontier,
+            "truncated": truncation_name(&truncated_by),
+            "witness": found.is_some(),
+        );
 
         let witness = found.map(|target| self.replay_witness(&visited, target));
 
@@ -508,12 +614,36 @@ where
     where
         F: Fn(&Sys::State) -> bool,
     {
+        self.search_iddfs_traced(pred, &mut NoopTracer)
+    }
+
+    /// [`Search::search_iddfs`], recording trace events into `tracer`
+    /// (scope `"search"`): one `limit.enter`/`limit.exit` span per
+    /// deepening pass, plus `found`/`truncate`/`end`.
+    pub fn search_iddfs_traced<F>(
+        &self,
+        pred: F,
+        tracer: &mut dyn Tracer,
+    ) -> SearchReport<Sys::State, Sys::Action>
+    where
+        F: Fn(&Sys::State) -> bool,
+    {
         let mut stats = SearchStats::new("iddfs", 1, self.partitions, self.seed);
         let mut truncated_by: Option<Truncation> = None;
         let mut witness: Option<Execution<Sys::State, Sys::Action>> = None;
         let mut transitions = 0usize;
 
+        trace_event!(tracer, "search", "start",
+            "strategy": "iddfs",
+            "partitions": self.partitions,
+            "seed": self.seed,
+            "max_states": self.max_states,
+            "max_depth": self.max_depth,
+            "canon": self.canon.is_some(),
+        );
+
         'deepen: for limit in 0..=self.max_depth {
+            trace_event!(tracer, "search", "limit.enter", "limit": limit);
             let mut cutoff = false;
             for s0 in self.sys.initial_states() {
                 let sc = self.canonize(s0, &mut stats.canon_hits);
@@ -525,19 +655,42 @@ where
                     &mut transitions,
                     &mut cutoff,
                 ) {
+                    trace_event!(tracer, "search", "found",
+                        "depth": exec.len(),
+                        "limit": limit,
+                    );
                     witness = Some(exec);
                     break 'deepen;
                 }
             }
             stats.levels = limit;
+            trace_event!(tracer, "search", "limit.exit",
+                "limit": limit,
+                "expansions": stats.expansions,
+                "transitions": transitions,
+                "cutoff": cutoff,
+            );
             if !cutoff {
                 // Space exhausted below the limit: deepening cannot help.
                 break;
             }
             if limit == self.max_depth {
+                trace_event!(tracer, "search", "truncate",
+                    "cause": "depth",
+                    "level": limit,
+                );
                 truncated_by = Some(Truncation::Depth);
             }
         }
+        trace_event!(tracer, "search", "end",
+            "states": 0usize,
+            "transitions": transitions,
+            "levels": stats.levels,
+            "expansions": stats.expansions,
+            "peak_frontier": stats.peak_frontier,
+            "truncated": truncation_name(&truncated_by),
+            "witness": witness.is_some(),
+        );
 
         SearchReport {
             num_states: 0,
@@ -710,6 +863,20 @@ mod tests {
         let sys = Grid { n: 2, max: 2 };
         let r = Search::new(&sys).search(|s| s == &vec![0, 0]);
         assert_eq!(r.witness.expect("initial matches").len(), 0);
+    }
+
+    #[test]
+    fn peak_frontier_counts_the_initial_frontier() {
+        // Regression: a predicate matching an initial state used to leave
+        // peak_frontier at 0 — the level loop (where the peak was sampled)
+        // never ran. The initial frontier is a real frontier.
+        let sys = Grid { n: 2, max: 2 };
+        let r = Search::new(&sys).search(|s| s == &vec![0, 0]);
+        assert_eq!(r.stats.peak_frontier, 1);
+        // Untruncated full explores are unaffected: the peak still comes
+        // from the widest expanded level, not the roots.
+        let full = Search::new(&sys).explore();
+        assert!(full.stats.peak_frontier > 1);
     }
 
     #[test]

@@ -114,18 +114,22 @@ impl<V> FpMap<V> {
     }
 
     /// Insert `make()` under `fp` unless present or already holding `cap`
-    /// entries. One probe for all three outcomes.
+    /// entries. Growth happens only on the insert path: `Present` and
+    /// `Full` leave the table's capacity untouched, so a capped search
+    /// cannot be made to double its dedup table by hammering it with
+    /// duplicates or over-cap insertions.
     pub fn try_insert_with(&mut self, fp: u64, cap: usize, make: impl FnOnce() -> V) -> TryInsert {
-        if (self.len + 1) * 2 > self.keys.len() {
-            self.grow();
-        }
         let key = key_of(fp);
-        let i = self.slot(key);
+        let mut i = self.slot(key);
         if self.keys[i] == key {
             return TryInsert::Present;
         }
         if self.len >= cap {
             return TryInsert::Full;
+        }
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+            i = self.slot(key);
         }
         self.keys[i] = key;
         self.vals[i] = Some(make());
@@ -134,18 +138,27 @@ impl<V> FpMap<V> {
     }
 
     /// The value under `fp`, inserting `make()` first if absent (no cap).
+    /// Like [`FpMap::try_insert_with`], growth only happens when an entry
+    /// is actually inserted.
     pub fn get_or_insert_with(&mut self, fp: u64, make: impl FnOnce() -> V) -> &mut V {
-        if (self.len + 1) * 2 > self.keys.len() {
-            self.grow();
-        }
         let key = key_of(fp);
-        let i = self.slot(key);
+        let mut i = self.slot(key);
         if self.keys[i] != key {
+            if (self.len + 1) * 2 > self.keys.len() {
+                self.grow();
+                i = self.slot(key);
+            }
             self.keys[i] = key;
             self.vals[i] = Some(make());
             self.len += 1;
         }
         self.vals[i].as_mut().expect("occupied slot holds a value")
+    }
+
+    /// Current slot count (not entries — see [`FpMap::len`]). Exposed so
+    /// tests can assert that non-inserting operations never grow the table.
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
     }
 }
 
@@ -196,6 +209,53 @@ mod tests {
         assert_eq!(m.try_insert_with(0, 10, || 1), TryInsert::Inserted);
         assert_eq!(m.try_insert_with(1, 10, || 2), TryInsert::Present);
         assert!(m.contains(0) && m.contains(1));
+    }
+
+    #[test]
+    fn present_and_full_never_grow_the_table() {
+        let mut m: FpMap<u64> = FpMap::new();
+        // Fill to the 50%-load growth threshold exactly: with 64 slots the
+        // next *actual* insert (the 33rd) is the one that must double.
+        for fp in 1..=32u64 {
+            assert_eq!(m.try_insert_with(fp, usize::MAX, || fp), TryInsert::Inserted);
+        }
+        assert_eq!(m.capacity(), 64);
+
+        // Regression: these three non-inserting operations used to grow the
+        // table before probing, doubling capacity on every duplicate or
+        // over-cap hit at the threshold.
+        assert_eq!(m.try_insert_with(7, usize::MAX, || 0), TryInsert::Present);
+        assert_eq!(m.capacity(), 64, "Present must not grow");
+        assert_eq!(m.try_insert_with(1000, 32, || 0), TryInsert::Full);
+        assert_eq!(m.capacity(), 64, "Full must not grow");
+        assert_eq!(*m.get_or_insert_with(7, || 0), 7);
+        assert_eq!(m.capacity(), 64, "get_or_insert on a present key must not grow");
+
+        // The insert that actually lands is the one that doubles.
+        assert_eq!(m.try_insert_with(33, usize::MAX, || 33), TryInsert::Inserted);
+        assert_eq!(m.capacity(), 128);
+        assert_eq!(m.len(), 33);
+        for fp in 1..=33u64 {
+            assert_eq!(m.get(fp), Some(&fp), "entry {fp} survived the resize");
+        }
+    }
+
+    #[test]
+    fn full_at_threshold_stays_probeable() {
+        // A capped map parked at the growth threshold keeps serving
+        // lookups and Present/Full verdicts without ever resizing.
+        let mut m: FpMap<()> = FpMap::new();
+        for fp in 1..=32u64 {
+            assert_eq!(m.try_insert_with(fp, 32, || ()), TryInsert::Inserted);
+        }
+        for round in 0..3 {
+            for fp in 1..=32u64 {
+                assert_eq!(m.try_insert_with(fp, 32, || ()), TryInsert::Present);
+            }
+            assert_eq!(m.try_insert_with(100 + round, 32, || ()), TryInsert::Full);
+            assert_eq!(m.capacity(), 64);
+        }
+        assert_eq!(m.len(), 32);
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Trace diffing: localize the first divergence between two runs.
+//!
+//! The determinism pins elsewhere in the workspace say *whether* two runs
+//! match. This module says *where* they stopped matching: [`trace_diff`]
+//! scans two event sequences in lockstep and reports the first index at
+//! which they disagree — "diverged at event 23: left `level.exit
+//! {level: 7, states: 812}`, right `level.exit {level: 7, states: 815}`" —
+//! which is the difference between knowing a determinism contract broke and
+//! knowing which level of which engine broke it.
+//!
+//! Comparison is structural equality of [`Event`] (seq, scope, kind, and
+//! every field in order), which by the canonical-encoding contract is the
+//! same thing as byte equality of the JSONL lines.
+
+use crate::event::Event;
+
+/// The verdict of [`trace_diff`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceDiff {
+    /// Same length, every event equal.
+    Identical {
+        /// How many events were compared.
+        events: usize,
+    },
+    /// The traces disagree, first at `index`.
+    Diverged {
+        /// 0-based index of the first disagreement.
+        index: usize,
+        /// The left trace's event there (`None`: left ended early).
+        left: Option<Event>,
+        /// The right trace's event there (`None`: right ended early).
+        right: Option<Event>,
+    },
+}
+
+impl TraceDiff {
+    /// Did the traces match exactly?
+    pub fn identical(&self) -> bool {
+        matches!(self, TraceDiff::Identical { .. })
+    }
+
+    /// Human-readable verdict, one block of lines.
+    pub fn render(&self) -> String {
+        match self {
+            TraceDiff::Identical { events } => {
+                format!("traces identical ({events} events)")
+            }
+            TraceDiff::Diverged { index, left, right } => {
+                let side = |e: &Option<Event>| match e {
+                    Some(e) => e.render(),
+                    None => "<trace ended>".to_string(),
+                };
+                format!(
+                    "traces diverge at event {index}\n  left:  {}\n  right: {}",
+                    side(left),
+                    side(right)
+                )
+            }
+        }
+    }
+}
+
+/// Compare two traces event-by-event; report the first divergence.
+///
+/// A shorter trace that is a prefix of the longer one diverges at its end
+/// (`left` or `right` is `None` there): trace length is part of the
+/// determinism contract.
+pub fn trace_diff(a: &[Event], b: &[Event]) -> TraceDiff {
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        match (a.get(i), b.get(i)) {
+            (Some(x), Some(y)) if x == y => continue,
+            (l, r) => {
+                return TraceDiff::Diverged {
+                    index: i,
+                    left: l.cloned(),
+                    right: r.cloned(),
+                }
+            }
+        }
+    }
+    TraceDiff::Identical { events: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+
+    fn ev(seq: u64, kind: &str, x: u64) -> Event {
+        Event {
+            seq,
+            scope: "t".into(),
+            kind: kind.into(),
+            fields: vec![("x".into(), Value::U64(x))],
+        }
+    }
+
+    #[test]
+    fn identical_traces() {
+        let a = vec![ev(0, "s", 1), ev(1, "e", 2)];
+        let d = trace_diff(&a, &a.clone());
+        assert!(d.identical());
+        assert_eq!(d.render(), "traces identical (2 events)");
+    }
+
+    #[test]
+    fn divergence_is_localized_to_the_first_differing_event() {
+        let a = vec![ev(0, "s", 1), ev(1, "m", 2), ev(2, "e", 3)];
+        let b = vec![ev(0, "s", 1), ev(1, "m", 9), ev(2, "e", 3)];
+        match trace_diff(&a, &b) {
+            TraceDiff::Diverged { index, left, right } => {
+                assert_eq!(index, 1);
+                assert_eq!(left.unwrap().fields[0].1, Value::U64(2));
+                assert_eq!(right.unwrap().fields[0].1, Value::U64(9));
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefix_traces_diverge_at_the_shorter_end() {
+        let a = vec![ev(0, "s", 1)];
+        let b = vec![ev(0, "s", 1), ev(1, "e", 2)];
+        match trace_diff(&a, &b) {
+            TraceDiff::Diverged { index, left, right } => {
+                assert_eq!(index, 1);
+                assert!(left.is_none());
+                assert_eq!(right.unwrap().kind, "e");
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+        assert!(trace_diff(&a, &a.clone()).identical());
+    }
+
+    #[test]
+    fn render_mentions_both_sides() {
+        let a = vec![ev(0, "s", 1)];
+        let b: Vec<Event> = Vec::new();
+        let text = trace_diff(&a, &b).render();
+        assert!(text.contains("diverge at event 0"));
+        assert!(text.contains("<trace ended>"));
+    }
+}

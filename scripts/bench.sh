@@ -15,8 +15,13 @@ cd "$(dirname "$0")/.."
 echo "== bench: explore (writes BENCH_3.json) =="
 cargo bench -q --offline -p impossible-bench --bench explore -- "$@"
 
-# Bench binaries write BENCH_<suite>.json into the package directory.
-if [ -f crates/bench/BENCH_3.json ]; then
-    mv crates/bench/BENCH_3.json BENCH_3.json
+# Bench binaries write BENCH_<suite>.json into the package directory. If the
+# bench produced nothing (filtered out, harness bug), fail loudly rather than
+# silently re-reporting the stale committed baseline as if it were fresh.
+if [ ! -f crates/bench/BENCH_3.json ]; then
+    echo "error: bench run produced no crates/bench/BENCH_3.json;" >&2
+    echo "       refusing to report the stale committed BENCH_3.json as fresh" >&2
+    exit 1
 fi
+mv crates/bench/BENCH_3.json BENCH_3.json
 echo "baseline: $(cat BENCH_3.json)"

@@ -24,6 +24,12 @@
 //! * [`det`] — the in-tree deterministic infrastructure: seeded PRNG,
 //!   property-testing harness (`det_prop!` with `DET_SEED` replay), bench
 //!   timer. Everything random in the workspace flows through it.
+//! * [`obs`] — deterministic execution tracing: logical-clock
+//!   [`Event`](impossible_obs::Event) records, the zero-cost
+//!   [`NoopTracer`](impossible_obs::NoopTracer) default, bounded
+//!   [`RingTracer`](impossible_obs::RingTracer) capture, JSONL dumps and
+//!   [`trace_diff`](impossible_obs::trace_diff) — run-level observability
+//!   for every engine above (see `docs/OBS.md` and `src/bin/trace.rs`).
 //!
 //! ## Quick start
 //!
@@ -49,5 +55,6 @@ pub use impossible_det as det;
 pub use impossible_election as election;
 pub use impossible_explore as explore;
 pub use impossible_msgpass as msgpass;
+pub use impossible_obs as obs;
 pub use impossible_registers as registers;
 pub use impossible_sharedmem as sharedmem;
