@@ -1,13 +1,25 @@
-//! The search-subsystem speedup baseline (`BENCH_3.json`).
+//! The search-subsystem perf trajectory (`BENCH_5.json`).
 //!
-//! Pits the legacy reference explorer (`impossible_core::explore::Explorer`,
-//! full-state `BTreeMap` visited set) against the fingerprint-dedup
-//! [`Search`](impossible_explore::Search) engine on `Grid { n: 6, max: 6 }`
-//! — 117,649 states, dense diamonds, dedup-bound. The committed baseline
-//! must show the new engine ≥ 2× faster on this ≥ 100k-state instance;
-//! `scripts/bench.sh` regenerates it.
+//! Three questions, one suite:
 //!
-//! Run with `cargo bench --bench explore`.
+//! 1. **Engine vs legacy** — the fingerprint-dedup
+//!    [`Search`](impossible_explore::Search) against the reference
+//!    `impossible_core::explore::Explorer` (full-state `BTreeMap` visited
+//!    set) on `Grid { n: 6, max: 6 }`: 117,649 states, dense diamonds,
+//!    dedup-bound. The committed baseline must stay ≥ 2× faster on this
+//!    ≥ 100k-state instance.
+//! 2. **Graph vs search** — `Search::graph()` (exact reachable graph,
+//!    sharded-table interning) must land within 1.5× of `Search::explore()`
+//!    on the same space: the graph builder keeps every state, but must not
+//!    pay more than the storage for that exactness.
+//! 3. **Worker scaling** — the same 6×6 explore at 1/2/4/8 workers, with
+//!    dedup+insert running worker-locally against the sharded visited set.
+//!    The curve is only meaningful on a multi-core runner; the committed
+//!    baseline records whatever the machine offers (see the `nproc` note
+//!    `scripts/bench.sh` prints alongside it).
+//!
+//! Run with `cargo bench --bench explore`; `scripts/bench.sh` moves the
+//! JSON to the repo root for committing.
 
 use impossible_core::explore::Explorer;
 use impossible_det::bench::BenchSuite;
@@ -18,7 +30,7 @@ use std::hint::black_box;
 const SAMPLES: usize = 9;
 
 fn main() {
-    let mut suite = BenchSuite::new("3");
+    let mut suite = BenchSuite::new("5");
 
     let big = Grid { n: 6, max: 6 }; // 7^6 = 117,649 states
     suite.case("explore/legacy_grid_6x6_117649", SAMPLES, || {
@@ -37,6 +49,24 @@ fn main() {
         black_box(g.succ.len());
     });
 
+    // Worker-scaling curve on the same instance. Reports are byte-identical
+    // across these four cases (the determinism contract); only wall-clock
+    // may differ.
+    for workers in [1usize, 2, 4, 8] {
+        suite.case(
+            &format!("explore/search_grid_6x6_w{workers}"),
+            SAMPLES,
+            || {
+                let r = Search::new(black_box(&big))
+                    .max_states(200_000)
+                    .workers(workers)
+                    .explore();
+                assert_eq!(r.num_states, 117_649);
+                black_box(r.num_transitions);
+            },
+        );
+    }
+
     let mid = Grid { n: 5, max: 5 }; // 6^5 = 7,776 states
     suite.case("explore/legacy_grid_5x5_7776", SAMPLES, || {
         black_box(Explorer::new(black_box(&mid)).explore().num_states);
@@ -45,13 +75,31 @@ fn main() {
         black_box(Search::new(black_box(&mid)).explore().num_states);
     });
 
-    let legacy = suite.cases()[0].median_ns;
-    let new = suite.cases()[1].median_ns;
+    let median = |name: &str| {
+        suite
+            .cases()
+            .iter()
+            .find(|c| c.name.ends_with(name))
+            .expect("case ran")
+            .median_ns
+    };
+    let legacy = median("legacy_grid_6x6_117649");
+    let search = median("search_grid_6x6_117649");
+    let graph = median("graph_grid_6x6_117649");
     println!(
         "speedup (legacy/search, grid 6x6): {:.2}x  ({:.0} vs {:.0} states/s)",
-        legacy / new,
+        legacy / search,
         117_649.0 / (legacy / 1e9),
-        117_649.0 / (new / 1e9),
+        117_649.0 / (search / 1e9),
     );
-    suite.finish().expect("write BENCH_3.json");
+    println!(
+        "graph/search ratio (grid 6x6): {:.2}x (cap 1.5x)",
+        graph / search
+    );
+    let w1 = median("search_grid_6x6_w1");
+    for w in [2usize, 4, 8] {
+        let t = median(&format!("search_grid_6x6_w{w}"));
+        println!("scaling: w{w} = {:.2}x over w1", w1 / t);
+    }
+    suite.finish().expect("write BENCH_5.json");
 }

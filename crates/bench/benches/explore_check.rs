@@ -1,0 +1,41 @@
+//! Smoke-mode bench harness for tier-1 (`scripts/bench.sh --check`).
+//!
+//! One sample on a tiny grid per engine path — enough for
+//! `scripts/verify.sh` to catch a bench harness that silently stops
+//! producing output (the failure mode the `BENCH_<suite>.json`-exists
+//! check in `scripts/bench.sh` guards), without paying for real samples.
+//! The numbers are meaningless; the file's existence and shape are the
+//! assertion. A separate binary (rather than a flag on `explore`) keeps
+//! the workspace free of argument parsing — `std::env::args` is banned by
+//! the det-ambient lint.
+
+use impossible_core::explore::Explorer;
+use impossible_det::bench::BenchSuite;
+use impossible_explore::{Grid, Search};
+use std::hint::black_box;
+
+fn main() {
+    let mut suite = BenchSuite::new("check");
+
+    let tiny = Grid { n: 4, max: 4 }; // 5^4 = 625 states
+    suite.case("check/legacy_grid_4x4_625", 1, || {
+        let r = Explorer::new(black_box(&tiny)).explore();
+        assert_eq!(r.num_states, 625);
+    });
+    suite.case("check/search_grid_4x4_625_w1", 1, || {
+        let r = Search::new(black_box(&tiny)).explore();
+        assert_eq!(r.num_states, 625);
+    });
+    // Two workers: exercises the parallel expand + worker-local shard
+    // insert path in release mode, not just the fused one.
+    suite.case("check/search_grid_4x4_625_w2", 1, || {
+        let r = Search::new(black_box(&tiny)).workers(2).explore();
+        assert_eq!(r.num_states, 625);
+    });
+    suite.case("check/graph_grid_4x4_625", 1, || {
+        let g = Search::new(black_box(&tiny)).graph();
+        assert_eq!(g.len(), 625);
+    });
+
+    suite.finish().expect("write BENCH_check.json");
+}

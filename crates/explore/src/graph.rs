@@ -5,24 +5,35 @@
 //! fingerprint-only visited set is not enough, and a hash-indexed one would
 //! make graph shape depend on collision luck. This builder keeps every
 //! state (it must, to return them) and uses fingerprints purely as an
-//! **index acceleration**: dedup looks up the fingerprint bucket, then
-//! falls back to full equality within the bucket. A collision costs one
-//! extra comparison, never a wrong graph — so graph-based classifications
-//! (valence, deadlock, non-termination) are exact under any seed, while
-//! still skipping the full-state `BTreeMap` comparisons that made the
-//! legacy builder slow.
+//! **index acceleration**: dedup probes a [`ShardedFpMap`] (the same
+//! sharded table the BFS engine's visited set uses) for the first state
+//! index seen under a fingerprint, then confirms with one full equality
+//! comparison; the (astronomically rare) colliding fingerprints spill into
+//! an overflow chain. A collision costs extra comparisons, never a wrong
+//! graph — so graph-based classifications (valence, deadlock,
+//! non-termination) are exact under any seed, while skipping the
+//! per-fingerprint bucket allocations and per-expansion state clones that
+//! kept the previous builder ~2.2× slower than `Search::explore` on the
+//! same space (`BENCH_5.json` tracks the ratio; the cap is 1.5×).
+//!
+//! Construction itself stays sequential: graph indices are assigned in
+//! global BFS discovery order, which downstream engines treat as stable,
+//! and the builder is available under an `Encode`-only bound (the analysis
+//! crates call it from generic contexts without `Send + Sync`). The perf
+//! win comes from the shared sharded-table + encode-scratch machinery, not
+//! from threads.
 //!
 //! Graphs honor the search's `max_states` bound and canonicalization hook,
 //! but not `max_depth` (matching the legacy `ValenceEngine` builder, which
 //! the seam [`ValenceEngine::analyze_from_graph`] pairs this with).
 
-use crate::fingerprint::{Encode, Fingerprint};
+use crate::fingerprint::{Encode, EncodeScratch, Fingerprint};
 use crate::search::Search;
-use crate::table::FpMap;
+use crate::table::{Cap, ShardedFpMap, TryInsert};
 use impossible_core::explore::Truncation;
 use impossible_core::system::{DecisionSystem, System};
 use impossible_core::valence::{ValenceEngine, ValenceReport};
-use std::collections::VecDeque;
+use std::collections::BTreeMap;
 
 /// A reachable configuration graph: `order[i]` is state `i`, `succ[i]` its
 /// `(action, target_index)` edges in action order.
@@ -88,34 +99,78 @@ where
 
         let mut order: Vec<Sys::State> = Vec::new();
         let mut succ: Vec<Vec<(Sys::Action, usize)>> = Vec::new();
-        let mut by_fp: FpMap<Vec<usize>> = FpMap::new();
+        // First state index interned under each fingerprint. Indices are
+        // `u32`: the graph stores full states, so memory runs out long
+        // before 2³² of them. Genuine collisions (distinct states sharing a
+        // fingerprint) chain into `spill`, which stays empty on honest
+        // encodings.
+        let mut first_by_fp: ShardedFpMap<u32> = ShardedFpMap::new(self.partitions_value());
+        let mut spill: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+        let mut scratch = EncodeScratch::new();
         let mut truncated_by: Option<Truncation> = None;
-        let mut queue: VecDeque<usize> = VecDeque::new();
+
+        // Look up the interned index of `sc` under `fp`, with exact
+        // equality confirmation (a fingerprint match alone is never
+        // trusted).
+        macro_rules! lookup {
+            ($fp:expr, $sc:expr) => {
+                match first_by_fp.get($fp) {
+                    None => None,
+                    Some(&j0) if order[j0 as usize] == *$sc => Some(j0 as usize),
+                    Some(_) => spill
+                        .get(&$fp)
+                        .and_then(|chain| {
+                            chain.iter().copied().find(|&j| order[j as usize] == *$sc)
+                        })
+                        .map(|j| j as usize),
+                }
+            };
+        }
+        // Intern a known-new state as index `$j`.
+        macro_rules! intern_new {
+            ($fp:expr, $sc:expr, $j:expr) => {{
+                if first_by_fp.contains($fp) {
+                    spill.entry($fp).or_default().push($j as u32);
+                } else {
+                    let r = first_by_fp.try_insert_with($fp, Cap::Unbounded, || $j as u32);
+                    debug_assert_eq!(r, TryInsert::Inserted);
+                }
+                order.push($sc);
+                succ.push(Vec::new());
+            }};
+        }
 
         for s0 in sys.initial_states() {
             let sc = canonize(s0);
-            let fp = sc.fingerprint(seed);
-            let bucket = by_fp.get_or_insert_with(fp, Vec::new);
-            if bucket.iter().any(|&j| order[j] == sc) {
+            let fp = sc.fingerprint_with(seed, &mut scratch);
+            if lookup!(fp, &sc).is_some() {
                 continue;
             }
             let j = order.len();
-            bucket.push(j);
-            order.push(sc);
-            succ.push(Vec::new());
-            queue.push_back(j);
+            intern_new!(fp, sc, j);
         }
 
-        while let Some(i) = queue.pop_front() {
-            let state = order[i].clone();
-            for a in sys.enabled(&state) {
-                if !keep(&a) {
-                    continue;
+        // FIFO discovery: indices are assigned in push order, so the queue
+        // is just a cursor over `order` — identical traversal to the old
+        // VecDeque builder, without cloning each state out of `order` to
+        // expand it (children are staged in a reusable buffer instead, so
+        // `order` is never grown while a state borrow is live).
+        let mut children: Vec<(Sys::Action, Sys::State, u64)> = Vec::new();
+        let mut i = 0usize;
+        while i < order.len() {
+            {
+                let state = &order[i];
+                for a in sys.enabled(state) {
+                    if !keep(&a) {
+                        continue;
+                    }
+                    let tc = canonize(sys.step(state, &a));
+                    let fp = tc.fingerprint_with(seed, &mut scratch);
+                    children.push((a, tc, fp));
                 }
-                let tc = canonize(sys.step(&state, &a));
-                let fp = tc.fingerprint(seed);
-                let bucket = by_fp.get_or_insert_with(fp, Vec::new);
-                let ti = match bucket.iter().copied().find(|&j| order[j] == tc) {
+            }
+            for (a, tc, fp) in children.drain(..) {
+                let ti = match lookup!(fp, &tc) {
                     Some(j) => j,
                     None => {
                         if order.len() >= max_states {
@@ -123,15 +178,13 @@ where
                             continue;
                         }
                         let j = order.len();
-                        bucket.push(j);
-                        order.push(tc);
-                        succ.push(Vec::new());
-                        queue.push_back(j);
+                        intern_new!(fp, tc, j);
                         j
                     }
                 };
                 succ[i].push((a, ti));
             }
+            i += 1;
         }
 
         ReachableGraph {

@@ -9,19 +9,22 @@
 //!
 //! * [`fingerprint`] — seeded 64-bit fingerprint visited-sets over a
 //!   derive-free byte/word [`Encode`] trait, with a full-state
-//!   collision-audit mode for tests;
+//!   collision-audit mode for tests and a reusable [`EncodeScratch`]
+//!   buffer for encodings that stage bytes;
 //! * [`canon`] — symmetry canonicalization hooks (plug
 //!   [`impossible_core::symmetry`]'s permutation machinery into the visited
 //!   set so each orbit is explored once);
 //! * [`pool`] — the deterministic fork-join worker pool: fixed
-//!   fingerprint-partitioned frontiers, merged in partition order, so
-//!   reports are byte-identical for any worker count;
+//!   fingerprint-partitioned frontiers, fixed index→worker ownership,
+//!   results merged in item order, so reports are byte-identical for any
+//!   worker count;
 //! * [`search`] — the unified [`Search`] API: BFS shortest-witness and
 //!   iterative-deepening DFS, with per-run counters exported as
 //!   deterministic JSON ([`SearchStats`]);
-//! * [`table`] — the open-addressing fingerprint table behind the visited
-//!   set (fingerprints are pre-mixed, so probing is `fp & mask` + linear
-//!   scan: the engine's speed over the legacy full-state `BTreeMap`);
+//! * [`table`] — the open-addressing fingerprint tables behind the visited
+//!   set: flat [`FpMap`] and [`ShardedFpMap`], sharded by the same
+//!   `fp % partitions` function that splits frontiers, so workers dedup and
+//!   insert into the shards they own without locks;
 //! * [`graph`] — the exact fingerprint-accelerated reachable-graph builder
 //!   feeding `ValenceEngine::analyze_from_graph` and the product-space
 //!   engines;
@@ -42,13 +45,13 @@ pub mod search;
 pub mod stats;
 pub mod table;
 
-pub use fingerprint::{Encode, Fingerprint, FpHasher};
+pub use fingerprint::{Encode, EncodeScratch, Fingerprint, FpHasher};
 pub use graph::ReachableGraph;
 pub use grid::Grid;
 pub use pool::WorkerPool;
 pub use search::{Search, SearchReport, DEFAULT_PARTITIONS, DEFAULT_SEED};
 pub use stats::SearchStats;
-pub use table::FpMap;
+pub use table::{Cap, FpMap, ShardedFpMap};
 
 // Re-export so downstream code can name the truncation cause without also
 // depending on `impossible-core` explicitly.

@@ -3,16 +3,19 @@
 //! The one place in the workspace allowed to touch OS threads. The contract
 //! that keeps it deterministic is structural, not synchronization-based:
 //!
-//! * work arrives as an ordered list of **partitions** (the search engine
-//!   partitions each BFS level by state fingerprint, with a partition count
-//!   that is *fixed* — independent of the worker count);
-//! * worker `w` processes partitions `w, w + W, w + 2W, ...` — a pure
-//!   function of the partition index, never a work-stealing race;
-//! * each partition's results are returned **in partition order**, so the
-//!   caller's merge observes a sequence that depends only on the input,
-//!   never on thread scheduling.
+//! * work arrives as an ordered list of indexed items — the search engine's
+//!   frontier **partitions** and visited-set **shards**, both keyed by the
+//!   same fixed `fingerprint % partitions` function (a constant independent
+//!   of the worker count);
+//! * worker `w` processes items `w, w + W, w + 2W, ...` — a pure function
+//!   of the item index, never a work-stealing race. Because visited-set
+//!   shard `k` and frontier partition `k` share an index, the worker that
+//!   expands partition `k` is also the exclusive owner of shard `k`: dedup
+//!   and insert run worker-locally with no locks;
+//! * results are returned **in item order**, so the caller's merge observes
+//!   a sequence that depends only on the input, never on thread scheduling.
 //!
-//! Consequently `map_partitions` is extensionally identical for any worker
+//! Consequently every mapper here is extensionally identical for any worker
 //! count — the determinism test in `tests/determinism.rs` pins byte-equal
 //! search reports for 1, 2 and 8 workers. Threads are *scoped* (joined
 //! before return) and share only the read-only closure, so no state leaks
@@ -63,36 +66,60 @@ impl WorkerPool {
         O: Send,
         F: Fn(&[I]) -> O + Sync,
     {
-        if self.workers == 1 || parts.len() <= 1 {
-            return parts.iter().map(|p| f(p)).collect();
+        let items: Vec<&[I]> = parts.iter().map(Vec::as_slice).collect();
+        self.map_indexed(items, |_, p| f(p))
+    }
+
+    /// Consume an ordered list of items, applying `f(index, item)` with
+    /// worker `index % workers`, and return outputs in index order.
+    ///
+    /// This is the pool's core (the other mappers are wrappers) and the
+    /// primitive behind worker-owned visited-set shards: passing
+    /// `&mut`-borrows of the shards as items hands each worker exclusive
+    /// access to exactly the shards whose index it owns — the borrows are
+    /// disjoint because each item is moved to exactly one worker. The
+    /// output is a pure function of `(items, f)`; the worker count only
+    /// affects wall-clock time.
+    pub fn map_indexed<T, O, F>(&self, items: Vec<T>, f: F) -> Vec<O>
+    where
+        T: Send,
+        O: Send,
+        F: Fn(usize, T) -> O + Sync,
+    {
+        if self.workers == 1 || items.len() <= 1 {
+            return items.into_iter().enumerate().map(|(k, t)| f(k, t)).collect();
         }
-        let mut out: Vec<O> = Vec::with_capacity(parts.len());
-        // Scoped threads: joined before return, borrowing `parts`/`f` only.
-        // Results are placed by partition index, so scheduling order cannot
-        // influence the output.
-        // LINT-ALLOW: det-ambient -- deterministic fork-join pool: fixed partition->worker map, ordered merge (docs/EXPLORE.md)
+        let n = items.len();
+        // Deal items to their owning worker: worker w gets k ≡ w (mod W),
+        // in ascending k order.
+        let mut dealt: Vec<Vec<(usize, T)>> = (0..self.workers).map(|_| Vec::new()).collect();
+        for (k, t) in items.into_iter().enumerate() {
+            dealt[k % self.workers].push((k, t));
+        }
+        let mut out: Vec<O> = Vec::with_capacity(n);
+        // Scoped threads: joined before return, sharing only `f`. Results
+        // are placed by item index, so scheduling order cannot influence
+        // the output.
+        // LINT-ALLOW: det-ambient -- deterministic fork-join pool: fixed index->worker map, ordered merge (docs/EXPLORE.md)
         std::thread::scope(|scope| {
             let f = &f;
-            let handles: Vec<_> = (0..self.workers)
-                .map(|w| {
+            let handles: Vec<_> = dealt
+                .into_iter()
+                .map(|mine| {
                     scope.spawn(move || {
-                        let mut mine: Vec<(usize, O)> = Vec::new();
-                        let mut k = w;
-                        while k < parts.len() {
-                            mine.push((k, f(&parts[k])));
-                            k += self.workers;
-                        }
-                        mine
+                        mine.into_iter()
+                            .map(|(k, t)| (k, f(k, t)))
+                            .collect::<Vec<(usize, O)>>()
                     })
                 })
                 .collect();
-            let mut slots: Vec<Option<O>> = (0..parts.len()).map(|_| None).collect();
+            let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
             for h in handles {
                 for (k, v) in h.join().expect("explore worker panicked") {
                     slots[k] = Some(v);
                 }
             }
-            out.extend(slots.into_iter().map(|s| s.expect("partition covered")));
+            out.extend(slots.into_iter().map(|s| s.expect("item covered")));
         });
         out
     }
@@ -128,5 +155,33 @@ mod tests {
     #[test]
     fn zero_workers_clamps_to_one() {
         assert_eq!(WorkerPool::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn map_indexed_moves_items_and_keeps_order() {
+        // Owned items (here Strings) are consumed by their owning worker and
+        // outputs come back in index order for any worker count.
+        let mk = || (0..17).map(|i| format!("item-{i}")).collect::<Vec<_>>();
+        let one = WorkerPool::new(1).map_indexed(mk(), |k, s| format!("{k}:{s}"));
+        for w in [2, 3, 8] {
+            let got = WorkerPool::new(w).map_indexed(mk(), |k, s| format!("{k}:{s}"));
+            assert_eq!(got, one, "workers={w}");
+        }
+        assert_eq!(one[0], "0:item-0");
+        assert_eq!(one[16], "16:item-16");
+    }
+
+    #[test]
+    fn map_indexed_grants_exclusive_mutable_access() {
+        // &mut borrows as items: each worker mutates only the slots it
+        // owns; the merged result is schedule-independent.
+        let mut cells: Vec<u64> = vec![0; 23];
+        {
+            let items: Vec<&mut u64> = cells.iter_mut().collect();
+            WorkerPool::new(4).map_indexed(items, |k, cell| {
+                *cell = (k as u64) * 10;
+            });
+        }
+        assert!(cells.iter().enumerate().all(|(k, &v)| v == (k as u64) * 10));
     }
 }

@@ -6,13 +6,21 @@
 //! The breadth-first engine is level-synchronized. Each level is
 //! partitioned by `fingerprint % partitions` into a **fixed** number of
 //! partitions (independent of the worker count), expanded by the
-//! [`crate::pool::WorkerPool`], and merged strictly in partition order,
-//! in-partition in frontier order. Every name the report can mention —
-//! discovery order, witness, terminal list, counters — is derived from that
-//! merge order, so the report is a pure function of
+//! [`crate::pool::WorkerPool`], and the visited set is a
+//! [`ShardedFpMap`] sharded by that *same* function — shard `k` holds
+//! exactly the fingerprints partition `k` can produce next level, so the
+//! worker that owns partition `k` also owns shard `k` and performs dedup +
+//! insert locally, with no locks. The main thread only stitches per-shard
+//! outputs in shard order: partition `k`'s next frontier *is* shard `k`'s
+//! newly-inserted list, handed over without re-partitioning. Every name the
+//! report can mention — discovery order, witness, terminal list, counters —
+//! is derived from that fixed order, so the report is a pure function of
 //! `(system, bounds, seed, canon, partitions)`: the worker count never
 //! changes a byte of output (`tests/determinism.rs` pins this for 1/2/8
-//! workers).
+//! workers). See `docs/EXPLORE.md` ("Sharding & determinism") for the full
+//! ordering argument, including why the state cap falls back to a
+//! sequential replay on the (rare) levels where it could bind
+//! ([`SearchStats::cap_fallbacks`] counts them).
 //!
 //! The visited set stores 64-bit fingerprints, not states (see
 //! [`crate::fingerprint`] for the collision policy and
@@ -27,9 +35,12 @@
 //! `num_transitions` and the terminal-state *set* (the order differs:
 //! legacy emits queue order, this engine merge order). Predicate searches
 //! agree on witness *length* (both are shortest) but may return a different
-//! shortest witness, and stop mid-level, so state/transition counts of
-//! `search` runs are not comparable. The cross-engine equivalence suite in
-//! `tests/explore_equivalence.rs` pins all of this per model crate.
+//! shortest witness; this engine checks the predicate over each completed
+//! level (a post-level scan of the newly-inserted states, which is what
+//! keeps the check worker-count invariant), so state/transition counts of
+//! `search` runs are not comparable — legacy stops mid-level. The
+//! cross-engine equivalence suite in `tests/explore_equivalence.rs` pins
+//! all of this per model crate.
 //!
 //! # IDDFS (memory-bound runs)
 //!
@@ -38,10 +49,10 @@
 //! remembering them — the classic memory/time trade. Depth limits iterate
 //! `0..=max_depth`, so the first hit is still a shortest witness.
 
-use crate::fingerprint::{Encode, Fingerprint};
+use crate::fingerprint::{Encode, EncodeScratch, Fingerprint};
 use crate::pool::WorkerPool;
 use crate::stats::SearchStats;
-use crate::table::{FpMap, TryInsert};
+use crate::table::{shard_index, Cap, FpMap, ShardedFpMap, TryInsert};
 use impossible_core::exec::Execution;
 use impossible_core::explore::Truncation;
 use impossible_core::system::System;
@@ -199,6 +210,10 @@ impl<'a, Sys: System> Search<'a, Sys> {
         self.seed
     }
 
+    pub(crate) fn partitions_value(&self) -> usize {
+        self.partitions
+    }
+
     /// Canonicalize (if a hook is installed), counting orbit collapses.
     fn canonize(&self, s: Sys::State, hits: &mut usize) -> Sys::State {
         match self.canon {
@@ -214,22 +229,28 @@ impl<'a, Sys: System> Search<'a, Sys> {
     }
 }
 
-/// Per-partition expansion record produced by workers, merged sequentially.
-/// One record (two buffers) per partition per level keeps the hot loop free
-/// of per-state allocations.
+/// Per-partition expansion record produced by pass-1 workers. Children come
+/// back already bucketed by destination shard (`fp % partitions`), so pass 2
+/// can hand bucket `k` of every partition straight to the worker that owns
+/// visited-set shard `k` — the main thread never touches a child.
 struct Expanded<S, A> {
-    /// One entry per frontier item: `TERMINAL` for states with no enabled
-    /// action, otherwise the number of `out` entries the state produced.
-    /// Lets the merge replay the exact per-item traversal order the fused
-    /// single-worker path uses.
-    shape: Vec<u32>,
-    /// `(child fingerprint, canonical child, action, canon-hit?)` in
-    /// frontier order, in-state in action order.
-    out: Vec<(u64, S, A, bool)>,
+    /// Terminal states of this partition, in frontier order.
+    terminals: Vec<S>,
+    /// Frontier items expanded (`enabled` calls).
+    expansions: usize,
+    /// Successors changed by the canonicalization hook.
+    canon_hits: usize,
+    /// Total children produced (this partition's transition delta).
+    children: usize,
+    /// `(child fp, canonical child, action, parent fp)` bucketed by
+    /// destination shard; in-bucket order is traversal order (frontier
+    /// order, in-state action order).
+    by_shard: Vec<Vec<(u64, S, A, u64)>>,
+    /// Destination shard of each child in traversal order — lets the
+    /// sequential cap fallback replay the exact global insert order from
+    /// the bucketed layout.
+    route: Vec<u32>,
 }
-
-/// `shape` marker for a terminal frontier item.
-const TERMINAL: u32 = u32::MAX;
 
 impl<'a, Sys: System> Search<'a, Sys>
 where
@@ -289,13 +310,17 @@ where
     {
         let pool = WorkerPool::new(self.workers);
         let mut stats = SearchStats::new("bfs", pool.workers(), self.partitions, self.seed);
-        let mut visited: FpMap<Parent<Sys::Action>> = FpMap::new();
+        let mut visited: ShardedFpMap<Parent<Sys::Action>> = ShardedFpMap::new(self.partitions);
         let mut audit_states: BTreeMap<u64, Sys::State> = BTreeMap::new();
         let mut terminal: Vec<Sys::State> = Vec::new();
         let mut transitions = 0usize;
         let mut truncated_by: Option<Truncation> = None;
         let mut found: Option<u64> = None;
-        let mut frontier: Vec<(u64, Sys::State)> = Vec::new();
+        // Encode scratch for every fingerprint taken on this (sequential)
+        // control path; parallel expansions carry their own (one per
+        // partition-expansion, reused across all of its states).
+        let mut scratch = EncodeScratch::new();
+        let mut roots: Vec<(u64, Sys::State)> = Vec::new();
 
         trace_event!(tracer, "search", "start",
             "strategy": "bfs",
@@ -315,8 +340,11 @@ where
                 break;
             }
             let sc = self.canonize(s0, &mut stats.canon_hits);
-            let fp = sc.fingerprint(self.seed);
-            if visited.try_insert_with(fp, usize::MAX, || Parent::Root(i)) == TryInsert::Present {
+            let fp = sc.fingerprint_with(self.seed, &mut scratch);
+            // The explicit length check above is the cap here, so the
+            // insert itself is unbounded.
+            if visited.try_insert_with(fp, Cap::Unbounded, || Parent::Root(i)) == TryInsert::Present
+            {
                 stats.dedup_hits += 1;
                 self.audit_check(&audit_states, fp, &sc);
                 continue;
@@ -327,16 +355,17 @@ where
             if found.is_none() && pred.as_ref().is_some_and(|p| p(&sc)) {
                 found = Some(fp);
             }
-            frontier.push((fp, sc));
+            roots.push((fp, sc));
         }
 
         // The initial frontier is a real frontier: record it before the
         // level loop so `peak_frontier` is never 0 on runs where the loop
         // body is skipped (predicate matched an initial state, or the space
         // has no initial states to expand).
-        stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+        let mut frontier_len = roots.len();
+        stats.peak_frontier = stats.peak_frontier.max(frontier_len);
         trace_event!(tracer, "search", "init",
-            "frontier": frontier.len(),
+            "frontier": frontier_len,
             "states": visited.len(),
             "dedup": stats.dedup_hits,
         );
@@ -344,184 +373,121 @@ where
             trace_event!(tracer, "search", "found", "depth": 0usize, "fp": fp);
         }
 
-        let mut depth = 0usize;
-        // Partition buffers live across levels; cleared (not dropped) after
-        // each merge so steady-state levels allocate nothing here.
+        // The frontier lives pre-partitioned: `parts[k]` holds the states
+        // whose fingerprints shard to `k`. After the first level this comes
+        // for free — partition `k`'s next frontier *is* visited shard `k`'s
+        // newly-inserted list — so only the roots are partitioned here.
         let mut parts: Vec<Vec<(u64, Sys::State)>> =
             (0..self.partitions).map(|_| Vec::new()).collect();
-        while found.is_none() && !frontier.is_empty() {
-            stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+        for item in roots {
+            let k = shard_index(item.0, self.partitions);
+            parts[k].push(item);
+        }
+
+        let mut depth = 0usize;
+        while found.is_none() && frontier_len > 0 {
+            stats.peak_frontier = stats.peak_frontier.max(frontier_len);
             if depth >= self.max_depth {
                 // Cutoff level: record terminals, flag unexpanded work.
+                // (Shard-major traversal — the only loop left that sees a
+                // whole frontier.)
                 trace_event!(tracer, "search", "cutoff",
                     "level": depth,
-                    "frontier": frontier.len(),
+                    "frontier": frontier_len,
                 );
-                for (_, s) in &frontier {
-                    stats.expansions += 1;
-                    if self.sys.enabled(s).is_empty() {
-                        terminal.push(s.clone());
-                    } else {
-                        if truncated_by.is_none() {
-                            trace_event!(tracer, "search", "truncate",
-                                "cause": "depth",
-                                "level": depth,
-                            );
+                for part in &parts {
+                    for (_, s) in part {
+                        stats.expansions += 1;
+                        if self.sys.enabled(s).is_empty() {
+                            terminal.push(s.clone());
+                        } else {
+                            if truncated_by.is_none() {
+                                trace_event!(tracer, "search", "truncate",
+                                    "cause": "depth",
+                                    "level": depth,
+                                );
+                            }
+                            truncated_by.get_or_insert(Truncation::Depth);
                         }
-                        truncated_by.get_or_insert(Truncation::Depth);
                     }
                 }
                 break;
             }
             trace_event!(tracer, "search", "level.enter",
                 "level": depth,
-                "frontier": frontier.len(),
+                "frontier": frontier_len,
             );
 
-            for item in frontier.drain(..) {
-                let k = (item.0 % self.partitions as u64) as usize;
-                parts[k].push(item);
-            }
-
-            let sys = self.sys;
-            let canon = self.canon;
-            let seed = self.seed;
             stats.levels += 1;
+            let visited_before = visited.len();
+            let mut next_parts: Vec<Vec<(u64, Sys::State)>> =
+                (0..self.partitions).map(|_| Vec::new()).collect();
 
-            let mut next: Vec<(u64, Sys::State)> = Vec::new();
-            // One transition's worth of merge: dedup/cap/insert in a single
-            // probe (the dedup check takes precedence over the cap, exactly
-            // as in the legacy engine), then predicate + frontier push.
-            // Yields `true` when the predicate just matched. A macro so the
-            // fused and buffered paths below share the exact mutation
-            // sequence.
-            macro_rules! absorb {
-                ($parent:expr, $fp_t:expr, $tc:expr, $a:expr) => {{
-                    let fp_t: u64 = $fp_t;
-                    let tc = $tc;
-                    transitions += 1;
-                    match visited.try_insert_with(fp_t, self.max_states, || Parent::Child {
-                        parent: $parent,
-                        action: $a,
-                    }) {
-                        TryInsert::Present => {
-                            stats.dedup_hits += 1;
-                            self.audit_check(&audit_states, fp_t, &tc);
-                            false
-                        }
-                        TryInsert::Full => {
-                            if truncated_by.is_none() {
-                                trace_event!(tracer, "search", "truncate",
-                                    "cause": "states",
-                                    "level": depth,
-                                );
-                            }
-                            truncated_by.get_or_insert(Truncation::States);
-                            false
-                        }
-                        TryInsert::Inserted => {
-                            if self.audit {
-                                audit_states.insert(fp_t, tc.clone());
-                            }
-                            if pred.as_ref().is_some_and(|p| p(&tc)) {
-                                found = Some(fp_t);
-                                trace_event!(tracer, "search", "found",
-                                    "depth": depth + 1,
-                                    "fp": fp_t,
-                                );
-                                true
-                            } else {
-                                next.push((fp_t, tc));
-                                false
-                            }
-                        }
-                    }
-                }};
-            }
-
-            if pool.workers() == 1 {
-                // Fused expand + merge: the same traversal (partition order,
-                // in-partition frontier order, in-state action order) without
-                // materializing expansion records. Byte-identical to the
-                // buffered path — `tests/determinism.rs` pins it.
-                'fused: for part in &parts {
-                    for (pfp, s) in part {
-                        stats.expansions += 1;
-                        let acts = sys.enabled(s);
-                        if acts.is_empty() {
-                            terminal.push(s.clone());
-                            continue;
-                        }
-                        for a in acts {
-                            let t = sys.step(s, &a);
-                            let tc = self.canonize(t, &mut stats.canon_hits);
-                            let fp_t = tc.fingerprint(seed);
-                            if absorb!(*pfp, fp_t, tc, a) {
-                                break 'fused;
-                            }
-                        }
-                    }
-                }
+            // Each level body lives in its own function (not inlined here):
+            // the expand loops are the hottest code in the crate, and giving
+            // them their own functions keeps the optimizer's inlining budget
+            // focused on `fingerprint_with`/`try_insert_with` instead of
+            // exhausting it on the orchestration around them.
+            let (level_children, trans_delta) = if pool.workers() == 1 {
+                self.expand_level_fused(
+                    depth,
+                    &parts,
+                    &mut visited,
+                    &mut scratch,
+                    &mut audit_states,
+                    &mut next_parts,
+                    &mut terminal,
+                    &mut stats,
+                    &mut truncated_by,
+                    tracer,
+                )
             } else {
-                let outputs = pool.map_each_partition(&parts, |part: &[(u64, Sys::State)]| {
-                    let mut rec = Expanded {
-                        shape: Vec::with_capacity(part.len()),
-                        out: Vec::new(),
-                    };
-                    for (_, s) in part {
-                        let acts = sys.enabled(s);
-                        if acts.is_empty() {
-                            rec.shape.push(TERMINAL);
-                            continue;
-                        }
-                        rec.shape.push(acts.len() as u32);
-                        for a in acts {
-                            let t = sys.step(s, &a);
-                            let (tc, hit) = match canon {
-                                None => (t, false),
-                                Some(c) => {
-                                    let tc = c(&t);
-                                    let hit = tc != t;
-                                    (tc, hit)
-                                }
-                            };
-                            let fp = tc.fingerprint(seed);
-                            rec.out.push((fp, tc, a, hit));
-                        }
-                    }
-                    rec
-                });
+                self.expand_level_parallel(
+                    depth,
+                    &pool,
+                    &parts,
+                    &mut visited,
+                    &mut audit_states,
+                    &mut next_parts,
+                    &mut terminal,
+                    &mut stats,
+                    &mut truncated_by,
+                    tracer,
+                )
+            };
+            transitions += trans_delta;
+            // Worker-invariant by construction: both counters are pure
+            // functions of the state space and bounds, never of the
+            // schedule or of which insert path ran.
+            if visited_before + level_children > self.max_states {
+                stats.cap_fallbacks += 1;
+            }
 
-                // Sequential merge in partition order, replaying each item
-                // in frontier order: the single point where search state
-                // mutates.
-                'merge: for (part, rec) in parts.iter().zip(outputs) {
-                    let mut out = rec.out.into_iter();
-                    for (item, &n) in part.iter().zip(&rec.shape) {
-                        stats.expansions += 1;
-                        if n == TERMINAL {
-                            terminal.push(item.1.clone());
-                            continue;
-                        }
-                        for _ in 0..n {
-                            let (fp_t, tc, a, hit) = out.next().expect("shape covers out");
-                            if hit {
-                                stats.canon_hits += 1;
-                            }
-                            if absorb!(item.0, fp_t, tc, a) {
-                                break 'merge;
-                            }
+            // Predicate scan over the level's newly-inserted states, in
+            // shard-major order. Running it here (not inside the insert
+            // paths) is what makes `found` identical for every worker
+            // count; the cost is that a matching level is always completed
+            // before the search stops.
+            if let Some(p) = pred.as_ref() {
+                'scan: for bucket in &next_parts {
+                    for (fp, s) in bucket {
+                        if p(s) {
+                            found = Some(*fp);
+                            trace_event!(tracer, "search", "found",
+                                "depth": depth + 1,
+                                "fp": *fp,
+                            );
+                            break 'scan;
                         }
                     }
                 }
             }
-            for p in &mut parts {
-                p.clear();
-            }
-            frontier = next;
+
+            frontier_len = next_parts.iter().map(Vec::len).sum();
+            parts = next_parts;
             trace_event!(tracer, "search", "level.exit",
                 "level": depth,
-                "next": frontier.len(),
+                "next": frontier_len,
                 "states": visited.len(),
                 "transitions": transitions,
                 "dedup": stats.dedup_hits,
@@ -552,11 +518,328 @@ where
         }
     }
 
+    /// One BFS level, single worker: fused expand + dedup + insert in one
+    /// pass. This is the reference traversal — partition order,
+    /// in-partition frontier order, in-state action order ("j-major"), cap
+    /// checked inline per child — that [`Search::expand_level_parallel`] is
+    /// extensionally equal to. Returns the level's `(children, transitions)`
+    /// deltas.
+    ///
+    /// Deliberately its own function (as is the parallel body): the expand
+    /// loop is the hottest code in the crate, and carving it out of
+    /// `run_bfs` gives it a private inlining budget — measured on the
+    /// 117k-state grid, leaving it inline cost ~25% wall-clock because the
+    /// surrounding function's size pushed `fingerprint_with`/
+    /// `try_insert_with` out of line.
+    #[allow(clippy::too_many_arguments)]
+    fn expand_level_fused(
+        &self,
+        depth: usize,
+        parts: &[Vec<(u64, Sys::State)>],
+        visited: &mut ShardedFpMap<Parent<Sys::Action>>,
+        scratch: &mut EncodeScratch,
+        audit_states: &mut BTreeMap<u64, Sys::State>,
+        next_parts: &mut [Vec<(u64, Sys::State)>],
+        terminal: &mut Vec<Sys::State>,
+        stats: &mut SearchStats,
+        truncated_by: &mut Option<Truncation>,
+        tracer: &mut dyn Tracer,
+    ) -> (usize, usize) {
+        // Audit on/off are separate monomorphizations: with `AUDIT = false`
+        // the compiler erases every audit branch *and* the calls they guard
+        // from the loop. This is not cosmetic — leaving even a never-taken
+        // cold call in the dedup arm measurably deoptimizes the whole loop
+        // (~25% wall-clock on the 117k-state grid).
+        if self.audit {
+            self.expand_level_fused_impl::<true>(
+                depth,
+                parts,
+                visited,
+                scratch,
+                audit_states,
+                next_parts,
+                terminal,
+                stats,
+                truncated_by,
+                tracer,
+            )
+        } else {
+            self.expand_level_fused_impl::<false>(
+                depth,
+                parts,
+                visited,
+                scratch,
+                audit_states,
+                next_parts,
+                terminal,
+                stats,
+                truncated_by,
+                tracer,
+            )
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[inline(never)]
+    fn expand_level_fused_impl<const AUDIT: bool>(
+        &self,
+        depth: usize,
+        parts: &[Vec<(u64, Sys::State)>],
+        visited: &mut ShardedFpMap<Parent<Sys::Action>>,
+        scratch: &mut EncodeScratch,
+        audit_states: &mut BTreeMap<u64, Sys::State>,
+        next_parts: &mut [Vec<(u64, Sys::State)>],
+        terminal: &mut Vec<Sys::State>,
+        stats: &mut SearchStats,
+        truncated_by: &mut Option<Truncation>,
+        tracer: &mut dyn Tracer,
+    ) -> (usize, usize) {
+        let sys = self.sys;
+        let seed = self.seed;
+        let canon = self.canon;
+        let cap = Cap::At(self.max_states);
+        let nparts = self.partitions;
+        let mut level_children = 0usize;
+        let mut transitions = 0usize;
+        let mut expansions = 0usize;
+        let mut dedup_hits = 0usize;
+        let mut canon_hits = 0usize;
+        for part in parts {
+            for (pfp, s) in part {
+                expansions += 1;
+                let acts = sys.enabled(s);
+                if acts.is_empty() {
+                    terminal.push(s.clone());
+                    continue;
+                }
+                for a in acts {
+                    let t = sys.step(s, &a);
+                    let tc = match canon {
+                        None => t,
+                        Some(c) => {
+                            let cs = c(&t);
+                            if cs != t {
+                                canon_hits += 1;
+                            }
+                            cs
+                        }
+                    };
+                    let fp_t = tc.fingerprint_with(seed, scratch);
+                    level_children += 1;
+                    transitions += 1;
+                    match visited.try_insert_with(fp_t, cap, || {
+                        Parent::Child {
+                            parent: *pfp,
+                            action: a,
+                        }
+                    }) {
+                        TryInsert::Present => {
+                            dedup_hits += 1;
+                            if AUDIT {
+                                self.audit_check_slow(audit_states, fp_t, &tc);
+                            }
+                        }
+                        TryInsert::Full => {
+                            if truncated_by.is_none() {
+                                trace_event!(tracer, "search", "truncate",
+                                    "cause": "states",
+                                    "level": depth,
+                                );
+                            }
+                            truncated_by.get_or_insert(Truncation::States);
+                        }
+                        TryInsert::Inserted => {
+                            if AUDIT {
+                                audit_states.insert(fp_t, tc.clone());
+                            }
+                            let k = shard_index(fp_t, nparts);
+                            next_parts[k].push((fp_t, tc));
+                        }
+                    }
+                }
+            }
+        }
+        stats.expansions += expansions;
+        stats.dedup_hits += dedup_hits;
+        stats.canon_hits += canon_hits;
+        (level_children, transitions)
+    }
+
+    /// One BFS level on `pool` workers: pass 1 expands partitions in
+    /// parallel (children come back bucketed by destination shard), the
+    /// counters/terminals are stitched sequentially in partition order, and
+    /// pass 2 runs dedup + insert worker-locally per shard — or replays the
+    /// exact j-major order sequentially on the rare levels where the state
+    /// cap could bind (or under the collision audit). Returns the level's
+    /// `(children, transitions)` deltas; byte-identical in effect to
+    /// [`Search::expand_level_fused`] for every worker count.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(never)]
+    fn expand_level_parallel(
+        &self,
+        depth: usize,
+        pool: &WorkerPool,
+        parts: &[Vec<(u64, Sys::State)>],
+        visited: &mut ShardedFpMap<Parent<Sys::Action>>,
+        audit_states: &mut BTreeMap<u64, Sys::State>,
+        next_parts: &mut [Vec<(u64, Sys::State)>],
+        terminal: &mut Vec<Sys::State>,
+        stats: &mut SearchStats,
+        truncated_by: &mut Option<Truncation>,
+        tracer: &mut dyn Tracer,
+    ) -> (usize, usize) {
+        let sys = self.sys;
+        let canon = self.canon;
+        let seed = self.seed;
+        let visited_before = visited.len();
+        let mut level_children = 0usize;
+        let mut transitions = 0usize;
+        // Pass 1 — parallel expand: successors, canon, fingerprints,
+        // bucketed by destination shard. No shared state touched.
+        let shard_n = self.partitions;
+        let mut recs = pool.map_each_partition(parts, |part: &[(u64, Sys::State)]| {
+            let mut rec = Expanded {
+                terminals: Vec::new(),
+                expansions: 0,
+                canon_hits: 0,
+                children: 0,
+                by_shard: (0..shard_n).map(|_| Vec::new()).collect(),
+                route: Vec::new(),
+            };
+            // One scratch per partition-expansion (i.e. worker-local),
+            // reused across every state the partition fingerprints.
+            let mut scratch = EncodeScratch::new();
+            for (pfp, s) in part {
+                rec.expansions += 1;
+                let acts = sys.enabled(s);
+                if acts.is_empty() {
+                    rec.terminals.push(s.clone());
+                    continue;
+                }
+                for a in acts {
+                    let t = sys.step(s, &a);
+                    let tc = match canon {
+                        None => t,
+                        Some(c) => {
+                            let tc = c(&t);
+                            if tc != t {
+                                rec.canon_hits += 1;
+                            }
+                            tc
+                        }
+                    };
+                    let fp = tc.fingerprint_with(seed, &mut scratch);
+                    let k = shard_index(fp, shard_n);
+                    rec.by_shard[k].push((fp, tc, a, *pfp));
+                    rec.route.push(k as u32);
+                    rec.children += 1;
+                }
+            }
+            rec
+        });
+
+        // Stitch the per-partition counters and terminals, in
+        // partition order.
+        for rec in &mut recs {
+            stats.expansions += rec.expansions;
+            stats.canon_hits += rec.canon_hits;
+            level_children += rec.children;
+            terminal.append(&mut rec.terminals);
+        }
+
+        // Pass 2 — dedup + insert. When the state cap cannot bind
+        // this level (children are an upper bound on inserts) and no
+        // audit wants full states in sequence, each visited shard is
+        // handed to the worker that owns it: worker-local,
+        // lock-free, schedule-independent (shard `k`'s children
+        // arrive grouped j-major, exactly the order the fused path
+        // would have offered them — see docs/EXPLORE.md for why the
+        // two traversals insert identical parent links).
+        if visited_before + level_children <= self.max_states && !self.audit {
+            transitions += level_children;
+            // Transpose [partition][shard] → [shard][partition]:
+            // O(partitions²) Vec moves, no child copied.
+            let mut per_shard: Vec<Vec<Vec<(u64, Sys::State, Sys::Action, u64)>>> =
+                (0..shard_n).map(|_| Vec::with_capacity(recs.len())).collect();
+            for rec in &mut recs {
+                for (k, bucket) in rec.by_shard.iter_mut().enumerate() {
+                    per_shard[k].push(std::mem::take(bucket));
+                }
+            }
+            type ShardJob<'s, S, A> =
+                (&'s mut FpMap<Parent<A>>, Vec<Vec<(u64, S, A, u64)>>);
+            let jobs: Vec<ShardJob<'_, Sys::State, Sys::Action>> =
+                visited.shards_mut().iter_mut().zip(per_shard).collect();
+            let results = pool.map_indexed(jobs, |_, (shard, groups)| {
+                let mut fresh: Vec<(u64, Sys::State)> = Vec::new();
+                let mut dedup = 0usize;
+                for group in groups {
+                    for (fp, tc, a, parent) in group {
+                        match shard.try_insert_with(fp, Cap::Unbounded, || {
+                            Parent::Child { parent, action: a }
+                        }) {
+                            TryInsert::Present => dedup += 1,
+                            TryInsert::Inserted => fresh.push((fp, tc)),
+                            TryInsert::Full => {
+                                unreachable!("unbounded insert cannot refuse")
+                            }
+                        }
+                    }
+                }
+                (fresh, dedup)
+            });
+            visited.refresh_len();
+            for (k, (fresh, dedup)) in results.into_iter().enumerate() {
+                stats.dedup_hits += dedup;
+                next_parts[k] = fresh;
+            }
+        } else {
+            // Cap could bind (or audit mode): replay the children in
+            // exact j-major order with the same inline global cap
+            // the fused path applies. `route` recovers that order
+            // from the bucketed layout.
+            for rec in recs {
+                let mut buckets: Vec<std::vec::IntoIter<_>> =
+                    rec.by_shard.into_iter().map(Vec::into_iter).collect();
+                for &k in &rec.route {
+                    let (fp_t, tc, a, parent) = buckets[k as usize]
+                        .next()
+                        .expect("route covers every bucketed child");
+                    transitions += 1;
+                    match visited.try_insert_with(fp_t, Cap::At(self.max_states), || {
+                        Parent::Child { parent, action: a }
+                    }) {
+                        TryInsert::Present => {
+                            stats.dedup_hits += 1;
+                            self.audit_check(&audit_states, fp_t, &tc);
+                        }
+                        TryInsert::Full => {
+                            if truncated_by.is_none() {
+                                trace_event!(tracer, "search", "truncate",
+                                    "cause": "states",
+                                    "level": depth,
+                                );
+                            }
+                            truncated_by.get_or_insert(Truncation::States);
+                        }
+                        TryInsert::Inserted => {
+                            if self.audit {
+                                audit_states.insert(fp_t, tc.clone());
+                            }
+                            next_parts[k as usize].push((fp_t, tc));
+                        }
+                    }
+                }
+            }
+        }
+        (level_children, transitions)
+    }
+
     /// Walk the fingerprint parent map back to a root, then replay forward
     /// through `step` (+ canon) to materialize the actual states.
     fn replay_witness(
         &self,
-        visited: &FpMap<Parent<Sys::Action>>,
+        visited: &ShardedFpMap<Parent<Sys::Action>>,
         target: u64,
     ) -> Execution<Sys::State, Sys::Action> {
         let mut rev_actions: Vec<Sys::Action> = Vec::new();
@@ -587,18 +870,35 @@ where
         exec
     }
 
+    /// Per-dedup-hit collision audit. The wrapper must stay trivially
+    /// inlinable: it runs on *every* dedup hit (the majority of children on
+    /// dense spaces), and routing non-audit runs through an out-of-line call
+    /// whose assert/format body defeats inlining costs ~25% of total search
+    /// wall-clock (measured on the 117k-state grid).
+    #[inline(always)]
     fn audit_check(&self, audit_states: &BTreeMap<u64, Sys::State>, fp: u64, state: &Sys::State) {
         if self.audit {
-            let prev = audit_states.get(&fp).expect("audit map tracks visited");
-            assert!(
-                prev == state,
-                "fingerprint collision under seed {:#x}: fp {:#x} covers two distinct states\n  {:?}\n  {:?}\nre-run with a different .seed(...)",
-                self.seed,
-                fp,
-                prev,
-                state,
-            );
+            self.audit_check_slow(audit_states, fp, state);
         }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn audit_check_slow(
+        &self,
+        audit_states: &BTreeMap<u64, Sys::State>,
+        fp: u64,
+        state: &Sys::State,
+    ) {
+        let prev = audit_states.get(&fp).expect("audit map tracks visited");
+        assert!(
+            prev == state,
+            "fingerprint collision under seed {:#x}: fp {:#x} covers two distinct states\n  {:?}\n  {:?}\nre-run with a different .seed(...)",
+            self.seed,
+            fp,
+            prev,
+            state,
+        );
     }
 }
 

@@ -4,7 +4,7 @@
 //! (the workspace's `det-time` lint bans ambient clocks outside the bench
 //! harness). Throughput (states/sec) is derived where timing is legitimate:
 //! `crates/bench` divides [`SearchStats::expansions`] by its own measured
-//! wall time and records both in `BENCH_3.json`.
+//! wall time and records both in `BENCH_5.json`.
 
 /// Counters for one `Search` run.
 ///
@@ -30,6 +30,11 @@ pub struct SearchStats {
     pub canon_hits: usize,
     /// Largest frontier (BFS) / deepest path (IDDFS) held at once.
     pub peak_frontier: usize,
+    /// BFS levels where the `max_states` cap could have bound
+    /// (`visited + level children > max_states`), forcing the sequential
+    /// exact-cap insert path instead of worker-local shard inserts. A pure
+    /// function of the space and bounds — never of the worker count.
+    pub cap_fallbacks: usize,
 }
 
 impl SearchStats {
@@ -44,6 +49,7 @@ impl SearchStats {
             dedup_hits: 0,
             canon_hits: 0,
             peak_frontier: 0,
+            cap_fallbacks: 0,
         }
     }
 
@@ -51,7 +57,7 @@ impl SearchStats {
     /// variation, integers only. Equal stats encode to equal bytes.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"strategy\":\"{}\",\"workers\":{},\"partitions\":{},\"seed\":{},\"levels\":{},\"expansions\":{},\"dedup_hits\":{},\"canon_hits\":{},\"peak_frontier\":{}}}",
+            "{{\"strategy\":\"{}\",\"workers\":{},\"partitions\":{},\"seed\":{},\"levels\":{},\"expansions\":{},\"dedup_hits\":{},\"canon_hits\":{},\"peak_frontier\":{},\"cap_fallbacks\":{}}}",
             self.strategy,
             self.workers,
             self.partitions,
@@ -61,6 +67,7 @@ impl SearchStats {
             self.dedup_hits,
             self.canon_hits,
             self.peak_frontier,
+            self.cap_fallbacks,
         )
     }
 }
@@ -77,9 +84,10 @@ mod tests {
         s.dedup_hits = 4;
         s.canon_hits = 1;
         s.peak_frontier = 5;
+        s.cap_fallbacks = 2;
         assert_eq!(
             s.to_json(),
-            "{\"strategy\":\"bfs\",\"workers\":2,\"partitions\":64,\"seed\":7,\"levels\":3,\"expansions\":10,\"dedup_hits\":4,\"canon_hits\":1,\"peak_frontier\":5}"
+            "{\"strategy\":\"bfs\",\"workers\":2,\"partitions\":64,\"seed\":7,\"levels\":3,\"expansions\":10,\"dedup_hits\":4,\"canon_hits\":1,\"peak_frontier\":5,\"cap_fallbacks\":2}"
         );
         // Byte-determinism: same stats, same bytes.
         assert_eq!(s.to_json(), s.clone().to_json());

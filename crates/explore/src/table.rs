@@ -1,21 +1,60 @@
-//! The open-addressing fingerprint table behind the visited set.
+//! The open-addressing fingerprint tables behind the visited set.
 //!
 //! Fingerprints come out of [`crate::fingerprint::FpHasher`] already mixed,
-//! so the table indexes them directly: slot `fp & mask`, linear probing,
-//! growth at 50% load. Lookups touch one or two cache lines where a
-//! `BTreeMap<u64, _>` chases five nodes — on dedup-bound exploration this
-//! is most of the engine's speed over the legacy explorer (see
-//! `BENCH_3.json`).
+//! so the tables index them directly — home slot from the key's high bits
+//! (the low bits select the shard), linear probing, growth at 50% load.
+//! Lookups touch one or two cache lines where a `BTreeMap<u64, _>` chases
+//! five nodes — on dedup-bound exploration this is most of the engine's
+//! speed over the legacy explorer (see `BENCH_5.json`).
 //!
-//! Determinism: the table is only ever *probed* (by fingerprint) — nothing
-//! iterates it — so neither probe order nor growth timing can influence a
-//! report. No hashing happens here at all; the key is the fingerprint.
+//! Two table shapes live here:
+//!
+//! * [`FpMap`] — a single open-addressing table. Still used by the IDDFS
+//!   path and as the building block below.
+//! * [`ShardedFpMap`] — a fixed number of independent `FpMap` shards, where
+//!   fingerprint `fp` lives in shard `fp % shards`. The shard function is
+//!   the *same* fixed partition function the search engine uses to split
+//!   BFS frontiers, so the worker that owns partition `k` also owns shard
+//!   `k` — dedup and insert run worker-locally with no locks, and the
+//!   sequential merge degrades to stitching per-shard outputs in shard
+//!   order (see `docs/EXPLORE.md`, "Sharding & determinism").
+//!
+//! Determinism: the tables are only ever *probed* (by fingerprint) on hot
+//! paths — nothing hot iterates them — so neither probe order nor growth
+//! timing can influence a report. The ordered iteration below
+//! ([`FpMap::iter_ordered`], [`ShardedFpMap::iter_ordered`]) exists for
+//! tests and diagnostics and is defined as ascending key order, which makes
+//! the sharded aggregate order equal to the flat table's order for the same
+//! key set — pinned by a `det_prop!` sweep in `tests/determinism.rs`.
 //!
 //! The unoccupied sentinel is fingerprint `0`; real zero fingerprints are
 //! folded onto key `1`. That conflates a zero-fingerprint state with a
 //! one-fingerprint state at the same 2⁻⁶⁴-ish odds as any other fingerprint
 //! collision, which the collision policy (and the audit mode that checks
 //! it) already covers.
+
+/// Capacity policy for [`FpMap::try_insert_with`]: either no bound, or an
+/// explicit entry cap. Replaces the old `usize::MAX`-as-sentinel
+/// convention so "unbounded" is a named case, not a magic value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cap {
+    /// Inserts never refuse for capacity reasons.
+    Unbounded,
+    /// At most this many entries; further inserts return
+    /// [`TryInsert::Full`].
+    At(usize),
+}
+
+impl Cap {
+    /// Would a table currently holding `len` entries admit one more?
+    #[inline]
+    pub fn admits(self, len: usize) -> bool {
+        match self {
+            Cap::Unbounded => true,
+            Cap::At(cap) => len < cap,
+        }
+    }
+}
 
 /// A `u64 → V` map keyed by (pre-mixed) fingerprints.
 #[derive(Debug, Clone)]
@@ -30,7 +69,7 @@ pub struct FpMap<V> {
 pub enum TryInsert {
     /// The fingerprint was already present; nothing inserted.
     Present,
-    /// The map was at `cap` entries; nothing inserted.
+    /// The map was at its cap; nothing inserted.
     Full,
     /// Inserted.
     Inserted,
@@ -44,6 +83,28 @@ fn key_of(fp: u64) -> u64 {
         1
     } else {
         fp
+    }
+}
+
+/// The shard/partition owning fingerprint `fp` out of `shards` — the one
+/// routing function shared by [`ShardedFpMap`] and the search engine's
+/// frontier partitioner, so the worker that expands partition `k` is
+/// exactly the owner of visited shard `k`.
+///
+/// Routing happens on the *stored key* (fingerprint `0` folds onto `1`,
+/// matching the table's sentinel fold): the flat and sharded tables must
+/// conflate the same fingerprints, or their aggregate contents could
+/// differ on the `0`/`1` edge case.
+#[inline]
+pub fn shard_index(fp: u64, shards: usize) -> usize {
+    // Same mapping either way; the mask branch just spares the hot paths a
+    // hardware divide for power-of-two counts (the default is 64), and
+    // predicts perfectly since `shards` is fixed per search.
+    let key = key_of(fp);
+    if shards.is_power_of_two() {
+        (key as usize) & (shards - 1)
+    } else {
+        (key % shards as u64) as usize
     }
 }
 
@@ -70,7 +131,14 @@ impl<V> FpMap<V> {
     #[inline]
     fn slot(&self, key: u64) -> usize {
         let mask = self.keys.len() - 1;
-        let mut i = (key as usize) & mask;
+        // Home slot from the HIGH bits of the (pre-mixed) key. The low bits
+        // are spoken for: [`shard_index`] routes on `key % shards`, so
+        // inside one shard every key agrees on its low bits — indexing by
+        // them would fold the whole shard onto 1/shards of its slots and
+        // linear probing would degenerate into one long chain. The high
+        // bits are untouched by any small modulus.
+        let shift = 64 - self.keys.len().trailing_zeros();
+        let mut i = (key >> shift) as usize & mask;
         loop {
             let k = self.keys[i];
             if k == EMPTY || k == key {
@@ -113,18 +181,18 @@ impl<V> FpMap<V> {
         }
     }
 
-    /// Insert `make()` under `fp` unless present or already holding `cap`
-    /// entries. Growth happens only on the insert path: `Present` and
-    /// `Full` leave the table's capacity untouched, so a capped search
-    /// cannot be made to double its dedup table by hammering it with
-    /// duplicates or over-cap insertions.
-    pub fn try_insert_with(&mut self, fp: u64, cap: usize, make: impl FnOnce() -> V) -> TryInsert {
+    /// Insert `make()` under `fp` unless present or already at `cap`.
+    /// Growth happens only on the insert path: `Present` and `Full` leave
+    /// the table's capacity untouched, so a capped search cannot be made to
+    /// double its dedup table by hammering it with duplicates or over-cap
+    /// insertions.
+    pub fn try_insert_with(&mut self, fp: u64, cap: Cap, make: impl FnOnce() -> V) -> TryInsert {
         let key = key_of(fp);
         let mut i = self.slot(key);
         if self.keys[i] == key {
             return TryInsert::Present;
         }
-        if self.len >= cap {
+        if !cap.admits(self.len) {
             return TryInsert::Full;
         }
         if (self.len + 1) * 2 > self.keys.len() {
@@ -160,11 +228,151 @@ impl<V> FpMap<V> {
     pub fn capacity(&self) -> usize {
         self.keys.len()
     }
+
+    /// Entries in ascending key order (the stored key: fingerprint `0`
+    /// folds onto `1`). O(n log n); for tests and diagnostics, never a hot
+    /// path. This is the canonical iteration order both table shapes share.
+    pub fn iter_ordered(&self) -> impl Iterator<Item = (u64, &V)> {
+        let mut idx: Vec<usize> = (0..self.keys.len())
+            .filter(|&i| self.keys[i] != EMPTY)
+            .collect();
+        idx.sort_by_key(|&i| self.keys[i]);
+        idx.into_iter()
+            .map(|i| (self.keys[i], self.vals[i].as_ref().expect("occupied")))
+    }
 }
 
 impl<V> Default for FpMap<V> {
     fn default() -> Self {
         FpMap::new()
+    }
+}
+
+/// A visited set split into a fixed number of independent [`FpMap`] shards:
+/// fingerprint `fp` lives in shard `fp % shards`.
+///
+/// The shard function is a pure function of the fingerprint — never of the
+/// schedule — which is what lets the search engine hand each worker
+/// exclusive `&mut` access to the shards it owns ([`Self::shards_mut`])
+/// while keeping reports byte-identical for any worker count. Each shard
+/// grows independently, so a hot shard doubling never rehashes the others.
+#[derive(Debug, Clone)]
+pub struct ShardedFpMap<V> {
+    shards: Vec<FpMap<V>>,
+    len: usize,
+}
+
+impl<V> ShardedFpMap<V> {
+    /// An empty map with `shards` shards (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedFpMap {
+            shards: (0..shards).map(|_| FpMap::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of shards (fixed for the map's lifetime).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `fp` — [`shard_index`], the same partition
+    /// function the search engine uses to split frontiers.
+    #[inline]
+    pub fn shard_of(&self, fp: u64) -> usize {
+        shard_index(fp, self.shards.len())
+    }
+
+    /// Total entries across all shards.
+    ///
+    /// After direct mutation through [`Self::shards_mut`] the cached total
+    /// is stale until [`Self::refresh_len`] runs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Is `fp` present?
+    pub fn contains(&self, fp: u64) -> bool {
+        self.shards[self.shard_of(fp)].contains(fp)
+    }
+
+    /// The value stored for `fp`, if any.
+    pub fn get(&self, fp: u64) -> Option<&V> {
+        self.shards[self.shard_of(fp)].get(fp)
+    }
+
+    /// Sequential insert with a *global* cap across all shards. Same
+    /// semantics as [`FpMap::try_insert_with`], with the dedup check taking
+    /// precedence over the cap, in a single probe (this is the hot path of
+    /// every single-worker search).
+    pub fn try_insert_with(&mut self, fp: u64, cap: Cap, make: impl FnOnce() -> V) -> TryInsert {
+        // One key fold serves both the shard routing and the probe.
+        let key = key_of(fp);
+        let n = self.shards.len();
+        let si = if n.is_power_of_two() {
+            (key as usize) & (n - 1)
+        } else {
+            (key % n as u64) as usize
+        };
+        let shard = &mut self.shards[si];
+        let mut i = shard.slot(key);
+        // Dedup before cap, mirroring the flat table: a present fingerprint
+        // is never reported Full.
+        if shard.keys[i] == key {
+            return TryInsert::Present;
+        }
+        if !cap.admits(self.len) {
+            return TryInsert::Full;
+        }
+        if (shard.len + 1) * 2 > shard.keys.len() {
+            shard.grow();
+            i = shard.slot(key);
+        }
+        shard.keys[i] = key;
+        shard.vals[i] = Some(make());
+        shard.len += 1;
+        self.len += 1;
+        TryInsert::Inserted
+    }
+
+    /// Exclusive access to the shard array, for the worker pool: worker `w`
+    /// mutates only shards `w, w+W, w+2W, …` (its frontier partitions), so
+    /// the borrows are disjoint by construction. Call
+    /// [`Self::refresh_len`] afterwards.
+    pub fn shards_mut(&mut self) -> &mut [FpMap<V>] {
+        &mut self.shards
+    }
+
+    /// Recompute the cached total after direct shard mutation.
+    pub fn refresh_len(&mut self) {
+        self.len = self.shards.iter().map(FpMap::len).sum();
+    }
+
+    /// Entries in ascending key order, aggregated across shards by a
+    /// `shards`-way merge of the per-shard ordered iterators. Because every
+    /// shard's order and the flat [`FpMap`]'s order are both "ascending
+    /// key", the aggregate sequence equals what a single `FpMap` holding
+    /// the same keys would produce (`tests/determinism.rs` sweeps this).
+    pub fn iter_ordered(&self) -> impl Iterator<Item = (u64, &V)> {
+        let mut cursors: Vec<std::iter::Peekable<_>> = self
+            .shards
+            .iter()
+            .map(|s| s.iter_ordered().peekable())
+            .collect();
+        std::iter::from_fn(move || {
+            let (best, _) = cursors
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(i, c)| c.peek().map(|&(k, _)| (i, k)))
+                .min_by_key(|&(_, k)| k)?;
+            cursors[best].next()
+        })
     }
 }
 
@@ -177,7 +385,7 @@ mod tests {
         let mut m: FpMap<usize> = FpMap::new();
         for fp in 1..=500u64 {
             assert_eq!(
-                m.try_insert_with(fp * 0x9E37_79B9, usize::MAX, || fp as usize),
+                m.try_insert_with(fp * 0x9E37_79B9, Cap::Unbounded, || fp as usize),
                 TryInsert::Inserted
             );
         }
@@ -186,7 +394,7 @@ mod tests {
             assert!(m.contains(fp * 0x9E37_79B9));
             assert_eq!(m.get(fp * 0x9E37_79B9), Some(&(fp as usize)));
             assert_eq!(
-                m.try_insert_with(fp * 0x9E37_79B9, usize::MAX, || 0),
+                m.try_insert_with(fp * 0x9E37_79B9, Cap::Unbounded, || 0),
                 TryInsert::Present
             );
         }
@@ -197,17 +405,17 @@ mod tests {
     #[test]
     fn cap_refuses_new_entries_but_admits_lookups() {
         let mut m: FpMap<()> = FpMap::new();
-        assert_eq!(m.try_insert_with(7, 1, || ()), TryInsert::Inserted);
-        assert_eq!(m.try_insert_with(8, 1, || ()), TryInsert::Full);
-        assert_eq!(m.try_insert_with(7, 1, || ()), TryInsert::Present);
+        assert_eq!(m.try_insert_with(7, Cap::At(1), || ()), TryInsert::Inserted);
+        assert_eq!(m.try_insert_with(8, Cap::At(1), || ()), TryInsert::Full);
+        assert_eq!(m.try_insert_with(7, Cap::At(1), || ()), TryInsert::Present);
         assert_eq!(m.len(), 1);
     }
 
     #[test]
     fn zero_fingerprint_folds_onto_key_one() {
         let mut m: FpMap<u8> = FpMap::new();
-        assert_eq!(m.try_insert_with(0, 10, || 1), TryInsert::Inserted);
-        assert_eq!(m.try_insert_with(1, 10, || 2), TryInsert::Present);
+        assert_eq!(m.try_insert_with(0, Cap::At(10), || 1), TryInsert::Inserted);
+        assert_eq!(m.try_insert_with(1, Cap::At(10), || 2), TryInsert::Present);
         assert!(m.contains(0) && m.contains(1));
     }
 
@@ -217,22 +425,22 @@ mod tests {
         // Fill to the 50%-load growth threshold exactly: with 64 slots the
         // next *actual* insert (the 33rd) is the one that must double.
         for fp in 1..=32u64 {
-            assert_eq!(m.try_insert_with(fp, usize::MAX, || fp), TryInsert::Inserted);
+            assert_eq!(m.try_insert_with(fp, Cap::Unbounded, || fp), TryInsert::Inserted);
         }
         assert_eq!(m.capacity(), 64);
 
         // Regression: these three non-inserting operations used to grow the
         // table before probing, doubling capacity on every duplicate or
         // over-cap hit at the threshold.
-        assert_eq!(m.try_insert_with(7, usize::MAX, || 0), TryInsert::Present);
+        assert_eq!(m.try_insert_with(7, Cap::Unbounded, || 0), TryInsert::Present);
         assert_eq!(m.capacity(), 64, "Present must not grow");
-        assert_eq!(m.try_insert_with(1000, 32, || 0), TryInsert::Full);
+        assert_eq!(m.try_insert_with(1000, Cap::At(32), || 0), TryInsert::Full);
         assert_eq!(m.capacity(), 64, "Full must not grow");
         assert_eq!(*m.get_or_insert_with(7, || 0), 7);
         assert_eq!(m.capacity(), 64, "get_or_insert on a present key must not grow");
 
         // The insert that actually lands is the one that doubles.
-        assert_eq!(m.try_insert_with(33, usize::MAX, || 33), TryInsert::Inserted);
+        assert_eq!(m.try_insert_with(33, Cap::Unbounded, || 33), TryInsert::Inserted);
         assert_eq!(m.capacity(), 128);
         assert_eq!(m.len(), 33);
         for fp in 1..=33u64 {
@@ -246,13 +454,13 @@ mod tests {
         // lookups and Present/Full verdicts without ever resizing.
         let mut m: FpMap<()> = FpMap::new();
         for fp in 1..=32u64 {
-            assert_eq!(m.try_insert_with(fp, 32, || ()), TryInsert::Inserted);
+            assert_eq!(m.try_insert_with(fp, Cap::At(32), || ()), TryInsert::Inserted);
         }
         for round in 0..3 {
             for fp in 1..=32u64 {
-                assert_eq!(m.try_insert_with(fp, 32, || ()), TryInsert::Present);
+                assert_eq!(m.try_insert_with(fp, Cap::At(32), || ()), TryInsert::Present);
             }
-            assert_eq!(m.try_insert_with(100 + round, 32, || ()), TryInsert::Full);
+            assert_eq!(m.try_insert_with(100 + round, Cap::At(32), || ()), TryInsert::Full);
             assert_eq!(m.capacity(), 64);
         }
         assert_eq!(m.len(), 32);
@@ -268,5 +476,88 @@ mod tests {
             let k = fp.wrapping_mul(0x2545_F491_4F6C_DD1D);
             assert_eq!(m.get(k), Some(&fp), "lost {fp}");
         }
+    }
+
+    #[test]
+    fn cap_admits_boundary() {
+        assert!(Cap::Unbounded.admits(usize::MAX - 1));
+        assert!(Cap::At(3).admits(2));
+        assert!(!Cap::At(3).admits(3));
+        assert!(!Cap::At(0).admits(0));
+    }
+
+    #[test]
+    fn sharded_routes_by_modulus_and_counts_globally() {
+        let mut m: ShardedFpMap<u64> = ShardedFpMap::new(8);
+        for fp in 1..=100u64 {
+            let k = fp.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            assert_eq!(m.try_insert_with(k, Cap::Unbounded, || fp), TryInsert::Inserted);
+            assert_eq!(m.try_insert_with(k, Cap::Unbounded, || 0), TryInsert::Present);
+        }
+        assert_eq!(m.len(), 100);
+        for fp in 1..=100u64 {
+            let k = fp.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            assert!(m.contains(k));
+            assert_eq!(m.get(k), Some(&fp));
+            assert_eq!(m.shard_of(k), (k % 8) as usize);
+        }
+        // Entries really live in their owning shard and nowhere else.
+        for fp in 1..=100u64 {
+            let k = fp.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let own = m.shard_of(k);
+            for (i, shard) in m.shards_mut().iter().enumerate() {
+                assert_eq!(shard.contains(k), i == own, "fp {k:#x} shard {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_global_cap_spans_shards() {
+        let mut m: ShardedFpMap<()> = ShardedFpMap::new(4);
+        for fp in 1..=5u64 {
+            assert_eq!(m.try_insert_with(fp, Cap::At(5), || ()), TryInsert::Inserted);
+        }
+        // The 6th insert refuses even though its own shard holds only one
+        // or two entries: the cap is global.
+        assert_eq!(m.try_insert_with(6, Cap::At(5), || ()), TryInsert::Full);
+        // Dedup still beats the cap.
+        assert_eq!(m.try_insert_with(3, Cap::At(5), || ()), TryInsert::Present);
+        assert_eq!(m.len(), 5);
+    }
+
+    #[test]
+    fn shards_mut_plus_refresh_len_round_trips() {
+        let mut m: ShardedFpMap<u8> = ShardedFpMap::new(4);
+        let n = m.shard_count() as u64;
+        for fp in 1..=10u64 {
+            let shard = (fp % n) as usize;
+            m.shards_mut()[shard].try_insert_with(fp, Cap::Unbounded, || 0);
+        }
+        m.refresh_len();
+        assert_eq!(m.len(), 10);
+        for fp in 1..=10u64 {
+            assert!(m.contains(fp));
+        }
+    }
+
+    #[test]
+    fn sharded_iteration_matches_flat_iteration() {
+        // The deterministic aggregate order: merging per-shard ordered
+        // iterators equals the flat table's ordered iteration on the same
+        // key set (the property the det_prop! sweep in tests/determinism.rs
+        // randomizes).
+        let keys: Vec<u64> = (1..=64u64)
+            .map(|i| i.wrapping_mul(0x2545_F491_4F6C_DD1D))
+            .collect();
+        let mut flat: FpMap<u64> = FpMap::new();
+        let mut sharded: ShardedFpMap<u64> = ShardedFpMap::new(7);
+        for &k in &keys {
+            flat.try_insert_with(k, Cap::Unbounded, || k);
+            sharded.try_insert_with(k, Cap::Unbounded, || k);
+        }
+        let a: Vec<(u64, u64)> = flat.iter_ordered().map(|(k, &v)| (k, v)).collect();
+        let b: Vec<(u64, u64)> = sharded.iter_ordered().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].0 < w[1].0), "ascending, duplicate-free");
     }
 }

@@ -7,8 +7,8 @@
 //! expands a partition but never the merged byte stream. `DET_SEED` replays
 //! the property cases.
 
-use impossible_det::{det_assert, det_assert_eq, det_prop};
-use impossible_explore::{Grid, Search, SearchReport};
+use impossible_det::{det_assert, det_assert_eq, det_prop, DetRng};
+use impossible_explore::{Cap, FpMap, Grid, Search, SearchReport, ShardedFpMap};
 
 /// Debug strings are the byte-level comparison: every field, every witness
 /// state and action, formatted identically or not at all.
@@ -63,5 +63,68 @@ det_prop! {
         det_assert_eq!(sequential.0, parallel.0);
         det_assert_eq!(sequential.1, parallel.1);
         det_assert!(!sequential.0.is_empty(), "report must render");
+    }
+}
+
+#[test]
+fn cap_straddling_levels_are_worker_invariant_and_counted() {
+    // A cap that lands mid-level forces the sequential exact-cap insert
+    // path on the straddling level; everything before it runs worker-local.
+    // The report — including the new `cap_fallbacks` counter — must not
+    // depend on which path any particular worker count took.
+    let sys = Grid { n: 4, max: 4 };
+    let render = |workers: usize| {
+        let r = Search::new(&sys).max_states(301).workers(workers).explore();
+        assert_eq!(r.num_states, 301);
+        assert!(r.truncated());
+        assert!(r.stats.cap_fallbacks > 0, "the cap did bind somewhere");
+        strip_workers(&r)
+    };
+    let one = render(1);
+    assert_eq!(one, render(2));
+    assert_eq!(one, render(8));
+
+    // An uncapped run of the same space never falls back.
+    let free = Search::new(&sys).workers(8).explore();
+    assert_eq!(free.stats.cap_fallbacks, 0);
+}
+
+#[test]
+fn collision_audit_is_worker_invariant() {
+    // Audit mode forces the sequential insert path (it snapshots full
+    // states in insert order); the produced report must still be
+    // byte-identical to every other worker count's.
+    let sys = Grid { n: 3, max: 3 };
+    let render = |workers: usize| {
+        let r = Search::new(&sys)
+            .workers(workers)
+            .collision_audit(true)
+            .search(|s| s.iter().all(|&c| c == 3));
+        strip_workers(&r)
+    };
+    let one = render(1);
+    assert_eq!(one, render(2));
+    assert_eq!(one, render(8));
+}
+
+det_prop! {
+    fn sharded_iteration_equals_flat_iteration(cases = 24, seed in 0u64..u64::MAX, shards in 1usize..9, n in 0usize..400) {
+        // The deterministic aggregate order: a ShardedFpMap's merged
+        // iteration must equal a flat FpMap's ordered iteration on the same
+        // (random) fingerprint set, for any shard count.
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut flat: FpMap<u64> = FpMap::new();
+        let mut sharded: ShardedFpMap<u64> = ShardedFpMap::new(shards * 8);
+        for i in 0..n {
+            // A narrow range on purpose: collisions exercise the dedup arm.
+            let fp = rng.bounded_u64(1 + n as u64 * 2);
+            flat.try_insert_with(fp, Cap::Unbounded, || i as u64);
+            sharded.try_insert_with(fp, Cap::Unbounded, || i as u64);
+        }
+        det_assert_eq!(flat.len(), sharded.len());
+        let a: Vec<(u64, u64)> = flat.iter_ordered().map(|(k, &v)| (k, v)).collect();
+        let b: Vec<(u64, u64)> = sharded.iter_ordered().map(|(k, &v)| (k, v)).collect();
+        det_assert_eq!(a, b);
+        det_assert!(a.windows(2).all(|w| w[0].0 < w[1].0), "strictly ascending");
     }
 }

@@ -41,6 +41,29 @@ fn traces_are_byte_identical_for_1_2_8_workers() {
 }
 
 #[test]
+fn truncated_traces_are_byte_identical_for_1_2_8_workers() {
+    // A state cap that binds mid-level routes inserts through the
+    // sequential exact-cap path on the straddling level and the worker-local
+    // shard path everywhere else; the emitted trace (including the
+    // `truncate` event's position) must not reveal which was which.
+    let render = |workers: usize| {
+        let sys = Grid { n: 3, max: 4 };
+        let mut tracer = RingTracer::new(4096);
+        let r = Search::new(&sys)
+            .workers(workers)
+            .max_states(73)
+            .explore_traced(&mut tracer);
+        assert!(r.truncated());
+        assert_eq!(r.num_states, 73);
+        tracer.to_jsonl()
+    };
+    let one = render(1);
+    assert_eq!(one, render(2), "1 vs 2 workers");
+    assert_eq!(one, render(8), "1 vs 8 workers");
+    assert!(one.contains("\"kind\":\"truncate\""));
+}
+
+#[test]
 fn trace_event_kinds_are_pinned_for_a_small_search() {
     // The event schema is part of the contract: a search that finds its
     // witness at depth 4 on the 3x3 grid emits exactly this span sequence.

@@ -23,7 +23,7 @@
 //! With [`NoopTracer`] the gate is a constant `false`, so the field vector
 //! is never built — the untraced path costs one predictable branch, which
 //! is what keeps the instrumented engines inside the committed
-//! `BENCH_3.json` noise band.
+//! `BENCH_5.json` noise band.
 //!
 //! The sequence stamp is **logical**: each sink numbers the events it
 //! accepts 0, 1, 2, …. No wall clock is read anywhere in this crate (the

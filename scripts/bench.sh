@@ -4,24 +4,53 @@
 # Runs the crates/bench harnesses (release, offline) and moves their JSON
 # outputs to the repo root, where they are committed:
 #
-#   BENCH_3.json — the search-subsystem speedup baseline (new fingerprint
-#                  engine vs the legacy explorer on a 117k-state grid; the
-#                  committed file must show >= 2x on the big instance).
+#   BENCH_5.json — the search-subsystem perf trajectory: fingerprint engine
+#                  vs the legacy explorer (must stay >= 2x on the 117k-state
+#                  grid), graph-vs-search ratio (cap 1.5x), and the
+#                  1/2/4/8-worker scaling curve over the sharded visited
+#                  set. BENCH_3.json stays committed as the pre-sharding
+#                  baseline.
 #
-# Usage: ./scripts/bench.sh [extra cargo-bench args...]
+# Usage:
+#   ./scripts/bench.sh                 regenerate BENCH_5.json (full samples)
+#   ./scripts/bench.sh --check         tier-1 smoke: 1 sample on a tiny grid
+#                                      via the explore_check harness; fails
+#                                      if the harness stops producing output;
+#                                      writes nothing to the repo root
+#   ./scripts/bench.sh [args...]       extra args forwarded to cargo bench
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== bench: explore (writes BENCH_3.json) =="
+if [ "${1:-}" = "--check" ]; then
+    echo "== bench --check: explore_check smoke (1 sample, tiny grid) =="
+    rm -f crates/bench/BENCH_check.json
+    cargo bench -q --offline -p impossible-bench --bench explore_check
+    if [ ! -f crates/bench/BENCH_check.json ]; then
+        echo "error: explore_check produced no crates/bench/BENCH_check.json;" >&2
+        echo "       the bench harness is silently broken" >&2
+        exit 1
+    fi
+    if ! grep -q '"name":"check/search_grid_4x4_625_w2"' crates/bench/BENCH_check.json; then
+        echo "error: BENCH_check.json is missing expected cases:" >&2
+        cat crates/bench/BENCH_check.json >&2
+        exit 1
+    fi
+    rm -f crates/bench/BENCH_check.json
+    echo "bench --check: OK"
+    exit 0
+fi
+
+echo "== bench: explore (writes BENCH_5.json) =="
 cargo bench -q --offline -p impossible-bench --bench explore -- "$@"
 
 # Bench binaries write BENCH_<suite>.json into the package directory. If the
 # bench produced nothing (filtered out, harness bug), fail loudly rather than
 # silently re-reporting the stale committed baseline as if it were fresh.
-if [ ! -f crates/bench/BENCH_3.json ]; then
-    echo "error: bench run produced no crates/bench/BENCH_3.json;" >&2
-    echo "       refusing to report the stale committed BENCH_3.json as fresh" >&2
+if [ ! -f crates/bench/BENCH_5.json ]; then
+    echo "error: bench run produced no crates/bench/BENCH_5.json;" >&2
+    echo "       refusing to report the stale committed BENCH_5.json as fresh" >&2
     exit 1
 fi
-mv crates/bench/BENCH_3.json BENCH_3.json
-echo "baseline: $(cat BENCH_3.json)"
+mv crates/bench/BENCH_5.json BENCH_5.json
+echo "machine: nproc=$(nproc) (scaling curve is machine-limited below the worker count)"
+echo "baseline: $(cat BENCH_5.json)"

@@ -20,4 +20,7 @@ cargo test -q --offline --workspace
 echo "== docs (no warnings allowed) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
+echo "== bench harness smoke (1 sample, tiny grid) =="
+./scripts/bench.sh --check
+
 echo "verify: OK"
