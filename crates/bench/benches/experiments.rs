@@ -372,6 +372,16 @@ fn bench_e21_dls(s: &mut BenchSuite) {
     }
 }
 
+/// E22 — the temporal checker mechanizing the quorum-vote FLP lasso.
+fn bench_e22_quorum_lasso(s: &mut BenchSuite) {
+    use impossible_consensus::quorum::exhibit_flp_lasso;
+    s.case("e22_quorum_lasso/n3_crash0", SAMPLES, || {
+        let r = exhibit_flp_lasso(black_box(3), 0, 400_000);
+        assert!(!r.holds);
+        black_box(r);
+    });
+}
+
 fn main() {
     // `cargo bench` passes flags like `--bench`; positional args filter
     // groups by substring (e.g. `cargo bench --bench experiments -- e7`).
@@ -405,6 +415,7 @@ fn main() {
         ("e19_anon_compute", bench_e19_anon_compute),
         ("e20_drift", bench_e20_drift),
         ("e21_dls", bench_e21_dls),
+        ("e22_quorum_lasso", bench_e22_quorum_lasso),
     ];
     let mut suite = BenchSuite::new("experiments");
     for (name, group) in groups {

@@ -36,6 +36,21 @@ fn main() {
         let g = Search::new(black_box(&tiny)).graph();
         assert_eq!(g.len(), 625);
     });
+    // Property layer: one safety (holds) and one liveness (lasso) verdict
+    // over the same graph, so the Tarjan + lasso path stays wired into
+    // tier-1.
+    suite.case("check/property_grid_4x4_625", 1, || {
+        use impossible_explore::property::{always, eventually};
+        let s = Search::new(black_box(&tiny));
+        let safe = s.check_property(&always("in-range", |st: &Vec<u8>| {
+            st.iter().all(|&c| c <= 4)
+        }));
+        assert!(safe.holds);
+        let live = s.check_property(&eventually("escapes", |st: &Vec<u8>| {
+            st.iter().any(|&c| c > 4)
+        }));
+        assert!(!live.holds);
+    });
 
     suite.finish().expect("write BENCH_check.json");
 }

@@ -21,8 +21,9 @@
 use impossible_core::ids::ProcessId;
 use impossible_core::system::{DecisionSystem, System};
 use impossible_core::valence::ValenceReport;
+use impossible_explore::property::{eventually, Checker, Counterexample};
 use impossible_explore::{Encode, FpHasher, Search};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::BTreeMap;
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -205,6 +206,15 @@ pub struct NonTermination<S> {
 }
 
 /// Search for a [`NonTermination`] witness with a single crashed process.
+///
+/// This is one instantiation of the temporal-property layer
+/// (`explore::property`): build the reachable graph with the failed
+/// process's actions dropped (it crashes at time zero), then check
+/// `eventually(every live process decides)` under FLP's admissibility —
+/// loop states must leave no message to a live process pending (else the
+/// loop starves a delivery), and the cycle must contain a step of every
+/// live process (weak fairness, one class per live process). A violating
+/// lasso *is* the admissible non-deciding run.
 pub fn find_nontermination<C: AsyncCandidate>(
     sys: &FlpSystem<'_, C>,
     failed: usize,
@@ -214,80 +224,34 @@ where
     C::Local: Encode,
     C::M: Encode,
 {
-    // Reachable graph avoiding actions of the failed process entirely
-    // (it crashes at time zero).
     let n = sys.candidate.n();
     let g = Search::new(sys)
         .max_states(max_states)
         .graph_filtered(|a| sys.owner(a) != Some(ProcessId(failed)));
-    let (order, succ) = (g.order, g.succ);
-
-    // Eligible loop states: some live process undecided, and no pending
-    // message addressed to a live process (else the loop would starve a
-    // delivery and be inadmissible).
     let live: Vec<usize> = (0..n).filter(|&p| p != failed).collect();
-    let eligible: Vec<bool> = order
-        .iter()
-        .map(|s| {
-            let undecided = live
-                .iter()
-                .any(|&p| sys.candidate.decision(&s.locals[p]).is_none());
-            let clean = s.pending.iter().all(|(_, to, _)| *to == failed);
-            undecided && clean
+    let class: BTreeMap<usize, usize> = live.iter().enumerate().map(|(k, &p)| (p, k)).collect();
+
+    let prop = eventually("live-processes-decide", |s: &FlpState<C::Local, C::M>| {
+        live.iter()
+            .all(|&p| sys.candidate.decision(&s.locals[p]).is_some())
+    });
+    let report = Checker::new(&g)
+        .admissible(|s: &FlpState<C::Local, C::M>| {
+            s.pending.iter().all(|(_, to, _)| *to == failed)
         })
-        .collect();
+        .fairness(live.len(), |a: &FlpAction| {
+            sys.owner(a).and_then(|p| class.get(&p.index()).copied())
+        })
+        .check(&prop);
 
-    let bit: BTreeMap<usize, u32> = live.iter().enumerate().map(|(k, &p)| (p, 1 << k)).collect();
-    let full: u32 = (1 << live.len()) - 1;
-
-    for (h, ok) in eligible.iter().enumerate() {
-        if !ok {
-            continue;
-        }
-        let mut parent: BTreeMap<(usize, u32), (usize, u32, FlpAction)> = BTreeMap::new();
-        let mut seen: BTreeSet<(usize, u32)> = BTreeSet::new();
-        let mut q: VecDeque<(usize, u32)> = VecDeque::new();
-        seen.insert((h, 0));
-        q.push_back((h, 0));
-        let mut goal = None;
-        'bfs: while let Some((s, mask)) = q.pop_front() {
-            for (a, t) in &succ[s] {
-                if !eligible[*t] {
-                    continue;
-                }
-                let owner = match sys.owner(a) {
-                    Some(p) => p.index(),
-                    None => continue,
-                };
-                let nmask = mask | bit[&owner];
-                let node = (*t, nmask);
-                if seen.insert(node) {
-                    parent.insert(node, (s, mask, a.clone()));
-                    if *t == h && nmask == full {
-                        goal = Some(node);
-                        break 'bfs;
-                    }
-                    q.push_back(node);
-                }
-            }
-        }
-        if let Some(g) = goal {
-            let mut cycle = Vec::new();
-            let mut cur = g;
-            while cur != (h, 0) {
-                let (ps, pm, a) = parent[&cur].clone();
-                cycle.push(a);
-                cur = (ps, pm);
-            }
-            cycle.reverse();
-            return Some(NonTermination {
-                failed,
-                head: order[h].clone(),
-                cycle,
-            });
-        }
+    match report.counterexample {
+        Some(Counterexample::Lasso(l)) => Some(NonTermination {
+            failed,
+            head: l.stem.last().clone(),
+            cycle: l.cycle.into_iter().map(|(a, _)| a).collect(),
+        }),
+        _ => None,
     }
-    None
 }
 
 /// The verdict of the FLP dilemma on a candidate.

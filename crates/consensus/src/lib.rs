@@ -11,6 +11,7 @@
 //! | [`scenario3t`] | — | the `n ≤ 3t` refuter: compose any candidate into the FLM hexagon |
 //! | [`round_lb`] | — | the `t+1`-round chain adversary \[56\]: defeats 1-round 1-resilient candidates with an explicit execution chain |
 //! | [`flp`] | — | async candidates as transition systems for the bivalence engine \[55\]: deciding early breaks agreement, waiting breaks 1-resilient termination |
+//! | [`quorum`] | majority-quorum vote with commit certificates: agreement and validity by quorum intersection | the mechanized FLP lasso \[55\]: crash one voter and the temporal-property checker exhibits the admissible non-deciding cycle |
 //! | [`benor`] | Ben-Or's randomized consensus \[19\]: terminates w.p. 1 despite FLP | — |
 //! | [`approx`] | synchronous approximate agreement \[36\]: convergence `(t/n)^k` per `k` rounds | the `(t/(nk))^k` lower-bound curve |
 //! | [`commit`] | two-phase commit with message accounting (Dwork–Skeen `2n−2` \[48\]) | coordinator-crash blocking demonstration |
@@ -29,5 +30,6 @@ pub mod eig;
 pub mod firing_squad;
 pub mod floodset;
 pub mod flp;
+pub mod quorum;
 pub mod round_lb;
 pub mod scenario3t;

@@ -43,6 +43,9 @@ pub struct ReachableGraph<S, A> {
     pub order: Vec<S>,
     /// Successor lists, indices into `order`.
     pub succ: Vec<Vec<(A, usize)>>,
+    /// Number of (distinct, canonical) initial states: `order[..initials]`.
+    /// The property checker's stem searches start here.
+    pub initials: usize,
     /// The bound that tripped, if any (only `States` is possible here).
     pub truncated_by: Option<Truncation>,
 }
@@ -56,6 +59,11 @@ impl<S, A> ReachableGraph<S, A> {
     /// Number of states.
     pub fn len(&self) -> usize {
         self.order.len()
+    }
+
+    /// Number of edges (sum of successor-list lengths).
+    pub fn num_edges(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
     }
 
     /// True when no state was reached (no initial states).
@@ -149,6 +157,7 @@ where
             let j = order.len();
             intern_new!(fp, sc, j);
         }
+        let initials = order.len();
 
         // FIFO discovery: indices are assigned in push order, so the queue
         // is just a cursor over `order` — identical traversal to the old
@@ -190,6 +199,7 @@ where
         ReachableGraph {
             order,
             succ,
+            initials,
             truncated_by,
         }
     }

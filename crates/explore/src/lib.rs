@@ -28,6 +28,12 @@
 //! * [`graph`] — the exact fingerprint-accelerated reachable-graph builder
 //!   feeding `ValenceEngine::analyze_from_graph` and the product-space
 //!   engines;
+//! * [`property`] — the temporal-property layer over that graph:
+//!   [`always`](property::always) / [`never`](property::never) safety
+//!   checks as reachability, [`eventually`](property::eventually) /
+//!   [`leads_to`](property::leads_to) liveness checks as deterministic
+//!   Tarjan SCC lasso detection, with admissibility and fairness
+//!   constraints on the repeatable cycle;
 //! * [`grid`] — a tunable synthetic system for benchmarks and the
 //!   cross-engine equivalence suite.
 //!
@@ -41,6 +47,7 @@ pub mod fingerprint;
 pub mod graph;
 pub mod grid;
 pub mod pool;
+pub mod property;
 pub mod search;
 pub mod stats;
 pub mod table;
@@ -49,6 +56,7 @@ pub use fingerprint::{Encode, EncodeScratch, Fingerprint, FpHasher};
 pub use graph::ReachableGraph;
 pub use grid::Grid;
 pub use pool::WorkerPool;
+pub use property::{Checker, Counterexample, Lasso, Property, PropertyReport};
 pub use search::{Search, SearchReport, DEFAULT_PARTITIONS, DEFAULT_SEED};
 pub use stats::SearchStats;
 pub use table::{Cap, FpMap, ShardedFpMap};

@@ -1,0 +1,1058 @@
+//! Temporal property checking over the exact reachable graph: safety as
+//! reachability, liveness as deterministic SCC lasso detection.
+//!
+//! Lynch's survey states most impossibility results temporally: a safety
+//! violation is a *bad reachable configuration*, while FLP non-termination
+//! \[55\] is a fact about **infinite admissible executions** — no finite
+//! prefix refutes termination; the witness is a *lasso*, a finite stem
+//! reaching a cycle the adversary can repeat forever. This module makes
+//! both kinds of claim first-class over [`ReachableGraph`]:
+//!
+//! * [`always`]`(p)` / [`never()`]`(p)` — safety. Reduces to reachability of
+//!   a violating state; the witness is the shortest execution to it
+//!   (graph indices are BFS discovery order, so index order *is* depth
+//!   order).
+//! * [`eventually`]`(p)` / [`leads_to`]`(p, q)` — liveness. A violation is
+//!   an infinite run avoiding the goal, i.e. a reachable cycle inside the
+//!   goal-avoiding region. The checker runs an **iterative Tarjan SCC
+//!   decomposition restricted to that region, visiting vertices in fixed
+//!   graph-index order**, so the decomposition — and hence the verdict,
+//!   the chosen lasso head, and every witness byte — is a pure function of
+//!   the graph, never of worker count or timing.
+//!
+//! [`Checker`] adds the survey's admissibility discipline: an
+//! `admissible` state filter restricts which states may repeat forever
+//! (FLP: no message to a live process may stay pending around the loop),
+//! and `fairness` classes require the cycle to contain an action of every
+//! class (FLP: every live process keeps stepping). `consensus::flp`'s
+//! non-termination engine is one instantiation of exactly this pair.
+//!
+//! # Example: one safety check and one liveness check
+//!
+//! ```
+//! use impossible_core::system::System;
+//! use impossible_explore::{Encode, FpHasher, Search};
+//! use impossible_explore::property::{always, eventually, Counterexample};
+//!
+//! /// A wrapping counter: 0 → 1 → 2 → 0 → … (a 3-cycle, never terminates).
+//! struct Wrap;
+//! #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+//! struct W(u64);
+//! impl Encode for W {
+//!     fn encode(&self, h: &mut FpHasher) { self.0.encode(h); }
+//! }
+//! impl System for Wrap {
+//!     type State = W;
+//!     type Action = u64;
+//!     fn initial_states(&self) -> Vec<W> { vec![W(0)] }
+//!     fn enabled(&self, _: &W) -> Vec<u64> { vec![0] }
+//!     fn step(&self, s: &W, _: &u64) -> W { W((s.0 + 1) % 3) }
+//! }
+//!
+//! // Safety: the counter stays in range — no bad state is reachable.
+//! let safe = Search::new(&Wrap).check_property(&always("in-range", |s: &W| s.0 <= 2));
+//! assert!(safe.holds);
+//!
+//! // Liveness: "eventually the counter hits 3" fails — the wrap cycle is
+//! // an infinite run avoiding 3. The counterexample is a lasso.
+//! let live = Search::new(&Wrap).check_property(&eventually("reaches-3", |s: &W| s.0 == 3));
+//! assert!(!live.holds);
+//! match live.counterexample {
+//!     Some(Counterexample::Lasso(l)) => {
+//!         assert_eq!(l.stem.last(), &W(0)); // loop head
+//!         assert_eq!(l.cycle.len(), 3);     // 0 → 1 → 2 → 0
+//!     }
+//!     other => panic!("expected a lasso, got {other:?}"),
+//! }
+//! ```
+//!
+//! Verdicts are advisory when the graph was truncated by `max_states`
+//! ([`PropertyReport::truncated`]): "holds" then means "no counterexample
+//! within the explored prefix". See `docs/PROPERTIES.md` for the DSL
+//! semantics, the witness JSON format, and the determinism contract.
+
+use crate::fingerprint::Encode;
+use crate::graph::ReachableGraph;
+use crate::search::Search;
+use impossible_core::exec::Execution;
+use impossible_core::system::System;
+use impossible_obs::{trace_event, NoopTracer, Tracer};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt::Debug;
+
+type Pred<'p, S> = Box<dyn Fn(&S) -> bool + 'p>;
+
+enum PropKind<'p, S> {
+    Always(Pred<'p, S>),
+    Never(Pred<'p, S>),
+    Eventually(Pred<'p, S>),
+    LeadsTo(Pred<'p, S>, Pred<'p, S>),
+}
+
+/// A temporal property over states, built by [`always`], [`never()`],
+/// [`eventually`] or [`leads_to`].
+pub struct Property<'p, S> {
+    name: String,
+    kind: PropKind<'p, S>,
+}
+
+impl<'p, S> Property<'p, S> {
+    /// The name given at construction (stamped into reports and traces).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The connective: `"always"`, `"never"`, `"eventually"` or `"leads-to"`.
+    pub fn kind_name(&self) -> &'static str {
+        match self.kind {
+            PropKind::Always(_) => "always",
+            PropKind::Never(_) => "never",
+            PropKind::Eventually(_) => "eventually",
+            PropKind::LeadsTo(_, _) => "leads-to",
+        }
+    }
+}
+
+/// `□p` — `p` holds in every reachable state (safety).
+pub fn always<'p, S>(name: &str, p: impl Fn(&S) -> bool + 'p) -> Property<'p, S> {
+    Property {
+        name: name.to_string(),
+        kind: PropKind::Always(Box::new(p)),
+    }
+}
+
+/// `□¬p` — no reachable state satisfies `p` (safety).
+pub fn never<'p, S>(name: &str, p: impl Fn(&S) -> bool + 'p) -> Property<'p, S> {
+    Property {
+        name: name.to_string(),
+        kind: PropKind::Never(Box::new(p)),
+    }
+}
+
+/// `◇p` — every (fair, admissible) run satisfies `p` at some point
+/// (liveness). A violation is a lasso that never enters `p`.
+pub fn eventually<'p, S>(name: &str, p: impl Fn(&S) -> bool + 'p) -> Property<'p, S> {
+    Property {
+        name: name.to_string(),
+        kind: PropKind::Eventually(Box::new(p)),
+    }
+}
+
+/// `□(p → ◇q)` — whenever `p` holds, `q` follows (liveness). A violation
+/// is a run reaching a `p`-state from which a lasso avoids `q` forever.
+pub fn leads_to<'p, S>(
+    name: &str,
+    p: impl Fn(&S) -> bool + 'p,
+    q: impl Fn(&S) -> bool + 'p,
+) -> Property<'p, S> {
+    Property {
+        name: name.to_string(),
+        kind: PropKind::LeadsTo(Box::new(p), Box::new(q)),
+    }
+}
+
+/// A liveness counterexample: a finite stem from an initial state to a
+/// loop head, plus a cycle the adversary can repeat forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lasso<S, A> {
+    /// Initial state to the loop head (the stem's last state).
+    pub stem: Execution<S, A>,
+    /// Steps around the cycle; the last state equals the loop head. Empty
+    /// means the head is terminal and the run stutters there forever.
+    pub cycle: Vec<(A, S)>,
+    /// For `leads_to(p, q)`: index into `stem.states()` of the triggering
+    /// `p`-state that `q` never answers. `None` for `eventually`.
+    pub pivot: Option<usize>,
+}
+
+/// Why a property failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Counterexample<S, A> {
+    /// Safety: the shortest execution reaching a violating state.
+    BadState(Execution<S, A>),
+    /// Liveness: a stem plus a repeatable cycle avoiding the goal.
+    Lasso(Lasso<S, A>),
+}
+
+/// The outcome of one property check, with a deterministic JSON rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyReport<S, A> {
+    /// The property's name.
+    pub name: String,
+    /// The connective checked (`"always"`, …, `"leads-to"`).
+    pub kind: &'static str,
+    /// Verdict. Advisory if [`truncated`](PropertyReport::truncated).
+    pub holds: bool,
+    /// States in the checked graph.
+    pub states: usize,
+    /// Edges in the checked graph.
+    pub edges: usize,
+    /// Safety: states violating the predicate. Liveness: cycle-eligible
+    /// states (goal-avoiding ∧ admissible) the SCC pass ran over.
+    pub region: usize,
+    /// SCCs of the cycle-eligible region (0 for safety checks).
+    pub sccs: usize,
+    /// Region SCCs that can sustain a violating run: cycle-capable and
+    /// covering every fairness class (0 for safety checks).
+    pub candidate_sccs: usize,
+    /// The graph hit `max_states`; absence of a counterexample is then
+    /// only "none within bounds".
+    pub truncated: bool,
+    /// Present exactly when `holds` is false.
+    pub counterexample: Option<Counterexample<S, A>>,
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_debug_list<T: Debug>(out: &mut String, items: impl Iterator<Item = T>) {
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, &format!("{item:?}"));
+    }
+    out.push(']');
+}
+
+impl<S: Clone + Debug, A: Clone + Debug> PropertyReport<S, A> {
+    /// Deterministic single-line JSON: fixed key order, no whitespace
+    /// variation; states and actions rendered through `Debug` and escaped.
+    /// Equal reports encode to equal bytes (the worker-invariance tests
+    /// compare exactly these strings).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"name\":");
+        push_json_str(&mut out, &self.name);
+        out.push_str(&format!(
+            ",\"kind\":\"{}\",\"holds\":{},\"states\":{},\"edges\":{},\"region\":{},\"sccs\":{},\"candidate_sccs\":{},\"truncated\":{},\"counterexample\":",
+            self.kind, self.holds, self.states, self.edges, self.region, self.sccs,
+            self.candidate_sccs, self.truncated,
+        ));
+        match &self.counterexample {
+            None => out.push_str("null"),
+            Some(Counterexample::BadState(e)) => {
+                out.push_str("{\"type\":\"bad-state\",\"states\":");
+                push_debug_list(&mut out, e.states().iter());
+                out.push_str(",\"actions\":");
+                push_debug_list(&mut out, e.actions().iter());
+                out.push('}');
+            }
+            Some(Counterexample::Lasso(l)) => {
+                out.push_str("{\"type\":\"lasso\",\"pivot\":");
+                match l.pivot {
+                    None => out.push_str("null"),
+                    Some(k) => out.push_str(&k.to_string()),
+                }
+                out.push_str(",\"stem_states\":");
+                push_debug_list(&mut out, l.stem.states().iter());
+                out.push_str(",\"stem_actions\":");
+                push_debug_list(&mut out, l.stem.actions().iter());
+                out.push_str(",\"cycle_actions\":");
+                push_debug_list(&mut out, l.cycle.iter().map(|(a, _)| a));
+                out.push_str(",\"cycle_states\":");
+                push_debug_list(&mut out, l.cycle.iter().map(|(_, s)| s));
+                out.push('}');
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+const NO_SCC: u32 = u32::MAX;
+
+struct SccDecomposition {
+    /// SCC id per vertex; `NO_SCC` for vertices outside the region.
+    id: Vec<u32>,
+    /// Number of SCCs found in the region.
+    count: usize,
+    /// Per SCC: can it sustain a cycle (size ≥ 2, or a self-loop)?
+    cyclic: Vec<bool>,
+}
+
+/// Evaluates [`Property`]s over a [`ReachableGraph`], with optional
+/// admissibility and fairness constraints on liveness cycles.
+///
+/// Everything the checker computes — SCC decomposition, lasso head
+/// choice, stem and cycle — visits vertices in **graph index order** and
+/// neighbors in successor-list order, both of which the graph builder
+/// fixes independently of worker count. Verdicts and witnesses are
+/// therefore byte-identical for any `Search::workers` value.
+pub struct Checker<'a, S, A> {
+    g: &'a ReachableGraph<S, A>,
+    admissible: Option<Box<dyn Fn(&S) -> bool + 'a>>,
+    classes: usize,
+    class_of: Option<Box<dyn Fn(&A) -> Option<usize> + 'a>>,
+}
+
+impl<'a, S, A> Checker<'a, S, A>
+where
+    S: Clone + Debug,
+    A: Clone + Debug,
+{
+    /// A checker over `g` with no admissibility or fairness constraints.
+    pub fn new(g: &'a ReachableGraph<S, A>) -> Self {
+        Checker {
+            g,
+            admissible: None,
+            classes: 0,
+            class_of: None,
+        }
+    }
+
+    /// Restrict which states may repeat forever: liveness cycles (and
+    /// lasso heads) must satisfy `f`. The stem is unrestricted — only the
+    /// infinitely-repeated part must stay admissible. FLP's "no message to
+    /// a live process stays pending" goes here.
+    pub fn admissible(mut self, f: impl Fn(&S) -> bool + 'a) -> Self {
+        self.admissible = Some(Box::new(f));
+        self
+    }
+
+    /// Require liveness cycles to contain an action of every class
+    /// `0..classes` (weak fairness; FLP's "every live process keeps
+    /// stepping" assigns each live process a class). `class_of` maps an
+    /// action to its class, or `None` for unclassified actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes > 32` (class coverage is tracked in a `u32`
+    /// mask; the workspace's instances have at most a handful of
+    /// processes).
+    pub fn fairness(
+        mut self,
+        classes: usize,
+        class_of: impl Fn(&A) -> Option<usize> + 'a,
+    ) -> Self {
+        assert!(classes <= 32, "at most 32 fairness classes");
+        self.classes = classes;
+        self.class_of = Some(Box::new(class_of));
+        self
+    }
+
+    /// Check `prop`, untraced.
+    pub fn check(&self, prop: &Property<'_, S>) -> PropertyReport<S, A> {
+        self.check_traced(prop, &mut NoopTracer)
+    }
+
+    /// Check `prop`, emitting `scope: "property"` events (see
+    /// `docs/PROPERTIES.md` for the vocabulary).
+    pub fn check_traced(
+        &self,
+        prop: &Property<'_, S>,
+        tracer: &mut dyn Tracer,
+    ) -> PropertyReport<S, A> {
+        trace_event!(tracer, "property", "check.start",
+            "name": prop.name.as_str(),
+            "property": prop.kind_name(),
+            "states": self.g.len(),
+            "edges": self.g.num_edges(),
+            "truncated": self.g.truncated());
+        let report = match &prop.kind {
+            PropKind::Always(p) => self.safety(prop, |s| !p(s)),
+            PropKind::Never(p) => self.safety(prop, |s| p(s)),
+            PropKind::Eventually(p) => self.liveness(prop, |s| !p(s), None, tracer),
+            PropKind::LeadsTo(p, q) => self.liveness(prop, |s| !q(s), Some(p), tracer),
+        };
+        let (ce, stem, cycle) = match &report.counterexample {
+            None => ("none", 0usize, 0usize),
+            Some(Counterexample::BadState(e)) => ("bad-state", e.len(), 0),
+            Some(Counterexample::Lasso(l)) => ("lasso", l.stem.len(), l.cycle.len()),
+        };
+        trace_event!(tracer, "property", "verdict",
+            "name": prop.name.as_str(),
+            "holds": report.holds,
+            "counterexample": ce,
+            "stem": stem,
+            "cycle": cycle);
+        report
+    }
+
+    fn report_shell(&self, prop: &Property<'_, S>) -> PropertyReport<S, A> {
+        PropertyReport {
+            name: prop.name.clone(),
+            kind: prop.kind_name(),
+            holds: true,
+            states: self.g.len(),
+            edges: self.g.num_edges(),
+            region: 0,
+            sccs: 0,
+            candidate_sccs: 0,
+            truncated: self.g.truncated(),
+            counterexample: None,
+        }
+    }
+
+    // ---- safety: reachability of a violating state --------------------
+
+    fn safety(
+        &self,
+        prop: &Property<'_, S>,
+        violates: impl Fn(&S) -> bool,
+    ) -> PropertyReport<S, A> {
+        let bad: Vec<bool> = self.g.order.iter().map(|s| violates(s)).collect();
+        let mut report = self.report_shell(prop);
+        report.region = bad.iter().filter(|&&b| b).count();
+        // Graph indices are BFS discovery order, so the first violating
+        // index sits at minimal depth; the BFS below recovers the
+        // (shortest) path to it.
+        if let Some(target) = bad.iter().position(|&b| b) {
+            let (path, actions) = self
+                .bfs_to(&self.initial_indices(), &|_| true, &|i| i == target)
+                .expect("every graph state is reachable from the initials");
+            report.holds = false;
+            report.counterexample = Some(Counterexample::BadState(self.execution_of(path, actions)));
+        }
+        report
+    }
+
+    // ---- liveness: SCC lasso detection --------------------------------
+
+    /// `in_region` is goal-avoidance (`¬p` for `eventually(p)`, `¬q` for
+    /// `leads_to(p, q)`); `trigger` is `leads_to`'s `p`.
+    fn liveness(
+        &self,
+        prop: &Property<'_, S>,
+        in_region: impl Fn(&S) -> bool,
+        trigger: Option<&Pred<'_, S>>,
+        tracer: &mut dyn Tracer,
+    ) -> PropertyReport<S, A> {
+        let n = self.g.len();
+        let region: Vec<bool> = self.g.order.iter().map(|s| in_region(s)).collect();
+        let cyc_ok: Vec<bool> = match &self.admissible {
+            None => region.clone(),
+            Some(f) => self
+                .g
+                .order
+                .iter()
+                .zip(&region)
+                .map(|(s, &r)| r && f(s))
+                .collect(),
+        };
+
+        let scc = self.tarjan(&cyc_ok);
+        let full: u32 = if self.classes > 0 {
+            (1u32 << self.classes) - 1
+        } else {
+            0
+        };
+        // Per SCC, the fairness classes its *internal* edges cover.
+        let mut cover: Vec<u32> = vec![0; scc.count];
+        for v in 0..n {
+            if !cyc_ok[v] {
+                continue;
+            }
+            for (a, t) in &self.g.succ[v] {
+                if cyc_ok[*t] && scc.id[*t] == scc.id[v] {
+                    cover[scc.id[v] as usize] |= self.class_bit(a);
+                }
+            }
+        }
+        let candidate_scc: Vec<bool> = (0..scc.count)
+            .map(|c| scc.cyclic[c] && cover[c] == full)
+            .collect();
+        // A terminal state stutters forever (an implicit self-loop). That
+        // sustains a violation only when no fairness class demands real
+        // steps around the loop.
+        let stutter_ok = self.classes == 0;
+        let is_candidate = |i: usize| {
+            cyc_ok[i]
+                && ((scc.id[i] != NO_SCC && candidate_scc[scc.id[i] as usize])
+                    || (stutter_ok && self.g.succ[i].is_empty()))
+        };
+
+        let mut report = self.report_shell(prop);
+        report.region = cyc_ok.iter().filter(|&&b| b).count();
+        report.sccs = scc.count;
+        report.candidate_sccs = candidate_scc.iter().filter(|&&b| b).count();
+        trace_event!(tracer, "property", "scc",
+            "region": report.region,
+            "sccs": report.sccs,
+            "candidates": report.candidate_sccs);
+
+        let lasso = match trigger {
+            // eventually(p): the whole violating run avoids p, so the stem
+            // must stay inside the region too.
+            None => self
+                .bfs_to(&self.initial_indices(), &|i| region[i], &is_candidate)
+                .map(|(path, actions)| (path, actions, None)),
+            // leads_to(p, q): the run may satisfy q freely before the
+            // trigger; only the suffix from the p-state avoids q. Find the
+            // earliest reachable p∧¬q state that can reach a candidate
+            // head inside ¬q, then bridge pivot → head inside ¬q.
+            Some(p) => {
+                let can_reach = self.reverse_reachable(&region, &is_candidate);
+                self.bfs_to(&self.initial_indices(), &|_| true, &|i| {
+                    region[i] && can_reach[i] && p(&self.g.order[i])
+                })
+                .map(|(path, actions)| {
+                    let pivot = *path.last().expect("paths are nonempty");
+                    let (tail, tail_actions) = self
+                        .bfs_to(&[pivot], &|i| region[i], &is_candidate)
+                        .expect("reverse reachability admitted this pivot");
+                    let pivot_at = path.len() - 1;
+                    let mut path = path;
+                    let mut actions = actions;
+                    path.extend_from_slice(&tail[1..]);
+                    actions.extend(tail_actions);
+                    (path, actions, Some(pivot_at))
+                })
+            }
+        };
+
+        if let Some((path, actions, pivot)) = lasso {
+            let head = *path.last().expect("paths are nonempty");
+            let cycle = if self.g.succ[head].is_empty() {
+                Vec::new()
+            } else {
+                self.fair_cycle(head, &cyc_ok, &scc.id, full)
+            };
+            report.holds = false;
+            report.counterexample = Some(Counterexample::Lasso(Lasso {
+                stem: self.execution_of(path, actions),
+                cycle,
+                pivot,
+            }));
+        }
+        report
+    }
+
+    fn class_bit(&self, a: &A) -> u32 {
+        match (&self.class_of, self.classes) {
+            (Some(f), c) if c > 0 => match f(a) {
+                Some(k) if k < c => 1 << k,
+                _ => 0,
+            },
+            _ => 0,
+        }
+    }
+
+    fn initial_indices(&self) -> Vec<usize> {
+        (0..self.g.initials).collect()
+    }
+
+    fn execution_of(&self, path: Vec<usize>, actions: Vec<A>) -> Execution<S, A> {
+        Execution::from_parts(
+            path.iter().map(|&i| self.g.order[i].clone()).collect(),
+            actions,
+        )
+    }
+
+    /// Deterministic FIFO BFS from `starts` (in order) over `allowed`
+    /// states; returns the index path and actions to the first `goal`
+    /// state dequeued — the nearest one, ties broken by discovery order.
+    fn bfs_to(
+        &self,
+        starts: &[usize],
+        allowed: &dyn Fn(usize) -> bool,
+        goal: &dyn Fn(usize) -> bool,
+    ) -> Option<(Vec<usize>, Vec<A>)> {
+        let n = self.g.len();
+        let mut seen = vec![false; n];
+        // parent[v] = (previous state, edge index into succ[previous]).
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; n];
+        let mut q: VecDeque<usize> = VecDeque::new();
+        for &s in starts {
+            if allowed(s) && !seen[s] {
+                seen[s] = true;
+                q.push_back(s);
+            }
+        }
+        while let Some(v) = q.pop_front() {
+            if goal(v) {
+                let mut path = vec![v];
+                let mut actions = Vec::new();
+                let mut cur = v;
+                while let Some((pv, ei)) = parent[cur] {
+                    actions.push(self.g.succ[pv][ei].0.clone());
+                    path.push(pv);
+                    cur = pv;
+                }
+                path.reverse();
+                actions.reverse();
+                return Some((path, actions));
+            }
+            for (ei, (_, t)) in self.g.succ[v].iter().enumerate() {
+                if allowed(*t) && !seen[*t] {
+                    seen[*t] = true;
+                    parent[*t] = Some((v, ei));
+                    q.push_back(*t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Which `allowed` states can reach a `goal` state through `allowed`
+    /// states (multi-source reverse BFS; pure membership, order-free).
+    fn reverse_reachable(
+        &self,
+        allowed: &[bool],
+        goal: &dyn Fn(usize) -> bool,
+    ) -> Vec<bool> {
+        let n = self.g.len();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for v in 0..n {
+            if !allowed[v] {
+                continue;
+            }
+            for (_, t) in &self.g.succ[v] {
+                if allowed[*t] {
+                    rev[*t].push(v);
+                }
+            }
+        }
+        let mut can = vec![false; n];
+        let mut q: VecDeque<usize> = VecDeque::new();
+        for v in 0..n {
+            if allowed[v] && goal(v) {
+                can[v] = true;
+                q.push_back(v);
+            }
+        }
+        while let Some(v) = q.pop_front() {
+            for &u in &rev[v] {
+                if !can[u] {
+                    can[u] = true;
+                    q.push_back(u);
+                }
+            }
+        }
+        can
+    }
+
+    /// Iterative Tarjan over the subgraph induced by `keep`, visiting
+    /// roots in ascending index order and neighbors in successor-list
+    /// order — the decomposition (ids, count, cyclic flags) is a pure
+    /// function of the graph.
+    fn tarjan(&self, keep: &[bool]) -> SccDecomposition {
+        let n = keep.len();
+        let mut index = vec![NO_SCC; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut id = vec![NO_SCC; n];
+        let mut cyclic: Vec<bool> = Vec::new();
+        let mut count = 0usize;
+        let mut next_index = 0u32;
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+
+        for root in 0..n {
+            if !keep[root] || index[root] != NO_SCC {
+                continue;
+            }
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            frames.push((root, 0));
+            while let Some(&(v, ei)) = frames.last() {
+                if ei < self.g.succ[v].len() {
+                    frames.last_mut().expect("nonempty").1 += 1;
+                    let w = self.g.succ[v][ei].1;
+                    if !keep[w] {
+                        continue;
+                    }
+                    if index[w] == NO_SCC {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(u, _)) = frames.last() {
+                        low[u] = low[u].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let cid = count as u32;
+                        let mut size = 0usize;
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            id[w] = cid;
+                            size += 1;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        cyclic.push(size >= 2);
+                        count += 1;
+                    }
+                }
+            }
+        }
+        // Size-1 SCCs still cycle if they carry a self-loop.
+        for v in 0..n {
+            if !keep[v] || cyclic[id[v] as usize] {
+                continue;
+            }
+            if self.g.succ[v].iter().any(|(_, t)| *t == v && keep[*t]) {
+                cyclic[id[v] as usize] = true;
+            }
+        }
+        SccDecomposition { id, count, cyclic }
+    }
+
+    /// Shortest cycle through `head` inside its SCC containing an action
+    /// of every fairness class: BFS over `(state, classes-seen)` product
+    /// nodes, FIFO, neighbors in successor order — deterministic. The SCC
+    /// is strongly connected and (for candidates) its internal edges cover
+    /// every class, so the cycle exists.
+    fn fair_cycle(&self, head: usize, cyc_ok: &[bool], id: &[u32], full: u32) -> Vec<(A, S)> {
+        let cid = id[head];
+        let mut parent: BTreeMap<(usize, u32), (usize, u32, usize)> = BTreeMap::new();
+        let mut seen: BTreeSet<(usize, u32)> = BTreeSet::new();
+        let mut q: VecDeque<(usize, u32)> = VecDeque::new();
+        seen.insert((head, 0));
+        q.push_back((head, 0));
+        while let Some((v, mask)) = q.pop_front() {
+            for (ei, (a, t)) in self.g.succ[v].iter().enumerate() {
+                if !cyc_ok[*t] || id[*t] != cid {
+                    continue;
+                }
+                let nmask = mask | self.class_bit(a);
+                if *t == head && nmask == full {
+                    // Reconstruct: parent chain back to (head, 0), then
+                    // this closing edge.
+                    let mut edges: Vec<(usize, usize)> = vec![(v, ei)];
+                    let mut cur = (v, mask);
+                    while cur != (head, 0) {
+                        let (pv, pm, pei) = parent[&cur];
+                        edges.push((pv, pei));
+                        cur = (pv, pm);
+                    }
+                    edges.reverse();
+                    return edges
+                        .into_iter()
+                        .map(|(src, ei)| {
+                            let (a, dst) = &self.g.succ[src][ei];
+                            (a.clone(), self.g.order[*dst].clone())
+                        })
+                        .collect();
+                }
+                let node = (*t, nmask);
+                if !seen.contains(&node) {
+                    seen.insert(node);
+                    parent.insert(node, (v, mask, ei));
+                    q.push_back(node);
+                }
+            }
+        }
+        unreachable!("candidate SCCs admit a fair cycle through every member")
+    }
+}
+
+impl<'a, Sys: System> Search<'a, Sys>
+where
+    Sys::State: Encode,
+{
+    /// Build the reachable graph and check `prop` over it, with no
+    /// admissibility or fairness constraints. Use [`Checker`] directly
+    /// (over [`Search::graph`] / [`Search::graph_filtered`]) when cycles
+    /// must be admissible or fair.
+    pub fn check_property(
+        &self,
+        prop: &Property<'_, Sys::State>,
+    ) -> PropertyReport<Sys::State, Sys::Action> {
+        self.check_property_traced(prop, &mut NoopTracer)
+    }
+
+    /// [`Search::check_property`] with `scope: "property"` trace events.
+    pub fn check_property_traced(
+        &self,
+        prop: &Property<'_, Sys::State>,
+        tracer: &mut dyn Tracer,
+    ) -> PropertyReport<Sys::State, Sys::Action> {
+        let g = self.graph();
+        let report = Checker::new(&g).check_traced(prop, tracer);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::FpHasher;
+    use crate::grid::Grid;
+    use impossible_obs::RingTracer;
+
+    /// `0 → 1 → … → max → wrap_to → …`: a stem into a cycle.
+    struct Loop {
+        max: u64,
+        wrap_to: u64,
+    }
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+    struct L(u64);
+    impl Encode for L {
+        fn encode(&self, h: &mut FpHasher) {
+            self.0.encode(h);
+        }
+    }
+    impl System for Loop {
+        type State = L;
+        type Action = u64;
+        fn initial_states(&self) -> Vec<L> {
+            vec![L(0)]
+        }
+        fn enabled(&self, _: &L) -> Vec<u64> {
+            vec![0]
+        }
+        fn step(&self, s: &L, _: &u64) -> L {
+            if s.0 == self.max {
+                L(self.wrap_to)
+            } else {
+                L(s.0 + 1)
+            }
+        }
+    }
+
+    #[test]
+    fn always_holds_and_reports_no_counterexample() {
+        let sys = Grid { n: 2, max: 2 };
+        let r = Search::new(&sys).check_property(&always("in-range", |s: &Vec<u8>| {
+            s.iter().all(|&c| c <= 2)
+        }));
+        assert!(r.holds);
+        assert_eq!(r.states, 9);
+        assert_eq!(r.region, 0);
+        assert!(r.counterexample.is_none());
+    }
+
+    #[test]
+    fn never_violation_yields_shortest_witness() {
+        let sys = Grid { n: 2, max: 3 };
+        let r = Search::new(&sys).check_property(&never("sum-2", |s: &Vec<u8>| {
+            s.iter().map(|&c| c as u32).sum::<u32>() == 2
+        }));
+        assert!(!r.holds);
+        match r.counterexample.expect("violated") {
+            Counterexample::BadState(e) => {
+                assert_eq!(e.len(), 2, "sum 2 is reachable in exactly 2 steps");
+                assert_eq!(e.last().iter().map(|&c| c as u32).sum::<u32>(), 2);
+                assert_eq!(e.first(), &vec![0, 0]);
+            }
+            other => panic!("expected bad-state, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eventually_violation_yields_stem_and_cycle() {
+        // 0 → 1 → 2 → 3 → 4 → 2: stem of 2 steps, cycle of 3.
+        let sys = Loop { max: 4, wrap_to: 2 };
+        let r = Search::new(&sys).check_property(&eventually("reaches-9", |s: &L| s.0 == 9));
+        assert!(!r.holds);
+        assert_eq!(r.region, 5);
+        match r.counterexample.expect("violated") {
+            Counterexample::Lasso(l) => {
+                assert_eq!(l.pivot, None);
+                assert_eq!(l.stem.last(), &L(2), "head is the first cycle state");
+                assert_eq!(l.stem.len(), 2);
+                assert_eq!(l.cycle.len(), 3);
+                assert_eq!(l.cycle.last().expect("nonempty").1, L(2), "cycle closes");
+            }
+            other => panic!("expected lasso, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eventually_holds_when_every_run_reaches_goal() {
+        // The cycle contains 2; "eventually 2" has no avoiding lasso.
+        let sys = Loop { max: 4, wrap_to: 2 };
+        let r = Search::new(&sys).check_property(&eventually("reaches-2", |s: &L| s.0 == 2));
+        assert!(r.holds);
+        assert!(r.counterexample.is_none());
+        // The ¬goal region {0, 1, 3, 4} is acyclic: 4 singleton SCCs.
+        assert_eq!(r.region, 4);
+        assert_eq!(r.sccs, 4);
+        assert_eq!(r.candidate_sccs, 0);
+    }
+
+    #[test]
+    fn terminal_state_counts_as_stutter_violation() {
+        // Grid terminates at the all-max corner; a run stuttering there
+        // never reaches a sum of 99.
+        let sys = Grid { n: 2, max: 1 };
+        let r = Search::new(&sys).check_property(&eventually("sum-99", |s: &Vec<u8>| {
+            s.iter().map(|&c| c as u32).sum::<u32>() == 99
+        }));
+        assert!(!r.holds);
+        match r.counterexample.expect("violated") {
+            Counterexample::Lasso(l) => {
+                assert_eq!(l.stem.last(), &vec![1, 1], "terminal corner");
+                assert!(l.cycle.is_empty(), "stutter lasso has no cycle steps");
+            }
+            other => panic!("expected lasso, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leads_to_violation_pinpoints_the_pivot() {
+        // 0 → 1 → 2 → 3 → 1: "state 2 leads to state 0" fails; the pivot
+        // is the visit to 2, after which the run cycles in {1, 2, 3}.
+        let sys = Loop { max: 3, wrap_to: 1 };
+        let r = Search::new(&sys).check_property(&leads_to(
+            "two-then-zero",
+            |s: &L| s.0 == 2,
+            |s: &L| s.0 == 0,
+        ));
+        assert!(!r.holds);
+        match r.counterexample.expect("violated") {
+            Counterexample::Lasso(l) => {
+                let k = l.pivot.expect("leads-to sets the pivot");
+                assert_eq!(l.stem.states()[k], L(2), "trigger state");
+                assert!(!l.cycle.is_empty());
+                assert!(
+                    l.cycle.iter().all(|(_, s)| s.0 != 0),
+                    "the cycle avoids the response"
+                );
+            }
+            other => panic!("expected lasso, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn leads_to_holds_when_response_always_follows() {
+        // 0 → 1 → 2 → 0: from 1 the run inevitably revisits 0.
+        let sys = Loop { max: 2, wrap_to: 0 };
+        let r = Search::new(&sys).check_property(&leads_to(
+            "one-then-zero",
+            |s: &L| s.0 == 1,
+            |s: &L| s.0 == 0,
+        ));
+        assert!(r.holds, "the ¬0 region {{1, 2}} is acyclic");
+    }
+
+    /// Two processes each with a private self-loop and a handshake cycle.
+    /// Under per-process fairness only the handshake sustains a fair run.
+    struct Handshake;
+    impl System for Handshake {
+        type State = L;
+        type Action = u64; // action = owning process (0 or 1), +2 for the handshake hop
+        fn initial_states(&self) -> Vec<L> {
+            vec![L(0)]
+        }
+        fn enabled(&self, s: &L) -> Vec<u64> {
+            match s.0 {
+                0 => vec![0, 2], // p0 self-loop, or hop to 1
+                _ => vec![1, 3], // p1 self-loop, or hop back to 0
+            }
+        }
+        fn step(&self, s: &L, a: &u64) -> L {
+            match a {
+                0 | 1 => s.clone(),
+                2 => L(1),
+                _ => L(0),
+            }
+        }
+    }
+
+    #[test]
+    fn fairness_forces_the_cycle_to_cover_every_class() {
+        let g = Search::new(&Handshake).graph();
+        let prop = eventually("done", |_: &L| false);
+        // Unfair: the p0 self-loop alone is a (shortest) violating cycle.
+        let unfair = Checker::new(&g).check(&prop);
+        match unfair.counterexample.expect("violated") {
+            Counterexample::Lasso(l) => assert_eq!(l.cycle.len(), 1),
+            other => panic!("expected lasso, got {other:?}"),
+        }
+        // Fair: the cycle must contain a step of each process; the
+        // shortest such cycle is the 2-step handshake (self-loops alone
+        // cannot cover both classes).
+        let fair = Checker::new(&g)
+            .fairness(2, |a: &u64| Some((*a % 2) as usize))
+            .check(&prop);
+        match fair.counterexample.expect("still violated") {
+            Counterexample::Lasso(l) => {
+                assert_eq!(l.cycle.len(), 2);
+                let classes: BTreeSet<u64> = l.cycle.iter().map(|(a, _)| a % 2).collect();
+                assert_eq!(classes.len(), 2, "both processes step in the cycle");
+            }
+            other => panic!("expected lasso, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admissibility_restricts_cycle_states_but_not_the_stem() {
+        // 0 → 1 → 2 → 3 → 1: ban state 3 from repeating forever; the
+        // region {1, 2, 3} minus 3 is acyclic, so the check holds even
+        // though an unconstrained lasso exists.
+        let sys = Loop { max: 3, wrap_to: 1 };
+        let g = Search::new(&sys).graph();
+        let prop = eventually("reaches-0-again", |s: &L| s.0 == 9);
+        let unconstrained = Checker::new(&g).check(&prop);
+        assert!(!unconstrained.holds);
+        let constrained = Checker::new(&g).admissible(|s: &L| s.0 != 3).check(&prop);
+        assert!(constrained.holds, "no admissible cycle without state 3");
+    }
+
+    #[test]
+    fn truncated_graphs_mark_the_report() {
+        let sys = Grid { n: 2, max: 50 };
+        let r = Search::new(&sys)
+            .max_states(10)
+            .check_property(&always("in-range", |_: &Vec<u8>| true));
+        assert!(r.holds);
+        assert!(r.truncated);
+    }
+
+    #[test]
+    fn report_json_is_canonical() {
+        let sys = Loop { max: 4, wrap_to: 2 };
+        let r = Search::new(&sys).check_property(&eventually("reaches-9", |s: &L| s.0 == 9));
+        assert_eq!(
+            r.to_json(),
+            "{\"name\":\"reaches-9\",\"kind\":\"eventually\",\"holds\":false,\
+             \"states\":5,\"edges\":5,\"region\":5,\"sccs\":3,\"candidate_sccs\":1,\
+             \"truncated\":false,\"counterexample\":{\"type\":\"lasso\",\"pivot\":null,\
+             \"stem_states\":[\"L(0)\",\"L(1)\",\"L(2)\"],\"stem_actions\":[\"0\",\"0\"],\
+             \"cycle_actions\":[\"0\",\"0\",\"0\"],\"cycle_states\":[\"L(3)\",\"L(4)\",\"L(2)\"]}}"
+        );
+        // Byte-determinism: same check, same bytes.
+        let again = Search::new(&sys).check_property(&eventually("reaches-9", |s: &L| s.0 == 9));
+        assert_eq!(r.to_json(), again.to_json());
+    }
+
+    #[test]
+    fn json_escapes_are_correct() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn traced_twin_emits_the_property_vocabulary() {
+        let sys = Loop { max: 4, wrap_to: 2 };
+        let mut tracer = RingTracer::new(64);
+        let r = Search::new(&sys)
+            .check_property_traced(&eventually("reaches-9", |s: &L| s.0 == 9), &mut tracer);
+        assert!(!r.holds);
+        let kinds: Vec<&str> = tracer.events().iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, ["check.start", "scc", "verdict"]);
+        assert!(tracer.events().iter().all(|e| e.scope == "property"));
+        // The untraced twin returns the identical report.
+        let untraced = Search::new(&sys).check_property(&eventually("reaches-9", |s: &L| s.0 == 9));
+        assert_eq!(r.to_json(), untraced.to_json());
+    }
+}

@@ -54,5 +54,5 @@ fn main() {
         "   mutual exclusion holds, yet p{} starves under the repeatable cycle {:?}",
         lockout.victim, lockout.cycle
     );
-    println!("\nSee `cargo run --release --bin experiments` for all 17 reproductions.");
+    println!("\nSee `cargo run --release --bin experiments` for all 25 reproductions.");
 }

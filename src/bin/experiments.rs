@@ -2,8 +2,7 @@
 //! of the paper (see DESIGN.md §3 and EXPERIMENTS.md).
 //!
 //! Usage: `cargo run --release --bin experiments [ID ...]`
-//! with IDs among F1 F2 F3 E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12 E13 E14;
-//! no argument runs everything.
+//! with IDs among F1 F2 F3 and E1 through E22; no argument runs everything.
 
 use impossible::consensus::{approx, benor, commit, eig, flp, round_lb, scenario3t};
 use impossible::core::exec::Admissibility;
@@ -679,12 +678,44 @@ fn e21() {
     println!(" measured: decision lands within ~2 phases of the GST phase)");
 }
 
+fn e22() {
+    header("E22", "Mechanized FLP lasso for the majority-quorum vote [55]");
+    use impossible::consensus::quorum;
+    use impossible::explore::property::Counterexample;
+    println!("crash one voter of n = 3; temporal checker hunts an admissible");
+    println!("fair cycle where every live process stays undecided:\n");
+    println!(
+        "{:>7} {:>8} {:>7} {:>7} {:>6} {:>10} {:>5} {:>6}",
+        "crashed", "states", "edges", "region", "sccs", "candidates", "stem", "cycle"
+    );
+    for failed in 0..3 {
+        let r = quorum::exhibit_flp_lasso(3, failed, 400_000);
+        assert!(!r.holds, "quorum vote decided despite crashed voter {failed}?!");
+        let (stem, cycle) = match r.counterexample.as_ref() {
+            Some(Counterexample::Lasso(l)) => (l.stem.len(), l.cycle.len()),
+            _ => unreachable!("liveness violation must carry a lasso"),
+        };
+        println!(
+            "{failed:>7} {:>8} {:>7} {:>7} {:>6} {:>10} {stem:>5} {cycle:>6}",
+            r.states, r.edges, r.region, r.sccs, r.candidate_sccs
+        );
+    }
+    let r = quorum::exhibit_flp_lasso(3, 0, 400_000);
+    if let Some(Counterexample::Lasso(l)) = r.counterexample {
+        let actions: Vec<String> = l.cycle.iter().map(|(a, _)| format!("{a:?}")).collect();
+        println!("\ncycle for crashed = 0 (every live process acts, none decides):");
+        println!("  {}", actions.join(" -> "));
+    }
+    println!("\n(the same lasso, byte for byte, at any worker count or seed —");
+    println!(" see crates/consensus/src/quorum.rs tests and docs/PROPERTIES.md)");
+}
+
 fn main() {
     // LINT-ALLOW: det-ambient -- CLI experiment filters; never protocol state
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
         "F1", "F2", "F3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-        "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21",
+        "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22",
     ];
     let selected: Vec<String> = if args.is_empty() {
         all.iter().map(|s| s.to_string()).collect()
@@ -717,6 +748,7 @@ fn main() {
             "E19" => e19(),
             "E20" => e20(),
             "E21" => e21(),
+            "E22" => e22(),
             other => eprintln!("unknown experiment id {other}"),
         }
     }

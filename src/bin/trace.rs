@@ -11,11 +11,12 @@
 //! (iterative deepening on the same grid), `legacy` (the reference
 //! `Explorer`), `valence` (FLP arbiter classification + decider hunt),
 //! `benor` (randomized consensus round transcript), `election` (async LCR
-//! ring). Every dump is a pure function of `(target, seed)`: run the same
+//! ring), `property` (the temporal-property checker exhibiting the quorum
+//! FLP lasso). Every dump is a pure function of `(target, seed)`: run the same
 //! command twice and `diff` reports the traces identical; change the seed
 //! and it localizes the first divergent event.
 
-use impossible::consensus::{benor, flp};
+use impossible::consensus::{benor, flp, quorum};
 use impossible::core::explore::Explorer;
 use impossible::core::valence::ValenceEngine;
 use impossible::election::lcr::Lcr;
@@ -28,7 +29,7 @@ use impossible::obs::{trace_diff, Event, RingTracer};
 const CAPACITY: usize = 1 << 16;
 
 fn usage() -> String {
-    "usage: trace dump <search|iddfs|legacy|valence|benor|election> [seed]\n\
+    "usage: trace dump <search|iddfs|legacy|valence|benor|election|property> [seed]\n\
      \x20      trace diff <a.jsonl> <b.jsonl>"
         .to_string()
 }
@@ -83,6 +84,16 @@ fn dump(target: &str, seed: u64) -> Result<RingTracer, String> {
             );
             if out.leader.is_none() {
                 return Err("LCR elected no unique leader?!".to_string());
+            }
+        }
+        "property" => {
+            // The checker itself is seed-independent by contract; the seed
+            // picks which voter crashes so different seeds still diverge.
+            let n = 3;
+            let failed = (seed % n as u64) as usize;
+            let report = quorum::exhibit_flp_lasso_traced(n, failed, 400_000, &mut tracer);
+            if report.holds {
+                return Err("quorum vote terminated despite a crashed voter?!".to_string());
             }
         }
         other => return Err(format!("unknown dump target `{other}`\n{}", usage())),
