@@ -194,7 +194,7 @@ fn bench_e11_datalink(s: &mut BenchSuite) {
     use impossible_datalink::two_generals::{refute, Threshold};
     let msgs: Vec<u64> = (0..20).collect();
     s.case("e11_datalink/abp_20msgs_30pct_loss", SAMPLES, || {
-        black_box(run_abp(black_box(&msgs), 7, 0.3, 0.1, 400_000));
+        black_box(run_abp(black_box(&msgs), 7, 300, 100, 400_000));
     });
     s.case("e11_datalink/two_generals_chain_r8", SAMPLES, || {
         black_box(refute(black_box(&Threshold(0)), 8));

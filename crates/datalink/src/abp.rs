@@ -85,19 +85,20 @@ impl Receiver {
 }
 
 /// Run ABP over lossy, duplicating FIFO channels until all messages are
-/// delivered (or the step budget runs out). Returns the receiver's
-/// delivered sequence and the total packet transmissions.
+/// delivered (or the step budget runs out). Loss and duplication rates are
+/// per-mille (`drop_pm = 400` loses 40% of packets). Returns the
+/// receiver's delivered sequence and the total packet transmissions.
 pub fn run_abp(
     messages: &[u64],
     seed: u64,
-    drop_p: f64,
-    dup_p: f64,
+    drop_pm: u32,
+    dup_pm: u32,
     max_steps: usize,
 ) -> (Vec<u64>, usize) {
     let mut sender = Sender::new(messages.to_vec());
     let mut receiver = Receiver::new();
-    let mut data_ch: LossyChannel<Packet> = LossyChannel::lossy(seed, drop_p, dup_p);
-    let mut ack_ch: LossyChannel<Ack> = LossyChannel::lossy(seed ^ 0xABCD, drop_p, dup_p);
+    let mut data_ch: LossyChannel<Packet> = LossyChannel::lossy(seed, drop_pm, dup_pm);
+    let mut ack_ch: LossyChannel<Ack> = LossyChannel::lossy(seed ^ 0xABCD, drop_pm, dup_pm);
 
     for step in 0..max_steps {
         if sender.done() {
@@ -128,7 +129,7 @@ mod tests {
     #[test]
     fn delivers_exactly_once_in_order_over_reliable_channel() {
         let msgs = vec![10, 20, 30, 40];
-        let (delivered, _) = run_abp(&msgs, 1, 0.0, 0.0, 10_000);
+        let (delivered, _) = run_abp(&msgs, 1, 0, 0, 10_000);
         assert_eq!(delivered, msgs);
     }
 
@@ -136,7 +137,7 @@ mod tests {
     fn survives_heavy_loss() {
         let msgs: Vec<u64> = (0..20).collect();
         for seed in 0..10 {
-            let (delivered, tx) = run_abp(&msgs, seed, 0.4, 0.0, 200_000);
+            let (delivered, tx) = run_abp(&msgs, seed, 400, 0, 200_000);
             assert_eq!(delivered, msgs, "seed {seed}");
             // Loss costs retransmissions — the protocol pays in packets.
             assert!(tx > msgs.len(), "seed {seed}: tx {tx}");
@@ -147,7 +148,7 @@ mod tests {
     fn survives_duplication() {
         let msgs: Vec<u64> = (0..20).collect();
         for seed in 0..10 {
-            let (delivered, _) = run_abp(&msgs, seed, 0.0, 0.5, 200_000);
+            let (delivered, _) = run_abp(&msgs, seed, 0, 500, 200_000);
             assert_eq!(delivered, msgs, "seed {seed}");
         }
     }
@@ -156,7 +157,7 @@ mod tests {
     fn survives_loss_and_duplication_together() {
         let msgs: Vec<u64> = (0..15).collect();
         for seed in 0..10 {
-            let (delivered, _) = run_abp(&msgs, seed, 0.3, 0.3, 400_000);
+            let (delivered, _) = run_abp(&msgs, seed, 300, 300, 400_000);
             assert_eq!(delivered, msgs, "seed {seed}");
         }
     }
@@ -164,15 +165,15 @@ mod tests {
     #[test]
     fn transmission_cost_grows_with_loss() {
         let msgs: Vec<u64> = (0..30).collect();
-        let (_, clean) = run_abp(&msgs, 5, 0.0, 0.0, 400_000);
-        let (_, lossy) = run_abp(&msgs, 5, 0.5, 0.0, 400_000);
+        let (_, clean) = run_abp(&msgs, 5, 0, 0, 400_000);
+        let (_, lossy) = run_abp(&msgs, 5, 500, 0, 400_000);
         assert!(lossy > clean, "clean {clean} lossy {lossy}");
     }
 
     #[test]
     fn duplicate_packets_never_deliver_twice() {
         let msgs = vec![7, 7, 7]; // identical payloads: duplicates would show
-        let (delivered, _) = run_abp(&msgs, 3, 0.2, 0.6, 200_000);
+        let (delivered, _) = run_abp(&msgs, 3, 200, 600, 200_000);
         assert_eq!(delivered, msgs); // exactly three, not more
     }
 }

@@ -14,10 +14,13 @@ use std::collections::VecDeque;
 pub struct LossyChannel<M> {
     queue: VecDeque<M>,
     rng: DetRng,
-    /// Probability a sent packet is silently lost.
-    pub drop_p: f64,
-    /// Probability a sent packet is duplicated.
-    pub dup_p: f64,
+    /// Per-mille probability (0..=1000) a sent packet is silently lost.
+    /// Integer per-mille instead of `f64` keeps the adversary's coin exact
+    /// and the channel state totally ordered (see `docs/LINTS.md`,
+    /// `det-float`).
+    pub drop_pm: u32,
+    /// Per-mille probability (0..=1000) a sent packet is duplicated.
+    pub dup_pm: u32,
     /// Deliver in order (true) or let the adversary pick (false).
     pub fifo: bool,
     sent: usize,
@@ -30,19 +33,20 @@ impl<M: Clone> LossyChannel<M> {
         LossyChannel {
             queue: VecDeque::new(),
             rng: DetRng::seed_from_u64(seed),
-            drop_p: 0.0,
-            dup_p: 0.0,
+            drop_pm: 0,
+            dup_pm: 0,
             fifo: true,
             sent: 0,
             delivered: 0,
         }
     }
 
-    /// A lossy, duplicating FIFO channel.
-    pub fn lossy(seed: u64, drop_p: f64, dup_p: f64) -> Self {
+    /// A lossy, duplicating FIFO channel. Probabilities are per-mille
+    /// (`drop_pm = 500` drops half the packets).
+    pub fn lossy(seed: u64, drop_pm: u32, dup_pm: u32) -> Self {
         LossyChannel {
-            drop_p,
-            dup_p,
+            drop_pm,
+            dup_pm,
             ..LossyChannel::reliable(seed)
         }
     }
@@ -56,10 +60,10 @@ impl<M: Clone> LossyChannel<M> {
     /// Send a packet (the channel applies loss/duplication).
     pub fn send(&mut self, m: M) {
         self.sent += 1;
-        if self.drop_p > 0.0 && self.rng.gen_bool(self.drop_p) {
+        if self.drop_pm > 0 && self.rng.gen_ratio(self.drop_pm, 1000) {
             return; // lost
         }
-        if self.dup_p > 0.0 && self.rng.gen_bool(self.dup_p) {
+        if self.dup_pm > 0 && self.rng.gen_ratio(self.dup_pm, 1000) {
             self.queue.push_back(m.clone());
         }
         self.queue.push_back(m);
@@ -127,7 +131,7 @@ mod tests {
 
     #[test]
     fn lossy_channel_drops_some() {
-        let mut ch = LossyChannel::lossy(3, 0.5, 0.0);
+        let mut ch = LossyChannel::lossy(3, 500, 0);
         for i in 0..100 {
             ch.send(i);
         }
@@ -137,7 +141,7 @@ mod tests {
 
     #[test]
     fn duplicating_channel_duplicates_some() {
-        let mut ch = LossyChannel::lossy(3, 0.0, 0.5);
+        let mut ch = LossyChannel::lossy(3, 0, 500);
         for i in 0..100 {
             ch.send(i);
         }

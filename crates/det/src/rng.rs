@@ -160,6 +160,35 @@ impl DetRng {
         self.next_f64() < p
     }
 
+    /// `true` with probability `num/den`, in exact integer arithmetic.
+    ///
+    /// This is the float-free sibling of [`gen_bool`](Self::gen_bool) for
+    /// engine and protocol crates (which the `det-float` lint keeps free
+    /// of `f64`): the bias is a ratio of integers, so the acceptance set
+    /// is exact — `gen_ratio(300, 1000)` is *precisely* 300 of the 1000
+    /// equiprobable outcomes, with no rounding and no platform-shaped
+    /// threshold. `gen_ratio(1, 2)` is a fair coin; `gen_ratio(0, d)` is
+    /// always false and `gen_ratio(d, d)` always true.
+    ///
+    /// ```
+    /// use impossible_det::DetRng;
+    /// let mut rng = DetRng::seed_from_u64(7);
+    /// let hits = (0..1000).filter(|_| rng.gen_ratio(1, 4)).count();
+    /// assert!((150..350).contains(&hits));
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or `num > den`.
+    #[inline]
+    pub fn gen_ratio(&mut self, num: u32, den: u32) -> bool {
+        assert!(
+            den > 0 && num <= den,
+            "gen_ratio: {num}/{den} is not a probability"
+        );
+        self.bounded_u64(u64::from(den)) < u64::from(num)
+    }
+
     /// Fisher–Yates shuffle of `xs` in place.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
@@ -309,6 +338,21 @@ mod tests {
         assert!((2_500..3_500).contains(&hits), "hits {hits}");
         assert!(!rng.gen_bool(0.0));
         assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_ratio_is_exact_at_the_edges_and_tracks_the_ratio() {
+        let mut rng = DetRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_ratio(3, 10)).count();
+        assert!((2_500..3_500).contains(&hits), "hits {hits}");
+        assert!(!rng.gen_ratio(0, 7));
+        assert!(rng.gen_ratio(7, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn gen_ratio_rejects_improper_fractions() {
+        DetRng::seed_from_u64(0).gen_ratio(3, 2);
     }
 
     #[test]

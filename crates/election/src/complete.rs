@@ -151,7 +151,8 @@ mod tests {
         for n in [16usize, 64, 256] {
             let ids: Vec<u64> = (0..n as u64).collect();
             let out = run_complete(&ids);
-            let nlogn = (n as f64 * ((n as f64).log2() + 1.0) * 6.0) as usize;
+            // Integer O(n log n) bound; ilog2 is exact for these powers of 2.
+            let nlogn = n * (n.ilog2() as usize + 2) * 6;
             assert!(
                 out.messages <= nlogn,
                 "n={n}: {} messages > {nlogn}",

@@ -139,8 +139,9 @@ mod tests {
     fn message_complexity_is_n_log_n() {
         for n in [8usize, 16, 32, 64] {
             let out = run_hs(&worst_case_ids(n), RingSchedule::RoundRobin);
-            let log = (n as f64).log2();
-            let bound = (10.0 * n as f64 * (log + 1.0)) as usize;
+            // Integer bound: ilog2 rounds down, so pad the +1 to +2 — still
+            // O(n log n), and float-free (the `det-float` lint).
+            let bound = 10 * n * (n.ilog2() as usize + 2);
             assert!(
                 out.messages <= bound,
                 "n={n}: {} messages > {bound}",

@@ -144,7 +144,8 @@ mod tests {
     fn message_complexity_is_n_log_n() {
         for n in [8usize, 32, 128] {
             let out = run_peterson(&worst_case_ids(n), RingSchedule::RoundRobin);
-            let bound = (4.0 * n as f64 * ((n as f64).log2() + 2.0)) as usize;
+            // Integer O(n log n) bound (ilog2 rounds down; +3 pads the +2).
+            let bound = 4 * n * (n.ilog2() as usize + 3);
             assert!(
                 out.messages <= bound,
                 "n={n}: {} > {bound}",

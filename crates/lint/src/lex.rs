@@ -302,11 +302,24 @@ impl Waivers {
     }
 }
 
-/// Extract all well-formed waivers from classified source lines.
-pub fn waivers(lines: &[ClassifiedLine]) -> Waivers {
-    let mut w = Waivers::default();
+/// One well-formed `LINT-ALLOW` occurrence, for inventory purposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaiverRecord {
+    /// 1-based line the waiver comment is on.
+    pub line: usize,
+    /// The waived rule names, in written order.
+    pub rules: Vec<String>,
+    /// The mandatory `-- reason` text, trimmed.
+    pub reason: String,
+}
+
+/// Extract every well-formed waiver occurrence (rule list + reason) from
+/// classified source lines. This is what `--list-waivers` and the
+/// `waiver-doc-sync` rule inventory; [`waivers`] derives its line
+/// coverage from the same records so the two views can never disagree.
+pub fn waiver_records(lines: &[ClassifiedLine]) -> Vec<WaiverRecord> {
+    let mut out = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
-        let lineno = idx + 1;
         let Some(pos) = line.comment.find("LINT-ALLOW:") else {
             continue;
         };
@@ -317,17 +330,35 @@ pub fn waivers(lines: &[ClassifiedLine]) -> Waivers {
         if reason.trim().is_empty() {
             continue;
         }
-        let own_line = line.code.trim().is_empty();
-        for rule in rules_part.split(',') {
-            let rule = rule.trim();
-            if rule.is_empty() {
-                continue;
-            }
-            w.covered.insert((lineno, rule.to_string()));
+        let rules: Vec<String> = rules_part
+            .split(',')
+            .map(str::trim)
+            .filter(|r| !r.is_empty())
+            .map(str::to_string)
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        out.push(WaiverRecord {
+            line: idx + 1,
+            rules,
+            reason: reason.trim().to_string(),
+        });
+    }
+    out
+}
+
+/// Extract all well-formed waivers from classified source lines.
+pub fn waivers(lines: &[ClassifiedLine]) -> Waivers {
+    let mut w = Waivers::default();
+    for rec in waiver_records(lines) {
+        let own_line = lines[rec.line - 1].code.trim().is_empty();
+        for rule in &rec.rules {
+            w.covered.insert((rec.line, rule.clone()));
             if own_line {
-                w.covered.insert((lineno + 1, rule.to_string()));
+                w.covered.insert((rec.line + 1, rule.clone()));
             }
-            w.file_wide.insert(rule.to_string());
+            w.file_wide.insert(rule.clone());
         }
     }
     w

@@ -10,19 +10,27 @@
 //! proves it *statically*, by source inspection: no proof-engine or protocol
 //! crate can even mention a nondeterminism source.
 //!
-//! The scanner is hand-rolled (no `syn` — the workspace must stay hermetic)
-//! but string-, comment- and char-literal-aware, so `"HashMap"` inside a
-//! string literal or a comment never fires. Six rules are enforced (see
-//! `docs/LINTS.md` for the full rationale):
+//! The analyzer runs in two stages, both hand-rolled (no `syn`, no
+//! `regex` — the workspace must stay hermetic). Stage 1 ([`lex`]) is a
+//! string-, comment- and char-literal-aware lexer, so `"HashMap"` inside a
+//! string literal or a comment never fires. Stage 2 ([`parse`]) is a
+//! lightweight item parser over the lexer's code shadow — structs/enums
+//! with field lists, `impl` blocks with method signatures,
+//! `impl_encode_enum!` listings — feeding the item-aware soundness rules.
+//! Ten rules are enforced (see `docs/LINTS.md` for the full rationale):
 //!
 //! | rule | forbids |
 //! |---|---|
 //! | `det-order` | `HashMap`/`HashSet` in engine & protocol crates |
 //! | `det-time` | `Instant::now`/`SystemTime` outside the bench timer |
 //! | `det-ambient` | `thread::spawn`, `std::process`, `std::env` reads |
+//! | `det-float` | `f32`/`f64` in engine/protocol crates (NaN vs `Ord`) |
 //! | `hermetic-deps` | any non-`path` dependency in any `Cargo.toml` |
 //! | `doc-cite` | bare `\[NN\]` citation brackets in rustdoc |
 //! | `map-coverage` | module files absent from `docs/PAPER_MAP.md` |
+//! | `encode-coverage` | `Encode` impls that skip a field or variant |
+//! | `twin-drift` | `foo_traced` signatures drifting from their `foo` twin |
+//! | `waiver-doc-sync` | `docs/LINTS.md` inventory drifting from the tree |
 //!
 //! Legitimate exceptions carry an inline waiver on (or immediately above)
 //! the offending line, so every exception is visible and grep-able:
@@ -38,8 +46,12 @@
 
 pub mod lex;
 pub mod manifest;
+pub mod parse;
 pub mod rules;
 pub mod walk;
 
 pub use rules::{lint_rust_source, Diagnostic, RULE_NAMES};
-pub use walk::{lint_workspace, rules_for, WorkspaceReport};
+pub use walk::{
+    check_waiver_doc_sync, lint_workspace, render_waiver_inventory, rules_for, WaiverRow,
+    WorkspaceReport,
+};

@@ -2,30 +2,49 @@
 //! [`impossible_lint::lint_workspace`].
 //!
 //! ```text
-//! impossible-lint [--root DIR] [--deny-all]
+//! impossible-lint [--root DIR] [--deny-all] [--format text|json] [--list-waivers]
 //! ```
 //!
-//! Prints rustc-style `file:line:col: deny(rule): message` diagnostics.
+//! Prints rustc-style `file:line:col: deny(rule): message` diagnostics,
+//! or canonical single-line JSON records with `--format json` (one object
+//! per diagnostic, then a summary object — the same hand-built JSON style
+//! as `PropertyReport::to_json`, so CI can consume it without a parser
+//! dependency). `--list-waivers` prints the canonical waiver inventory
+//! block that `docs/LINTS.md` must embed (checked by `waiver-doc-sync`).
 //! With `--deny-all` (how `scripts/verify.sh` invokes it) any diagnostic
 //! is fatal; without it the pass only reports. Exit codes: `0` clean,
 //! `1` violations under `--deny-all`, `2` usage or root-detection error.
 
-use impossible_lint::{lint_workspace, RULE_NAMES};
+use impossible_lint::{lint_workspace, render_waiver_inventory, RULE_NAMES};
 use std::path::PathBuf;
 
 fn main() {
     let mut root = PathBuf::from(".");
     let mut deny = false;
+    let mut json = false;
+    let mut list_waivers = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-all" => deny = true,
+            "--list-waivers" => list_waivers = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => usage_error("--root needs a directory argument"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                Some(other) => {
+                    usage_error(&format!("unknown format `{other}` (text|json)"))
+                }
+                None => usage_error("--format needs an argument (text|json)"),
+            },
             "--help" | "-h" => {
-                println!("usage: impossible-lint [--root DIR] [--deny-all]");
+                println!(
+                    "usage: impossible-lint [--root DIR] [--deny-all] \
+                     [--format text|json] [--list-waivers]"
+                );
                 println!("rules: {}", RULE_NAMES.join(", "));
                 return;
             }
@@ -43,16 +62,40 @@ fn main() {
     }
 
     let report = lint_workspace(&root);
-    for d in &report.diagnostics {
-        println!("{d}");
+
+    if list_waivers {
+        print!(
+            "{}",
+            render_waiver_inventory(&report.waivers, report.rust_files, report.manifests)
+        );
+        if deny && !report.diagnostics.is_empty() {
+            std::process::exit(1);
+        }
+        return;
     }
-    println!(
-        "impossible-lint: {} source files + {} manifests checked, {} violation{}",
-        report.rust_files,
-        report.manifests,
-        report.diagnostics.len(),
-        if report.diagnostics.len() == 1 { "" } else { "s" },
-    );
+
+    if json {
+        for d in &report.diagnostics {
+            println!("{}", d.to_json());
+        }
+        println!(
+            "{{\"tool\":\"impossible-lint\",\"rust_files\":{},\"manifests\":{},\"violations\":{}}}",
+            report.rust_files,
+            report.manifests,
+            report.diagnostics.len(),
+        );
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "impossible-lint: {} source files + {} manifests checked, {} violation{}",
+            report.rust_files,
+            report.manifests,
+            report.diagnostics.len(),
+            if report.diagnostics.len() == 1 { "" } else { "s" },
+        );
+    }
     if deny && !report.diagnostics.is_empty() {
         std::process::exit(1);
     }
@@ -60,6 +103,9 @@ fn main() {
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("impossible-lint: {msg}");
-    eprintln!("usage: impossible-lint [--root DIR] [--deny-all]");
+    eprintln!(
+        "usage: impossible-lint [--root DIR] [--deny-all] [--format text|json] \
+         [--list-waivers]"
+    );
     std::process::exit(2);
 }

@@ -90,6 +90,39 @@ fn split_comment(line: &str) -> (&str, &str) {
     (line, "")
 }
 
+/// Every well-formed `# LINT-ALLOW:` occurrence in a manifest, for the
+/// `waiver-doc-sync` inventory (same record shape as Rust sources).
+pub fn manifest_waiver_records(src: &str) -> Vec<crate::lex::WaiverRecord> {
+    let mut out = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let (_, comment) = split_comment(raw);
+        let Some(pos) = comment.find("LINT-ALLOW:") else {
+            continue;
+        };
+        let rest = &comment[pos + "LINT-ALLOW:".len()..];
+        let Some((rules_part, reason)) = rest.split_once("--") else {
+            continue;
+        };
+        if reason.trim().is_empty() {
+            continue;
+        }
+        let rules: Vec<String> = rules_part
+            .split(',')
+            .map(str::trim)
+            .filter(|r| !r.is_empty())
+            .map(str::to_string)
+            .collect();
+        if !rules.is_empty() {
+            out.push(crate::lex::WaiverRecord {
+                line: idx + 1,
+                rules,
+                reason: reason.trim().to_string(),
+            });
+        }
+    }
+    out
+}
+
 fn deny(path: &str, line: usize, col: usize, name: &str) -> Diagnostic {
     Diagnostic {
         path: path.to_string(),

@@ -1,0 +1,1005 @@
+//! Stage 2 of the analyzer: a lightweight hand-rolled *item* parser.
+//!
+//! Stage 1 ([`crate::lex`]) classifies bytes; this module parses the
+//! resulting `code` shadow into the handful of item shapes the soundness
+//! rules need — no `syn`, no `regex`, and no ambition to parse all of
+//! Rust. It recovers:
+//!
+//! * `struct` / `enum` definitions with their field lists ([`TypeDef`]),
+//! * `impl Encode for T` blocks with the set of identifiers their bodies
+//!   consume ([`EncodeImpl`]) — what the `encode-coverage` rule audits,
+//! * `impl_encode_enum!(T { tag: Variant, … })` invocations
+//!   ([`EncodeMacro`]) — a *missing* variant there compiles fine but
+//!   writes no tag at all, the exact fingerprint-collision hole,
+//! * every `fn` signature with its owner, parameters, return type and
+//!   `where` clause ([`FnSig`]) — what the `twin-drift` rule compares.
+//!
+//! The parser is resilient by construction: it only ever *skips forward*
+//! on input it does not understand (attribute bodies, expression blocks,
+//! `macro_rules!` definitions, trait bodies), it recurses into `fn`
+//! bodies because Rust allows item definitions there (the deliberately
+//! blind `Encode` fixtures in the explore tests live inside `#[test]`
+//! fns), and every loop is guaranteed to make progress. `->` and `=>`
+//! are merged into single tokens up front so that `Fn(&S) -> bool` never
+//! confuses angle-bracket balancing.
+
+use crate::lex::ClassifiedLine;
+use std::collections::BTreeSet;
+
+/// One token of the `code` shadow: an identifier/number *word* or a
+/// single punctuation character (`->` and `=>` are pre-merged).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text, e.g. `fn`, `Encode`, `->`, `{`.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based byte column of the first character.
+    pub col: usize,
+    /// True for identifier/number words, false for punctuation.
+    pub word: bool,
+}
+
+/// The field list of a struct or of one enum variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldsShape {
+    /// `struct X;` or a bare enum variant.
+    Unit,
+    /// `struct X(A, B);` — only the arity matters for coverage.
+    Tuple(usize),
+    /// `struct X { a: A, b: B }` — the field names, in source order.
+    Named(Vec<String>),
+}
+
+/// One enum variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantDef {
+    /// Variant name.
+    pub name: String,
+    /// 1-based line of the name.
+    pub line: usize,
+    /// Its payload shape.
+    pub shape: FieldsShape,
+}
+
+/// What kind of type a [`TypeDef`] is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeKind {
+    /// A struct with the given fields.
+    Struct(FieldsShape),
+    /// An enum with the given variants.
+    Enum(Vec<VariantDef>),
+}
+
+/// A `struct` or `enum` definition found in the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDef {
+    /// Type name (generics stripped).
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// 1-based column of the name token.
+    pub col: usize,
+    /// Struct fields or enum variants.
+    pub kind: TypeKind,
+}
+
+/// A hand-written `impl Encode for T` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeImpl {
+    /// Base name of the implementing type (last path segment, generics
+    /// stripped), e.g. `QuorumLocal` for `impl Encode for QuorumLocal`.
+    pub type_name: String,
+    /// 1-based line of the type name in the impl header.
+    pub line: usize,
+    /// 1-based column of the type name in the impl header.
+    pub col: usize,
+    /// Every identifier/number word appearing in the impl body.
+    pub body_idents: BTreeSet<String>,
+    /// `x` for every `self.x` access in the body (`x` may be a tuple
+    /// index like `0`).
+    pub self_fields: BTreeSet<String>,
+}
+
+/// One `tag: Variant` entry of an `impl_encode_enum!` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacroEntry {
+    /// The numeric tag literal, as written.
+    pub tag: String,
+    /// The variant name.
+    pub variant: String,
+    /// 1-based line of the entry.
+    pub line: usize,
+}
+
+/// An `impl_encode_enum!(T { … })` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeMacro {
+    /// The enum the macro implements `Encode` for.
+    pub type_name: String,
+    /// 1-based line of the type name.
+    pub line: usize,
+    /// 1-based column of the type name.
+    pub col: usize,
+    /// The listed `tag: Variant` entries.
+    pub entries: Vec<MacroEntry>,
+}
+
+/// One `fn` signature (free or method), normalized for comparison.
+///
+/// Normalized strings join word tokens with single spaces and glue
+/// punctuation tight (`&mut dyn Tracer`, `Fn(&S)->bool`), so two
+/// signatures compare equal iff they are token-identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSig {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// 1-based column of the name token.
+    pub col: usize,
+    /// Base name of the enclosing `impl` type, or `None` for free fns
+    /// (including fns nested inside other fn bodies).
+    pub owner: Option<String>,
+    /// Normalized generic parameter list including the angle brackets,
+    /// or empty.
+    pub generics: String,
+    /// Normalized receiver (`&self`, `&mut self`, `self`, …) or empty.
+    pub receiver: String,
+    /// Normalized `(pattern, type)` pairs, receiver excluded.
+    pub params: Vec<(String, String)>,
+    /// Normalized return type (text after `->`), or empty.
+    pub ret: String,
+    /// Normalized `where` clause body, or empty.
+    pub where_clause: String,
+}
+
+/// Everything [`parse_file`] recovered from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileItems {
+    /// Struct and enum definitions.
+    pub types: Vec<TypeDef>,
+    /// Hand-written `impl Encode for …` blocks.
+    pub encode_impls: Vec<EncodeImpl>,
+    /// `impl_encode_enum!` invocations.
+    pub encode_macros: Vec<EncodeMacro>,
+    /// Every fn signature, with owners.
+    pub fns: Vec<FnSig>,
+}
+
+/// Tokenize the `code` shadow lines (string/char contents and comments
+/// are already blanked by [`crate::lex::classify`]).
+pub fn tokenize(lines: &[ClassifiedLine]) -> Vec<Tok> {
+    let mut out: Vec<Tok> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let b = line.code.as_bytes();
+        let mut i = 0;
+        while i < b.len() {
+            let c = b[i];
+            if c == b' ' {
+                i += 1;
+            } else if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'$')
+                {
+                    i += 1;
+                }
+                out.push(Tok {
+                    text: line.code[start..i].to_string(),
+                    line: lineno,
+                    col: start + 1,
+                    word: true,
+                });
+            } else {
+                // Merge `->` / `=>` so `>` never miscounts angle depth.
+                let two = (c == b'-' || c == b'=') && b.get(i + 1) == Some(&b'>');
+                let end = if two { i + 2 } else { i + 1 };
+                out.push(Tok {
+                    text: line.code[i..end].to_string(),
+                    line: lineno,
+                    col: i + 1,
+                    word: false,
+                });
+                i = end;
+            }
+        }
+    }
+    out
+}
+
+/// Parse one classified file into its item inventory.
+pub fn parse_file(lines: &[ClassifiedLine]) -> FileItems {
+    let toks = tokenize(lines);
+    let mut p = Parser {
+        t: &toks,
+        i: 0,
+        out: FileItems::default(),
+    };
+    p.items(None, false);
+    p.out
+}
+
+struct Parser<'a> {
+    t: &'a [Tok],
+    i: usize,
+    out: FileItems,
+}
+
+/// Does `text` open a bracket whose depth matters when scanning types?
+fn opens(text: &str) -> bool {
+    matches!(text, "(" | "[" | "{" | "<")
+}
+
+/// The closer matching [`opens`].
+fn closes(text: &str) -> bool {
+    matches!(text, ")" | "]" | "}" | ">")
+}
+
+/// Join tokens into a canonical comparison string: single spaces between
+/// adjacent words, punctuation glued tight.
+fn normalize(toks: &[Tok]) -> String {
+    let mut s = String::new();
+    let mut prev_word = false;
+    for t in toks {
+        if prev_word && t.word {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+        prev_word = t.word;
+    }
+    s
+}
+
+/// Split `toks` at top-level commas (all four bracket kinds tracked).
+fn split_top_commas(toks: &[Tok]) -> Vec<&[Tok]> {
+    let mut groups = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (k, t) in toks.iter().enumerate() {
+        if opens(&t.text) {
+            depth += 1;
+        } else if closes(&t.text) {
+            depth -= 1;
+        } else if t.text == "," && depth == 0 {
+            groups.push(&toks[start..k]);
+            start = k + 1;
+        }
+    }
+    if start < toks.len() {
+        groups.push(&toks[start..]);
+    }
+    groups
+}
+
+impl<'a> Parser<'a> {
+    fn cur(&self) -> Option<&'a Tok> {
+        self.t.get(self.i)
+    }
+
+    fn is_punct(&self, p: &str) -> bool {
+        self.cur().is_some_and(|t| !t.word && t.text == p)
+    }
+
+    fn is_word(&self, w: &str) -> bool {
+        self.cur().is_some_and(|t| t.word && t.text == w)
+    }
+
+    fn word_at(&self, i: usize) -> Option<&str> {
+        self.t.get(i).filter(|t| t.word).map(|t| t.text.as_str())
+    }
+
+    fn punct_at(&self, i: usize, p: &str) -> bool {
+        self.t.get(i).is_some_and(|t| !t.word && t.text == p)
+    }
+
+    /// Skip a balanced run starting at the current opening bracket
+    /// (any of `( [ {`); angle brackets are *not* balanced here because
+    /// this is used on expression/attribute bodies where `<` is an
+    /// operator.
+    fn skip_balanced(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.cur() {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        self.i += 1;
+                        return;
+                    }
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Skip `#[...]` / `#![...]`.
+    fn skip_attribute(&mut self) {
+        self.i += 1; // '#'
+        if self.is_punct("!") {
+            self.i += 1;
+        }
+        if self.is_punct("[") {
+            self.skip_balanced();
+        }
+    }
+
+    /// Skip to the `;` ending a `const`/`static`/`type`/`use` item,
+    /// respecting `( [ {` nesting (initializer expressions).
+    fn skip_to_semi(&mut self) {
+        let mut depth = 0i32;
+        while let Some(t) = self.cur() {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth <= 0 => {
+                    self.i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Capture tokens until one of `stop_words` (at depth 0) or one of
+    /// `stop_puncts` (at depth 0), tracking all four bracket kinds
+    /// (type position: `<` is a bracket). The terminator is *not*
+    /// consumed.
+    fn capture_type_until(&mut self, stop_words: &[&str], stop_puncts: &[&str]) -> Vec<Tok> {
+        let mut depth = 0i32;
+        let mut got = Vec::new();
+        while let Some(t) = self.cur() {
+            if depth == 0 {
+                if t.word && stop_words.contains(&t.text.as_str()) {
+                    break;
+                }
+                if !t.word && stop_puncts.contains(&t.text.as_str()) {
+                    break;
+                }
+            }
+            if opens(&t.text) {
+                depth += 1;
+            } else if closes(&t.text) {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            }
+            got.push(t.clone());
+            self.i += 1;
+        }
+        got
+    }
+
+    /// At `<`: capture the whole generic parameter list including the
+    /// brackets.
+    fn capture_angles(&mut self) -> Vec<Tok> {
+        let mut depth = 0i32;
+        let mut got = Vec::new();
+        while let Some(t) = self.cur() {
+            if t.text == "<" {
+                depth += 1;
+            } else if t.text == ">" {
+                depth -= 1;
+            }
+            got.push(t.clone());
+            self.i += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+        got
+    }
+
+    /// At `(`: capture the tokens *inside* the parens; leaves `i` past
+    /// the closing paren.
+    fn capture_parens_inner(&mut self) -> Vec<Tok> {
+        let mut depth = 0i32;
+        let mut got = Vec::new();
+        while let Some(t) = self.cur() {
+            if opens(&t.text) {
+                depth += 1;
+                if depth == 1 {
+                    self.i += 1;
+                    continue;
+                }
+            } else if closes(&t.text) {
+                depth -= 1;
+                if depth <= 0 {
+                    self.i += 1;
+                    return got;
+                }
+            }
+            got.push(t.clone());
+            self.i += 1;
+        }
+        got
+    }
+
+    /// The item loop. `owner` names the enclosing `impl` type for fn
+    /// signatures; `stop_at_brace` ends the loop at the matching `}` of
+    /// an impl/mod/fn body.
+    fn items(&mut self, owner: Option<&str>, stop_at_brace: bool) {
+        while let Some(tok) = self.cur() {
+            let before = self.i;
+            if !tok.word {
+                match tok.text.as_str() {
+                    "}" if stop_at_brace => {
+                        self.i += 1;
+                        return;
+                    }
+                    "#" => self.skip_attribute(),
+                    "{" | "(" | "[" => self.skip_balanced(),
+                    _ => self.i += 1,
+                }
+            } else {
+                match tok.text.as_str() {
+                    "pub" => {
+                        self.i += 1;
+                        if self.is_punct("(") {
+                            self.skip_balanced();
+                        }
+                    }
+                    "unsafe" | "async" | "default" | "extern" => self.i += 1,
+                    "const" if self.word_at(self.i + 1) == Some("fn") => self.i += 1,
+                    "const" | "static" | "type" | "use" => self.skip_to_semi(),
+                    "struct" => self.parse_struct(),
+                    "enum" => self.parse_enum(),
+                    "impl" => self.parse_impl(),
+                    "fn" => self.parse_fn(owner),
+                    "mod" => {
+                        self.i += 2; // `mod` + name
+                        if self.is_punct("{") {
+                            self.i += 1;
+                            self.items(None, true);
+                        } else if self.is_punct(";") {
+                            self.i += 1;
+                        }
+                    }
+                    "trait" => {
+                        // Opaque: skip the header, then the body.
+                        self.i += 1;
+                        self.capture_type_until(&[], &["{", ";"]);
+                        if self.is_punct("{") {
+                            self.skip_balanced();
+                        } else if self.is_punct(";") {
+                            self.i += 1;
+                        }
+                    }
+                    "macro_rules" => {
+                        self.i += 1;
+                        if self.is_punct("!") {
+                            self.i += 1;
+                        }
+                        self.i += 1; // macro name
+                        if self.is_punct("{") || self.is_punct("(") || self.is_punct("[") {
+                            self.skip_balanced();
+                        }
+                        if self.is_punct(";") {
+                            self.i += 1;
+                        }
+                    }
+                    "impl_encode_enum" if self.punct_at(self.i + 1, "!") => {
+                        self.parse_encode_macro();
+                    }
+                    _ => self.i += 1,
+                }
+            }
+            if self.i == before {
+                // Safety net: never loop without progress.
+                self.i += 1;
+            }
+        }
+    }
+
+    fn parse_struct(&mut self) {
+        self.i += 1; // `struct`
+        let Some(name_tok) = self.cur().filter(|t| t.word).cloned() else {
+            return;
+        };
+        self.i += 1;
+        if self.is_punct("<") {
+            self.capture_angles();
+        }
+        let kind = if self.is_punct("(") {
+            let inner = self.capture_parens_inner();
+            let arity = split_top_commas(&inner)
+                .iter()
+                .filter(|g| !g.is_empty())
+                .count();
+            self.skip_to_semi(); // optional trailing `where …;`
+            TypeKind::Struct(FieldsShape::Tuple(arity))
+        } else {
+            if self.is_word("where") {
+                self.i += 1;
+                self.capture_type_until(&[], &["{", ";"]);
+            }
+            if self.is_punct(";") {
+                self.i += 1;
+                TypeKind::Struct(FieldsShape::Unit)
+            } else if self.is_punct("{") {
+                self.i += 1;
+                TypeKind::Struct(FieldsShape::Named(self.parse_named_fields()))
+            } else {
+                return; // malformed
+            }
+        };
+        self.out.types.push(TypeDef {
+            name: name_tok.text,
+            line: name_tok.line,
+            col: name_tok.col,
+            kind,
+        });
+    }
+
+    /// Inside `{ … }` of a struct or struct-variant: collect the field
+    /// names; leaves `i` past the closing brace.
+    fn parse_named_fields(&mut self) -> Vec<String> {
+        let mut fields = Vec::new();
+        loop {
+            let before = self.i;
+            if self.cur().is_none() || self.is_punct("}") {
+                self.i += 1;
+                return fields;
+            }
+            if self.is_punct("#") {
+                self.skip_attribute();
+                continue;
+            }
+            if self.is_word("pub") {
+                self.i += 1;
+                if self.is_punct("(") {
+                    self.skip_balanced();
+                }
+                continue;
+            }
+            if let Some(name) = self.cur().filter(|t| t.word).cloned() {
+                self.i += 1;
+                if self.is_punct(":") {
+                    self.i += 1;
+                    fields.push(name.text);
+                    self.capture_type_until(&[], &[",", "}"]);
+                    if self.is_punct(",") {
+                        self.i += 1;
+                    }
+                    continue;
+                }
+            }
+            if self.i == before {
+                self.i += 1; // malformed: make progress
+            }
+        }
+    }
+
+    fn parse_enum(&mut self) {
+        self.i += 1; // `enum`
+        let Some(name_tok) = self.cur().filter(|t| t.word).cloned() else {
+            return;
+        };
+        self.i += 1;
+        if self.is_punct("<") {
+            self.capture_angles();
+        }
+        if self.is_word("where") {
+            self.i += 1;
+            self.capture_type_until(&[], &["{", ";"]);
+        }
+        if !self.is_punct("{") {
+            return;
+        }
+        self.i += 1;
+        let mut variants = Vec::new();
+        loop {
+            let before = self.i;
+            if self.cur().is_none() || self.is_punct("}") {
+                self.i += 1;
+                break;
+            }
+            if self.is_punct("#") {
+                self.skip_attribute();
+                continue;
+            }
+            if let Some(vtok) = self.cur().filter(|t| t.word).cloned() {
+                self.i += 1;
+                let shape = if self.is_punct("(") {
+                    let inner = self.capture_parens_inner();
+                    FieldsShape::Tuple(
+                        split_top_commas(&inner)
+                            .iter()
+                            .filter(|g| !g.is_empty())
+                            .count(),
+                    )
+                } else if self.is_punct("{") {
+                    self.i += 1;
+                    FieldsShape::Named(self.parse_named_fields())
+                } else {
+                    FieldsShape::Unit
+                };
+                if self.is_punct("=") {
+                    // Discriminant expression: skip to `,` / `}`.
+                    self.i += 1;
+                    let mut depth = 0i32;
+                    while let Some(t) = self.cur() {
+                        match t.text.as_str() {
+                            "(" | "[" | "{" => depth += 1,
+                            ")" | "]" => depth -= 1,
+                            "}" if depth == 0 => break,
+                            "}" => depth -= 1,
+                            "," if depth == 0 => break,
+                            _ => {}
+                        }
+                        self.i += 1;
+                    }
+                }
+                variants.push(VariantDef {
+                    name: vtok.text,
+                    line: vtok.line,
+                    shape,
+                });
+                if self.is_punct(",") {
+                    self.i += 1;
+                }
+                continue;
+            }
+            if self.i == before {
+                self.i += 1;
+            }
+        }
+        self.out.types.push(TypeDef {
+            name: name_tok.text,
+            line: name_tok.line,
+            col: name_tok.col,
+            kind: TypeKind::Enum(variants),
+        });
+    }
+
+    fn parse_impl(&mut self) {
+        self.i += 1; // `impl`
+        if self.is_punct("<") {
+            self.capture_angles();
+        }
+        let first = self.capture_type_until(&["for", "where"], &["{"]);
+        let (trait_toks, type_toks) = if self.is_word("for") {
+            self.i += 1;
+            let ty = self.capture_type_until(&["where"], &["{"]);
+            (Some(first), ty)
+        } else {
+            (None, first)
+        };
+        if self.is_word("where") {
+            self.i += 1;
+            self.capture_type_until(&[], &["{"]);
+        }
+        if !self.is_punct("{") {
+            return;
+        }
+        let is_encode = trait_toks.as_deref().is_some_and(|tt| {
+            tt.iter().rev().find(|t| t.word).map(|t| t.text.as_str()) == Some("Encode")
+        });
+        let base = impl_type_base(&type_toks);
+        if is_encode {
+            if let Some(name_tok) = base {
+                self.i += 1; // `{`
+                let (body_idents, self_fields) = self.collect_encode_body();
+                self.out.encode_impls.push(EncodeImpl {
+                    type_name: name_tok.text.clone(),
+                    line: name_tok.line,
+                    col: name_tok.col,
+                    body_idents,
+                    self_fields,
+                });
+            } else {
+                self.skip_balanced();
+            }
+        } else {
+            self.i += 1; // `{`
+            let owner = base.map(|t| t.text.clone());
+            self.items(owner.as_deref(), true);
+        }
+    }
+
+    /// Inside an `impl Encode` body (after `{`): collect every word and
+    /// every `self.x` field access until the matching `}`.
+    fn collect_encode_body(&mut self) -> (BTreeSet<String>, BTreeSet<String>) {
+        let mut idents = BTreeSet::new();
+        let mut fields = BTreeSet::new();
+        let mut depth = 1i32;
+        while let Some(t) = self.cur() {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.i += 1;
+                        return (idents, fields);
+                    }
+                }
+                _ => {}
+            }
+            if t.word {
+                idents.insert(t.text.clone());
+                if t.text == "self" && self.punct_at(self.i + 1, ".") {
+                    if let Some(f) = self.word_at(self.i + 2) {
+                        fields.insert(f.to_string());
+                    }
+                }
+            }
+            self.i += 1;
+        }
+        (idents, fields)
+    }
+
+    fn parse_fn(&mut self, owner: Option<&str>) {
+        self.i += 1; // `fn`
+        let Some(name_tok) = self.cur().filter(|t| t.word).cloned() else {
+            // `fn(…) -> T` in type position: not an item.
+            if self.is_punct("(") {
+                self.skip_balanced();
+            }
+            return;
+        };
+        self.i += 1;
+        let generics = if self.is_punct("<") {
+            normalize(&self.capture_angles())
+        } else {
+            String::new()
+        };
+        if !self.is_punct("(") {
+            return;
+        }
+        let inner = self.capture_parens_inner();
+        let mut receiver = String::new();
+        let mut params = Vec::new();
+        for group in split_top_commas(&inner) {
+            if group.is_empty() {
+                continue;
+            }
+            // Split `pattern: Type` at the top-level colon.
+            let mut depth = 0i32;
+            let mut colon = None;
+            for (k, t) in group.iter().enumerate() {
+                if opens(&t.text) {
+                    depth += 1;
+                } else if closes(&t.text) {
+                    depth -= 1;
+                } else if t.text == ":" && depth == 0 {
+                    colon = Some(k);
+                    break;
+                }
+            }
+            match colon {
+                Some(k) => params.push((normalize(&group[..k]), normalize(&group[k + 1..]))),
+                None => {
+                    if group.iter().any(|t| t.text == "self") {
+                        receiver = normalize(group);
+                    }
+                }
+            }
+        }
+        let ret = if self.is_punct("->") {
+            self.i += 1;
+            normalize(&self.capture_type_until(&["where"], &["{", ";"]))
+        } else {
+            String::new()
+        };
+        let where_clause = if self.is_word("where") {
+            self.i += 1;
+            normalize(&self.capture_type_until(&[], &["{", ";"]))
+        } else {
+            String::new()
+        };
+        if self.is_punct("{") {
+            // Recurse: fn bodies can define items (test-local types, the
+            // deliberately blind `Encode` fixtures, nested helpers).
+            self.i += 1;
+            self.items(None, true);
+        } else if self.is_punct(";") {
+            self.i += 1;
+        }
+        self.out.fns.push(FnSig {
+            name: name_tok.text,
+            line: name_tok.line,
+            col: name_tok.col,
+            owner: owner.map(str::to_string),
+            generics,
+            receiver,
+            params,
+            ret,
+            where_clause,
+        });
+    }
+
+    /// At `impl_encode_enum` with `!` next: parse
+    /// `impl_encode_enum!(Type { tag: Variant(..), … });`.
+    fn parse_encode_macro(&mut self) {
+        self.i += 2; // name + `!`
+        let closes_with_paren = self.is_punct("(");
+        if !closes_with_paren && !self.is_punct("{") {
+            return;
+        }
+        self.i += 1;
+        let Some(name_tok) = self.cur().filter(|t| t.word).cloned() else {
+            return;
+        };
+        self.i += 1;
+        if !self.is_punct("{") {
+            return;
+        }
+        self.i += 1;
+        let mut entries = Vec::new();
+        loop {
+            let before = self.i;
+            if self.cur().is_none() || self.is_punct("}") {
+                self.i += 1;
+                break;
+            }
+            let tag = self.cur().filter(|t| t.word).cloned();
+            if let Some(tag) = tag {
+                if self.punct_at(self.i + 1, ":") {
+                    self.i += 2;
+                    if let Some(var) = self.cur().filter(|t| t.word).cloned() {
+                        self.i += 1;
+                        if self.is_punct("(") || self.is_punct("{") {
+                            self.skip_balanced();
+                        }
+                        entries.push(MacroEntry {
+                            tag: tag.text,
+                            variant: var.text,
+                            line: var.line,
+                        });
+                    }
+                    if self.is_punct(",") {
+                        self.i += 1;
+                    }
+                    continue;
+                }
+            }
+            if self.i == before {
+                self.i += 1;
+            }
+        }
+        if closes_with_paren && self.is_punct(")") {
+            self.i += 1;
+        }
+        if self.is_punct(";") {
+            self.i += 1;
+        }
+        self.out.encode_macros.push(EncodeMacro {
+            type_name: name_tok.text,
+            line: name_tok.line,
+            col: name_tok.col,
+            entries,
+        });
+    }
+}
+
+/// Base name of the implemented type: the last word at angle depth 0
+/// before any generic arguments, skipping `&`/`mut`/`dyn` noise.
+fn impl_type_base(toks: &[Tok]) -> Option<&Tok> {
+    let mut base: Option<&Tok> = None;
+    for t in toks {
+        if t.text == "<" {
+            break;
+        }
+        if t.word && !matches!(t.text.as_str(), "mut" | "dyn" | "const") {
+            base = Some(t);
+        }
+    }
+    base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::classify;
+
+    fn parse(src: &str) -> FileItems {
+        parse_file(&classify(src))
+    }
+
+    #[test]
+    fn struct_shapes() {
+        let it = parse(
+            "pub struct A { pub x: u64, y: Vec<(u8, u8)> }\n\
+             struct B(u32, BTreeMap<u64, Vec<u8>>);\n\
+             struct C;\n",
+        );
+        assert_eq!(it.types.len(), 3);
+        assert_eq!(
+            it.types[0].kind,
+            TypeKind::Struct(FieldsShape::Named(vec!["x".into(), "y".into()]))
+        );
+        assert_eq!(it.types[1].kind, TypeKind::Struct(FieldsShape::Tuple(2)));
+        assert_eq!(it.types[2].kind, TypeKind::Struct(FieldsShape::Unit));
+    }
+
+    #[test]
+    fn enum_variants_and_macro_entries() {
+        let it = parse(
+            "enum Msg { Ping(u64), Pong, Census { round: u32, votes: u8 } }\n\
+             impl_encode_enum!(Msg { 0: Ping(v), 1: Pong });\n",
+        );
+        let TypeKind::Enum(vars) = &it.types[0].kind else {
+            panic!("expected enum");
+        };
+        assert_eq!(
+            vars.iter().map(|v| v.name.as_str()).collect::<Vec<_>>(),
+            ["Ping", "Pong", "Census"]
+        );
+        assert_eq!(vars[2].shape, FieldsShape::Named(vec!["round".into(), "votes".into()]));
+        assert_eq!(it.encode_macros.len(), 1);
+        assert_eq!(it.encode_macros[0].type_name, "Msg");
+        assert_eq!(
+            it.encode_macros[0]
+                .entries
+                .iter()
+                .map(|e| (e.tag.as_str(), e.variant.as_str()))
+                .collect::<Vec<_>>(),
+            [("0", "Ping"), ("1", "Pong")]
+        );
+    }
+
+    #[test]
+    fn encode_impl_body_idents_and_items_in_fn_bodies() {
+        let it = parse(
+            "fn outer() {\n\
+                 struct Blind(u8);\n\
+                 impl Encode for Blind { fn encode(&self, _h: &mut FpHasher) {} }\n\
+                 struct Full { a: u64 }\n\
+                 impl Encode for Full {\n\
+                     fn encode(&self, h: &mut FpHasher) { self.a.encode(h); }\n\
+                 }\n\
+             }\n",
+        );
+        assert_eq!(it.encode_impls.len(), 2);
+        assert_eq!(it.encode_impls[0].type_name, "Blind");
+        assert!(it.encode_impls[0].self_fields.is_empty());
+        assert_eq!(it.encode_impls[1].type_name, "Full");
+        assert!(it.encode_impls[1].self_fields.contains("a"));
+    }
+
+    #[test]
+    fn fn_signatures_with_owner_and_normalization() {
+        let it = parse(
+            "impl<'a, Sys: System> Search<'a, Sys> {\n\
+                 pub fn search<F>(&self, pred: F) -> Option<usize>\n\
+                 where F: Fn(&Sys::State) -> bool { None }\n\
+             }\n\
+             pub fn free(cfg: &Config, seed: u64) -> u32 { 0 }\n",
+        );
+        let m = &it.fns[0];
+        assert_eq!(m.name, "search");
+        assert_eq!(m.owner.as_deref(), Some("Search"));
+        assert_eq!(m.generics, "<F>");
+        assert_eq!(m.receiver, "&self");
+        assert_eq!(m.params, vec![("pred".to_string(), "F".to_string())]);
+        assert_eq!(m.ret, "Option<usize>");
+        assert_eq!(m.where_clause, "F:Fn(&Sys::State)->bool");
+        let f = &it.fns[1];
+        assert_eq!(f.owner, None);
+        assert_eq!(f.params[0], ("cfg".to_string(), "&Config".to_string()));
+    }
+
+    #[test]
+    fn macro_rules_definitions_are_opaque() {
+        let it = parse(
+            "macro_rules! impl_encode_enum {\n\
+                 ($ty:ident { $($tag:literal: $var:ident),* }) => { struct NotReal; };\n\
+             }\n\
+             struct Real;\n",
+        );
+        assert_eq!(it.types.len(), 1);
+        assert_eq!(it.types[0].name, "Real");
+    }
+
+    #[test]
+    fn fn_type_position_is_not_an_item() {
+        let it = parse("const F: fn(u32) -> bool = is_even;\nfn real() {}\n");
+        assert_eq!(it.fns.len(), 1);
+        assert_eq!(it.fns[0].name, "real");
+    }
+}

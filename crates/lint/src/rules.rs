@@ -1,22 +1,38 @@
-//! The six lint rules and their source-level scanners.
+//! The ten lint rules and their source-level scanners.
 //!
 //! Each rule protects a proof technique (see `docs/LINTS.md`):
 //! `det-order` keeps transcript-replay (bivalence/scenario) arguments
 //! honest, `det-time` and `det-ambient` keep the adversary model airtight,
+//! `det-float` keeps NaN out of the `Ord` discipline the engines rely on,
 //! `hermetic-deps` keeps the offline build machine-checked, `doc-cite`
 //! keeps rustdoc's strict-docs gate from regressing, and `map-coverage`
-//! keeps `docs/PAPER_MAP.md` an exhaustive paper-to-module index.
+//! keeps `docs/PAPER_MAP.md` an exhaustive paper-to-module index. Two
+//! item-aware soundness rules ride on [`crate::parse`]: `encode-coverage`
+//! audits that every field/variant of a type with a hand-written `Encode`
+//! impl (or `impl_encode_enum!` listing) is actually consumed — a skipped
+//! field merges distinct states in the fingerprint visited set — and
+//! `twin-drift` machine-enforces the zero-cost-twin contract from
+//! `docs/OBS.md`: every `foo_traced` needs a sibling `foo` whose
+//! signature matches modulo the tracer parameter. The file-set-level
+//! `waiver-doc-sync` rule (in [`crate::walk`]) keeps the waiver
+//! inventory in `docs/LINTS.md` machine-checked against the tree.
 
 use crate::lex::{classify, waivers, ClassifiedLine, Waivers};
+use crate::parse::{parse_file, FieldsShape, FileItems, FnSig, TypeDef, TypeKind};
+use std::collections::BTreeMap;
 
-/// The names of all six rules, in reporting order.
-pub const RULE_NAMES: [&str; 6] = [
+/// The names of all ten rules, in reporting order.
+pub const RULE_NAMES: [&str; 10] = [
     "det-order",
     "det-time",
     "det-ambient",
+    "det-float",
     "hermetic-deps",
     "doc-cite",
     "map-coverage",
+    "encode-coverage",
+    "twin-drift",
+    "waiver-doc-sync",
 ];
 
 /// A single rustc-style finding: `path:line:col: deny(rule): message`.
@@ -42,6 +58,46 @@ impl std::fmt::Display for Diagnostic {
             self.path, self.line, self.col, self.rule, self.message
         )
     }
+}
+
+impl Diagnostic {
+    /// Canonical single-line JSON encoding (same hand-built style as
+    /// `PropertyReport::to_json` in `impossible-explore`): fixed key
+    /// order `path, line, col, rule, message`, no whitespace.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(self.message.len() + self.path.len() + 64);
+        s.push_str("{\"path\":");
+        push_json_str(&mut s, &self.path);
+        s.push_str(",\"line\":");
+        s.push_str(&self.line.to_string());
+        s.push_str(",\"col\":");
+        s.push_str(&self.col.to_string());
+        s.push_str(",\"rule\":");
+        push_json_str(&mut s, self.rule);
+        s.push_str(",\"message\":");
+        push_json_str(&mut s, &self.message);
+        s.push('}');
+        s
+    }
+}
+
+/// Append `s` as a JSON string literal, escaping per RFC 8259.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// `(rule, forbidden code patterns)` for the three determinism rules.
@@ -100,11 +156,329 @@ pub fn lint_rust_source(path: &str, src: &str, rules: &[&str]) -> Vec<Diagnostic
         }
         scan_code_patterns(path, &lines, &w, rule, patterns, &mut out);
     }
+    if rules.contains(&"det-float") {
+        scan_float_types(path, &lines, &w, &mut out);
+    }
     if rules.contains(&"doc-cite") {
         scan_doc_citations(path, &lines, &w, &mut out);
     }
+    if rules.contains(&"encode-coverage") || rules.contains(&"twin-drift") {
+        let items = parse_file(&lines);
+        if rules.contains(&"encode-coverage") {
+            check_encode_coverage(path, &items, &w, &mut out);
+        }
+        if rules.contains(&"twin-drift") {
+            check_twin_drift(path, &items, &w, &mut out);
+        }
+    }
     out.sort();
     out
+}
+
+/// `det-float`: `f32` / `f64` type mentions in engine/protocol code.
+///
+/// NaN is the one value that breaks the total-`Ord` discipline
+/// `det-order` exists for (`NaN != NaN` poisons `BTreeMap` invariants,
+/// sort stability, and canonical state comparison), and float rounding
+/// makes "the same computation" platform-shaped. Fires on type mentions
+/// (`: f64`, `as f64`, `f64::INFINITY`) and suffixed literals
+/// (`0.5f64`); an *unsuffixed* literal passed to an integer-backed API
+/// has no `f64` token and is fine. One diagnostic per line (leftmost).
+fn scan_float_types(
+    path: &str,
+    lines: &[ClassifiedLine],
+    w: &Waivers,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let b = line.code.as_bytes();
+        let hit = ["f32", "f64"]
+            .iter()
+            .filter_map(|p| {
+                let mut from = 0;
+                while let Some(pos) = line.code[from..].find(p) {
+                    let k = from + pos;
+                    let prev_ok = k == 0
+                        || (!b[k - 1].is_ascii_alphabetic() && b[k - 1] != b'_');
+                    let next = b.get(k + p.len());
+                    let next_ok =
+                        !next.is_some_and(|&n| n.is_ascii_alphanumeric() || n == b'_');
+                    if prev_ok && next_ok {
+                        return Some((k, *p));
+                    }
+                    from = k + p.len();
+                }
+                None
+            })
+            .min();
+        if let Some((col, pattern)) = hit {
+            if !w.allows(lineno, "det-float") {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: lineno,
+                    col: col + 1,
+                    rule: "det-float",
+                    message: format!(
+                        "floating-point type `{pattern}` in an engine/protocol \
+                         crate: NaN breaks the total-`Ord` state discipline and \
+                         rounding is platform-shaped; use integer or fixed-point \
+                         arithmetic (per-mille probabilities, `ilog2`/`isqrt` \
+                         bounds) or waive with a reason"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `encode-coverage`: every field/variant of a locally-defined type with
+/// a hand-written `impl Encode` (or `impl_encode_enum!` listing) must be
+/// consumed by the impl.
+///
+/// A skipped field compiles silently but makes two states that differ
+/// only there fingerprint identically — the visited set then merges
+/// them, and every downstream witness, valence verdict, and lasso is
+/// built on an unsound state graph. A *missing enum variant* in
+/// `impl_encode_enum!` is worse still: the generated chained `if let`
+/// simply writes nothing for it, not even a tag.
+fn check_encode_coverage(
+    path: &str,
+    items: &FileItems,
+    w: &Waivers,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Local type definitions by name; names defined more than once in
+    // the file (e.g. test-local shadows) are ambiguous — skip those.
+    let mut defs: BTreeMap<&str, &TypeDef> = BTreeMap::new();
+    let mut dup: Vec<&str> = Vec::new();
+    for td in &items.types {
+        if defs.insert(td.name.as_str(), td).is_some() {
+            dup.push(td.name.as_str());
+        }
+    }
+    for name in dup {
+        defs.remove(name);
+    }
+
+    for im in &items.encode_impls {
+        let Some(def) = defs.get(im.type_name.as_str()) else {
+            continue; // type defined elsewhere (or ambiguous): out of scope
+        };
+        let mut missing: Vec<String> = Vec::new();
+        match &def.kind {
+            TypeKind::Struct(FieldsShape::Named(fields)) => {
+                for f in fields {
+                    if !im.body_idents.contains(f) {
+                        missing.push(format!("field `{f}`"));
+                    }
+                }
+            }
+            TypeKind::Struct(FieldsShape::Tuple(n)) => {
+                for idx in 0..*n {
+                    if !im.self_fields.contains(&idx.to_string()) {
+                        missing.push(format!("field `.{idx}`"));
+                    }
+                }
+            }
+            TypeKind::Struct(FieldsShape::Unit) => {}
+            TypeKind::Enum(variants) => {
+                for v in variants {
+                    if !im.body_idents.contains(&v.name) {
+                        missing.push(format!("variant `{}`", v.name));
+                        continue;
+                    }
+                    if let FieldsShape::Named(fields) = &v.shape {
+                        for f in fields {
+                            if !im.body_idents.contains(f) {
+                                missing.push(format!("field `{}::{f}`", v.name));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !missing.is_empty() && !w.allows(im.line, "encode-coverage") {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: im.line,
+                col: im.col,
+                rule: "encode-coverage",
+                message: format!(
+                    "`impl Encode for {}` does not consume {}: states \
+                     differing only there fingerprint identically, silently \
+                     merging distinct states in the visited set (collision \
+                     soundness hole); encode it or waive with a reason",
+                    im.type_name,
+                    missing.join(", "),
+                ),
+            });
+        }
+    }
+
+    for mac in &items.encode_macros {
+        let Some(def) = defs.get(mac.type_name.as_str()) else {
+            continue;
+        };
+        let TypeKind::Enum(variants) = &def.kind else {
+            continue;
+        };
+        let listed: Vec<&str> = mac.entries.iter().map(|e| e.variant.as_str()).collect();
+        let missing: Vec<String> = variants
+            .iter()
+            .filter(|v| !listed.contains(&v.name.as_str()))
+            .map(|v| format!("`{}`", v.name))
+            .collect();
+        if !missing.is_empty() && !w.allows(mac.line, "encode-coverage") {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: mac.line,
+                col: mac.col,
+                rule: "encode-coverage",
+                message: format!(
+                    "`impl_encode_enum!({} …)` is missing variant{} {}: the \
+                     generated encoder writes *nothing* (not even a tag) for \
+                     an unlisted variant, so such values collide with every \
+                     other state (fingerprint soundness hole); list every \
+                     variant with a distinct tag",
+                    mac.type_name,
+                    if missing.len() == 1 { "" } else { "s" },
+                    missing.join(", "),
+                ),
+            });
+        }
+        // Duplicate tags un-prefix the variant encodings just as badly.
+        let mut seen: BTreeMap<&str, &str> = BTreeMap::new();
+        for e in &mac.entries {
+            if let Some(prev) = seen.insert(e.tag.as_str(), e.variant.as_str()) {
+                if !w.allows(mac.line, "encode-coverage") {
+                    out.push(Diagnostic {
+                        path: path.to_string(),
+                        line: mac.line,
+                        col: mac.col,
+                        rule: "encode-coverage",
+                        message: format!(
+                            "`impl_encode_enum!({} …)` assigns tag `{}` to both \
+                             `{prev}` and `{}`: the tag is the only thing \
+                             separating variant encodings, so duplicates merge \
+                             the two variants' fingerprints",
+                            mac.type_name, e.tag, e.variant,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// `twin-drift`: every `foo_traced` must have an untraced sibling `foo`
+/// (same impl block / same file scope) whose signature matches modulo
+/// the tracer parameter.
+///
+/// The zero-cost-twin contract (`docs/OBS.md`) is what lets callers mix
+/// traced and untraced paths and expect identical behaviour; a drifted
+/// twin means the untraced wrapper silently runs something else than
+/// what the trace shows.
+fn check_twin_drift(path: &str, items: &FileItems, w: &Waivers, out: &mut Vec<Diagnostic>) {
+    let mut deny = |f: &FnSig, msg: String| {
+        if !w.allows(f.line, "twin-drift") {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: f.line,
+                col: f.col,
+                rule: "twin-drift",
+                message: msg,
+            });
+        }
+    };
+    for f in &items.fns {
+        let Some(base) = f.name.strip_suffix("_traced").filter(|b| !b.is_empty()) else {
+            continue;
+        };
+        let Some(twin) = items
+            .fns
+            .iter()
+            .find(|t| t.name == base && t.owner == f.owner)
+        else {
+            deny(
+                f,
+                format!(
+                    "`{}` has no untraced twin `{base}` in the same scope; the \
+                     zero-cost-twin contract (docs/OBS.md) requires an untraced \
+                     sibling whose signature matches modulo the tracer parameter",
+                    f.name,
+                ),
+            );
+            continue;
+        };
+        let reduced: Vec<&(String, String)> = f
+            .params
+            .iter()
+            .filter(|(_, ty)| !ty.contains("Tracer"))
+            .collect();
+        if reduced.len() == f.params.len() {
+            deny(
+                f,
+                format!(
+                    "`{}` has no tracer parameter: a `_traced` twin must take \
+                     a `&mut dyn Tracer` (or equivalent) that `{base}` omits",
+                    f.name,
+                ),
+            );
+            continue;
+        }
+        let drift = if f.receiver != twin.receiver {
+            Some(format!(
+                "receiver is `{}` but `{base}` takes `{}`",
+                f.receiver, twin.receiver,
+            ))
+        } else if f.generics != twin.generics {
+            Some(format!(
+                "generics are `{}` but `{base}` has `{}`",
+                f.generics, twin.generics,
+            ))
+        } else if f.ret != twin.ret {
+            Some(format!(
+                "returns `{}` but `{base}` returns `{}`",
+                f.ret, twin.ret,
+            ))
+        } else if f.where_clause != twin.where_clause {
+            Some(format!(
+                "`where` clause `{}` differs from `{base}`'s `{}`",
+                f.where_clause, twin.where_clause,
+            ))
+        } else if reduced.len() != twin.params.len() {
+            Some(format!(
+                "takes {} non-tracer parameter{} but `{base}` takes {}",
+                reduced.len(),
+                if reduced.len() == 1 { "" } else { "s" },
+                twin.params.len(),
+            ))
+        } else {
+            reduced
+                .iter()
+                .zip(&twin.params)
+                .enumerate()
+                .find(|(_, (a, b))| *a != b)
+                .map(|(k, ((an, at), (bn, bt)))| {
+                    format!(
+                        "parameter {} is `{an}: {at}` but `{base}` has `{bn}: {bt}`",
+                        k + 1,
+                    )
+                })
+        };
+        if let Some(what) = drift {
+            deny(
+                f,
+                format!(
+                    "`{}` drifts from its untraced twin `{base}`: {what}; the \
+                     twins must stay signature-identical modulo the tracer \
+                     parameter (docs/OBS.md)",
+                    f.name,
+                ),
+            );
+        }
+    }
 }
 
 /// Emit at most one diagnostic per (line, rule): the leftmost match.

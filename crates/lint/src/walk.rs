@@ -17,15 +17,30 @@
 //! * `det-ambient` — everywhere except `crates/det/src/prop.rs` (the
 //!   documented `DET_SEED` replay path) and `crates/lint` (the tool reads
 //!   the file system and process arguments by design).
+//! * `det-float` — `crates/**` only (binaries and integration tests under
+//!   `src/` / `tests/` are drivers, not modeled state), minus the tooling
+//!   exemptions above and minus the modules whose *subject matter* is a
+//!   continuous quantity: `crates/clocksync/**` (drifting real-time
+//!   clocks), `crates/msgpass/src/stretch.rs` (real-time shifting
+//!   diagrams), `crates/registers/src/spec.rs` +
+//!   `crates/registers/src/constructions.rs` (real-time atomicity specs),
+//!   `crates/consensus/src/approx.rs` (approximate agreement over reals).
+//! * `encode-coverage`, `twin-drift` — every Rust file (they only fire on
+//!   locally-defined items, so scoping is structural already).
 //! * `doc-cite` — every Rust file.
 //! * `hermetic-deps` — every `Cargo.toml`.
 //! * `map-coverage` — every `crates/*/src/**` module file except crate
 //!   roots (`lib.rs`, `mod.rs`, `main.rs`).
+//! * `waiver-doc-sync` — the whole tree against `docs/LINTS.md`.
 
-use crate::lex::{classify, waivers};
-use crate::manifest::lint_manifest;
+use crate::lex::{classify, waiver_records, waivers};
+use crate::manifest::{lint_manifest, manifest_waiver_records};
 use crate::rules::{lint_rust_source, Diagnostic};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+
+/// One row of the canonical waiver inventory: `(path, rule, count)`.
+pub type WaiverRow = (String, String, usize);
 
 /// Everything one `lint_workspace` pass saw and found.
 #[derive(Debug)]
@@ -36,6 +51,10 @@ pub struct WorkspaceReport {
     pub rust_files: usize,
     /// Number of `Cargo.toml` manifests scanned.
     pub manifests: usize,
+    /// The actual `LINT-ALLOW` inventory, sorted by `(path, rule)` —
+    /// what `--list-waivers` prints and `waiver-doc-sync` checks
+    /// `docs/LINTS.md` against.
+    pub waivers: Vec<WaiverRow>,
 }
 
 /// The source-level rules that apply to the workspace-relative path `rel`
@@ -56,7 +75,21 @@ pub fn rules_for(rel: &str) -> Vec<&'static str> {
     if !tooling && rel != "crates/det/src/prop.rs" {
         rules.push("det-ambient");
     }
+    let float_exempt = !rel.starts_with("crates/")
+        || tooling
+        || det_crate
+        || bench_crate
+        || rel.starts_with("crates/clocksync/")
+        || rel == "crates/msgpass/src/stretch.rs"
+        || rel == "crates/registers/src/spec.rs"
+        || rel == "crates/registers/src/constructions.rs"
+        || rel == "crates/consensus/src/approx.rs";
+    if !float_exempt {
+        rules.push("det-float");
+    }
     rules.push("doc-cite");
+    rules.push("encode-coverage");
+    rules.push("twin-drift");
     rules
 }
 
@@ -115,6 +148,7 @@ fn rel_str(root: &Path, path: &Path) -> String {
 /// Run every rule over the workspace rooted at `root`.
 pub fn lint_workspace(root: &Path) -> WorkspaceReport {
     let mut diagnostics = Vec::new();
+    let mut inventory: BTreeMap<(String, String), usize> = BTreeMap::new();
 
     // Rust sources under the three scanned roots.
     let mut rust: Vec<PathBuf> = Vec::new();
@@ -142,10 +176,16 @@ pub fn lint_workspace(root: &Path) -> WorkspaceReport {
             continue;
         };
         diagnostics.extend(lint_rust_source(&rel, &src, &rules_for(&rel)));
+        let lines = classify(&src);
+        for rec in waiver_records(&lines) {
+            for rule in &rec.rules {
+                *inventory.entry((rel.clone(), rule.clone())).or_default() += 1;
+            }
+        }
         if in_map_scope(&rel) {
             let token = module_token(&rel).unwrap_or_default();
             if !map_src.contains(&token) {
-                let w = waivers(&classify(&src));
+                let w = waivers(&lines);
                 if !w.allows_file("map-coverage") {
                     diagnostics.push(Diagnostic {
                         path: rel.clone(),
@@ -167,15 +207,200 @@ pub fn lint_workspace(root: &Path) -> WorkspaceReport {
         let rel = rel_str(root, path);
         if let Ok(src) = std::fs::read_to_string(path) {
             diagnostics.extend(lint_manifest(&rel, &src));
+            for rec in manifest_waiver_records(&src) {
+                for rule in &rec.rules {
+                    *inventory.entry((rel.clone(), rule.clone())).or_default() += 1;
+                }
+            }
         }
     }
+
+    let waiver_rows: Vec<WaiverRow> = inventory
+        .into_iter()
+        .map(|((path, rule), count)| (path, rule, count))
+        .collect();
+
+    let lints_doc = std::fs::read_to_string(root.join("docs/LINTS.md")).unwrap_or_default();
+    diagnostics.extend(check_waiver_doc_sync(
+        &lints_doc,
+        &waiver_rows,
+        rust.len(),
+        manifests.len(),
+    ));
 
     diagnostics.sort();
     WorkspaceReport {
         diagnostics,
         rust_files: rust.len(),
         manifests: manifests.len(),
+        waivers: waiver_rows,
     }
+}
+
+/// Render the canonical waiver inventory block (what `--list-waivers`
+/// prints): the marker-fenced markdown table `docs/LINTS.md` must embed
+/// verbatim, followed by the canonical clean-tree example output line.
+pub fn render_waiver_inventory(
+    rows: &[WaiverRow],
+    rust_files: usize,
+    manifests: usize,
+) -> String {
+    let mut s = String::new();
+    s.push_str("<!-- waiver-inventory:begin -->\n");
+    s.push_str("| File | Rule | Count |\n|---|---|---|\n");
+    for (path, rule, count) in rows {
+        s.push_str(&format!("| `{path}` | `{rule}` | {count} |\n"));
+    }
+    s.push_str("<!-- waiver-inventory:end -->\n");
+    s.push_str(&format!(
+        "\nimpossible-lint: {rust_files} source files + {manifests} manifests \
+         checked, 0 violations\n"
+    ));
+    s
+}
+
+/// Parse one `| `path` | `rule` | N |` inventory row.
+fn parse_inventory_row(line: &str) -> Option<WaiverRow> {
+    let trimmed = line.trim();
+    if !trimmed.starts_with('|') {
+        return None;
+    }
+    let cells: Vec<&str> = trimmed
+        .trim_matches('|')
+        .split('|')
+        .map(str::trim)
+        .collect();
+    if cells.len() != 3 {
+        return None;
+    }
+    let count: usize = cells[2].parse().ok()?;
+    Some((
+        cells[0].trim_matches('`').to_string(),
+        cells[1].trim_matches('`').to_string(),
+        count,
+    ))
+}
+
+/// Parse the scanned-file counts out of an
+/// `impossible-lint: N source files + M manifests checked …` line.
+fn parse_counts_line(line: &str) -> Option<(usize, usize)> {
+    let rest = line.split("impossible-lint: ").nth(1)?;
+    let (n, rest) = rest.split_once(" source files + ")?;
+    let (m, _) = rest.split_once(" manifests checked")?;
+    Some((n.trim().parse().ok()?, m.trim().parse().ok()?))
+}
+
+/// `waiver-doc-sync`: fail when `docs/LINTS.md` drifts from the tree.
+///
+/// The waiver inventory is the audit surface for every exception the
+/// other rules granted; a stale inventory means a reviewer reading the
+/// doc sees fewer (or different) exceptions than the code actually
+/// carries. The doc embeds a marker-fenced table
+/// (`<!-- waiver-inventory:begin/end -->`) plus an example output line
+/// with the scanned-file counts; both must match reality and both are
+/// regenerable verbatim via `--list-waivers`.
+pub fn check_waiver_doc_sync(
+    doc: &str,
+    rows: &[WaiverRow],
+    rust_files: usize,
+    manifests: usize,
+) -> Vec<Diagnostic> {
+    let diag = |line: usize, message: String| Diagnostic {
+        path: "docs/LINTS.md".to_string(),
+        line,
+        col: 1,
+        rule: "waiver-doc-sync",
+        message,
+    };
+    let mut out = Vec::new();
+
+    let mut begin = None;
+    let mut end = None;
+    for (idx, l) in doc.lines().enumerate() {
+        if l.contains("waiver-inventory:begin") && begin.is_none() {
+            begin = Some(idx + 1);
+        } else if l.contains("waiver-inventory:end") && end.is_none() {
+            end = Some(idx + 1);
+        }
+    }
+    match (begin, end) {
+        (Some(b), Some(e)) if b < e => {
+            let doc_rows: Vec<(usize, WaiverRow)> = doc
+                .lines()
+                .enumerate()
+                .skip(b)
+                .take(e - b - 1)
+                .filter_map(|(idx, l)| parse_inventory_row(l).map(|r| (idx + 1, r)))
+                .collect();
+            for (lineno, (path, rule, count)) in &doc_rows {
+                match rows.iter().find(|(p, r, _)| p == path && r == rule) {
+                    None => out.push(diag(
+                        *lineno,
+                        format!(
+                            "stale inventory row: the tree has no `{rule}` waiver \
+                             in `{path}`; regenerate with `--list-waivers`"
+                        ),
+                    )),
+                    Some((_, _, actual)) if actual != count => out.push(diag(
+                        *lineno,
+                        format!(
+                            "inventory row for `{path}` / `{rule}` says {count} \
+                             waiver{} but the tree has {actual}; regenerate with \
+                             `--list-waivers`",
+                            if *count == 1 { "" } else { "s" },
+                        ),
+                    )),
+                    _ => {}
+                }
+            }
+            for (path, rule, count) in rows {
+                if !doc_rows.iter().any(|(_, (p, r, _))| p == path && r == rule) {
+                    out.push(diag(
+                        e,
+                        format!(
+                            "`{rule}` waiver{} in `{path}` (×{count}) missing \
+                             from the inventory; regenerate with `--list-waivers`",
+                            if *count == 1 { "" } else { "s" },
+                        ),
+                    ));
+                }
+            }
+        }
+        _ => out.push(diag(
+            1,
+            "docs/LINTS.md has no machine-checked waiver inventory (a \
+             `<!-- waiver-inventory:begin -->` … `<!-- waiver-inventory:end -->` \
+             fenced table); paste the `--list-waivers` output"
+                .to_string(),
+        )),
+    }
+
+    let mut saw_counts = false;
+    for (idx, l) in doc.lines().enumerate() {
+        if let Some((n, m)) = parse_counts_line(l) {
+            saw_counts = true;
+            if (n, m) != (rust_files, manifests) {
+                out.push(diag(
+                    idx + 1,
+                    format!(
+                        "example output line claims {n} source files + {m} \
+                         manifests but the tree has {rust_files} + {manifests}; \
+                         regenerate with `--list-waivers`"
+                    ),
+                ));
+            }
+        }
+    }
+    if !saw_counts {
+        out.push(diag(
+            1,
+            "docs/LINTS.md has no `impossible-lint: N source files + M \
+             manifests checked` example line; paste the one `--list-waivers` \
+             prints"
+                .to_string(),
+        ));
+    }
+    out
 }
 
 #[cfg(test)]

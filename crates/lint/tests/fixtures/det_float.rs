@@ -1,0 +1,10 @@
+pub fn curve(eps: f64) -> u64 {
+    // f64 in a comment stays silent
+    let s = "f32 in a string stays silent";
+    // LINT-ALLOW: det-float -- fixture: waived cast on the next line
+    let w = eps as f32;
+    let x = 0.5f64;
+    let buf64 = 0u64; let f64ish = buf64;
+    let _ = (s, w, x, f64ish);
+    0
+}

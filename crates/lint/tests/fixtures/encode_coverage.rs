@@ -1,0 +1,42 @@
+pub struct Pair {
+    a: u32,
+    b: u32,
+}
+impl Encode for Pair {
+    fn encode(&self, h: &mut FpHasher) {
+        h.write_u32(self.a);
+    }
+}
+pub struct Tup(u8, u16);
+impl Encode for Tup {
+    fn encode(&self, h: &mut FpHasher) {
+        h.write_u8(self.0);
+    }
+}
+pub enum Mode {
+    Off,
+    On { level: u8 },
+}
+impl Encode for Mode {
+    fn encode(&self, h: &mut FpHasher) {
+        if let Mode::On { level } = self {
+            h.write_u8(*level);
+        }
+    }
+}
+// LINT-ALLOW: encode-coverage -- fixture: deliberately blind, waived
+impl Encode for Waived {
+    fn encode(&self, _h: &mut FpHasher) {}
+}
+pub struct Waived {
+    z: u8,
+}
+pub enum Tag {
+    A,
+    B,
+    C,
+}
+impl_encode_enum!(Tag {
+    0: A,
+    0: B,
+});

@@ -1,0 +1,25 @@
+pub fn run(sys: &Sys, steps: usize) -> Report {
+    unimplemented!()
+}
+pub fn run_traced(sys: &Sys, steps: usize, tr: &mut dyn Tracer) -> Report {
+    unimplemented!()
+}
+pub fn orphan_traced(tr: &mut dyn Tracer) -> u32 {
+    0
+}
+pub fn plain(x: u32) -> u32 {
+    x
+}
+pub fn plain_traced(x: u32) -> u32 {
+    x
+}
+pub fn drift(x: u32) -> u32 {
+    x
+}
+pub fn drift_traced(x: u32, tr: &mut dyn Tracer) -> u64 {
+    0
+}
+// LINT-ALLOW: twin-drift -- fixture: intentionally waived orphan
+pub fn waived_traced(tr: &mut dyn Tracer) -> u32 {
+    0
+}

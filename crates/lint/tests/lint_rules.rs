@@ -131,6 +131,131 @@ fn map_coverage_scope_tokens_and_file_wide_waiver() {
 }
 
 #[test]
+fn det_float_fires_on_type_mentions_and_suffixed_literals() {
+    let src = include_str!("fixtures/det_float.rs");
+    let d = lint_rust_source("fixtures/det_float.rs", src, &["det-float"]);
+    // Line 1: the `f64` parameter type; line 6: the `0.5f64` suffix.
+    // Comment (2) and string (3) text never fire, line 5 is waived by
+    // line 4, and `buf64` / `f64ish` (line 7) are not `f64` tokens.
+    assert_eq!(positions(&d), vec![(1, 19), (6, 16)]);
+    assert!(d.iter().all(|d| d.rule == "det-float"));
+}
+
+#[test]
+fn det_float_scope_is_engine_crates_minus_continuous_subjects() {
+    assert!(rules_for("crates/election/src/hs.rs").contains(&"det-float"));
+    assert!(rules_for("crates/consensus/src/flp.rs").contains(&"det-float"));
+    // Modules whose subject matter is a continuous quantity are
+    // structurally exempt…
+    assert!(!rules_for("crates/clocksync/src/lundelius.rs").contains(&"det-float"));
+    assert!(!rules_for("crates/consensus/src/approx.rs").contains(&"det-float"));
+    assert!(!rules_for("crates/msgpass/src/stretch.rs").contains(&"det-float"));
+    assert!(!rules_for("crates/registers/src/spec.rs").contains(&"det-float"));
+    // …as are tooling, bench, and the driver layers outside crates/.
+    assert!(!rules_for("crates/bench/benches/experiments.rs").contains(&"det-float"));
+    assert!(!rules_for("crates/lint/src/rules.rs").contains(&"det-float"));
+    assert!(!rules_for("src/bin/experiments.rs").contains(&"det-float"));
+    assert!(!rules_for("tests/property_based.rs").contains(&"det-float"));
+}
+
+#[test]
+fn encode_coverage_audits_fields_variants_and_macro_listings() {
+    let src = include_str!("fixtures/encode_coverage.rs");
+    let d = lint_rust_source("fixtures/encode_coverage.rs", src, &["encode-coverage"]);
+    // `Pair` skips a named field, `Tup` skips `.1`, `Mode` never matches
+    // `Off`, and the `Tag` macro both duplicates a tag and omits `C`.
+    // The blind `Waived` impl (line 28) is covered by the waiver above it.
+    assert_eq!(
+        positions(&d),
+        vec![(5, 17), (11, 17), (20, 17), (39, 19), (39, 19)]
+    );
+    assert!(d.iter().all(|d| d.rule == "encode-coverage"));
+    assert!(d[0].message.contains("field `b`"));
+    assert!(d[1].message.contains("field `.1`"));
+    assert!(d[2].message.contains("variant `Off`"));
+    // The two macro findings sort by message: duplicate tag first.
+    assert!(d[3].message.contains("tag `0`"));
+    assert!(d[4].message.contains("missing variant `C`"));
+}
+
+#[test]
+fn twin_drift_catches_orphans_missing_tracers_and_signature_drift() {
+    let src = include_str!("fixtures/twin_drift.rs");
+    let d = lint_rust_source("fixtures/twin_drift.rs", src, &["twin-drift"]);
+    // `run`/`run_traced` match modulo the tracer and stay silent; the
+    // waived orphan on line 23 is covered by the comment above it.
+    assert_eq!(positions(&d), vec![(7, 8), (13, 8), (19, 8)]);
+    assert!(d.iter().all(|d| d.rule == "twin-drift"));
+    assert!(d[0].message.contains("no untraced twin `orphan`"));
+    assert!(d[1].message.contains("no tracer parameter"));
+    assert!(d[2].message.contains("returns `u64` but `drift` returns `u32`"));
+}
+
+#[test]
+fn diagnostic_json_is_canonical_single_line() {
+    let src = include_str!("fixtures/det_time.rs");
+    let d = lint_rust_source("crates/x/src/y.rs", src, &["det-time"]);
+    let json = d[0].to_json();
+    // Fixed key order, no whitespace, one line — the same hand-built
+    // style as `PropertyReport::to_json`.
+    assert!(json.starts_with(
+        "{\"path\":\"crates/x/src/y.rs\",\"line\":2,\"col\":24,\
+         \"rule\":\"det-time\",\"message\":\""
+    ));
+    assert!(json.ends_with("\"}"));
+    assert!(!json.contains('\n'));
+    // Escaping is RFC 8259: quotes, backslashes, control characters.
+    let spiky = impossible_lint::Diagnostic {
+        path: "a\"b\\c.rs".to_string(),
+        line: 3,
+        col: 7,
+        rule: "det-order",
+        message: "tab\there".to_string(),
+    };
+    assert_eq!(
+        spiky.to_json(),
+        "{\"path\":\"a\\\"b\\\\c.rs\",\"line\":3,\"col\":7,\
+         \"rule\":\"det-order\",\"message\":\"tab\\there\"}"
+    );
+}
+
+#[test]
+fn waiver_doc_sync_round_trips_and_catches_drift() {
+    use impossible_lint::{check_waiver_doc_sync, render_waiver_inventory};
+    let rows = vec![
+        ("crates/a/src/x.rs".to_string(), "det-ambient".to_string(), 2),
+        ("crates/b/Cargo.toml".to_string(), "hermetic-deps".to_string(), 1),
+    ];
+    let doc = render_waiver_inventory(&rows, 119, 14);
+    assert!(check_waiver_doc_sync(&doc, &rows, 119, 14).is_empty());
+
+    // A drifted count is pinned to the stale row's own line (begin
+    // marker, header, separator, then the first data row = line 4).
+    let stale = doc.replace("| 2 |", "| 5 |");
+    let d = check_waiver_doc_sync(&stale, &rows, 119, 14);
+    assert_eq!(d.len(), 1);
+    assert_eq!((d[0].line, d[0].rule), (4, "waiver-doc-sync"));
+    assert!(d[0].message.contains("says 5 waivers but the tree has 2"));
+
+    // A waiver the doc does not list is reported at the end marker.
+    let mut more = rows.clone();
+    more.push(("crates/c/src/y.rs".to_string(), "det-order".to_string(), 1));
+    let d = check_waiver_doc_sync(&doc, &more, 119, 14);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].message.contains("missing from the inventory"));
+
+    // Wrong scanned-file counts fail even with a perfect table.
+    let d = check_waiver_doc_sync(&doc, &rows, 120, 14);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].message.contains("claims 119 source files + 14 manifests"));
+
+    // No inventory at all: one diagnostic for the missing table and one
+    // for the missing example line.
+    let d = check_waiver_doc_sync("# LINTS\n", &rows, 119, 14);
+    assert_eq!(d.len(), 2);
+}
+
+#[test]
 fn diagnostic_display_is_rustc_style() {
     let src = include_str!("fixtures/det_time.rs");
     let d = lint_rust_source("crates/x/src/y.rs", src, &["det-time"]);
@@ -147,8 +272,18 @@ fn workspace_is_clean() {
     let report = lint_workspace(&root);
     let msgs: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
     assert!(msgs.is_empty(), "workspace lint violations:\n{}", msgs.join("\n"));
-    assert!(report.rust_files > 80, "walker saw only {} files", report.rust_files);
+    assert!(report.rust_files > 100, "walker saw only {} files", report.rust_files);
     assert!(report.manifests >= 12, "walker saw only {} manifests", report.manifests);
+    // The waiver inventory is collected alongside: it must contain the
+    // known load-bearing exceptions.
+    assert!(report
+        .waivers
+        .iter()
+        .any(|(p, r, _)| p == "crates/explore/src/pool.rs" && r == "det-ambient"));
+    assert!(report
+        .waivers
+        .iter()
+        .any(|(p, r, _)| p == "crates/core/src/pigeonhole.rs" && r == "det-float"));
 }
 
 #[test]
@@ -159,5 +294,18 @@ fn verify_script_invokes_the_linter() {
     assert!(
         script.contains("-p impossible-lint") && script.contains("--deny-all"),
         "scripts/verify.sh no longer runs `impossible-lint --deny-all`"
+    );
+    // The gate self-checks that the item-aware rules are actually wired
+    // into the binary it runs (via `--help`), and guards the bench smoke
+    // on its OK marker instead of trusting the exit code alone.
+    for rule in ["det-float", "encode-coverage", "twin-drift", "waiver-doc-sync"] {
+        assert!(
+            script.contains(rule),
+            "scripts/verify.sh no longer self-checks rule `{rule}`"
+        );
+    }
+    assert!(
+        script.contains("bench --check: OK"),
+        "scripts/verify.sh no longer greps the bench smoke marker"
     );
 }

@@ -28,13 +28,16 @@ pub struct SimStats {
 
 /// Run `alg` for `steps` scheduled actions under a seeded random adversary.
 ///
-/// `try_bias` in `[0.0, 1.0]` is the probability weight given to `Try`
-/// actions relative to protocol steps — high bias means heavy contention.
+/// `try_bias_pct` in `[0, 100]` is the percentage probability weight given
+/// to `Try` actions relative to protocol steps — high bias means heavy
+/// contention. An integer percentage (drawn via [`DetRng::gen_ratio`])
+/// keeps the adversary float-free: the acceptance set is exact, never a
+/// platform-rounded threshold.
 pub fn simulate_random<A: MutexAlgorithm>(
     alg: &A,
     steps: usize,
     seed: u64,
-    try_bias: f64,
+    try_bias_pct: u32,
 ) -> SimStats {
     let sys = MutexSystem::new(alg);
     let mut rng = DetRng::seed_from_u64(seed);
@@ -62,7 +65,8 @@ pub fn simulate_random<A: MutexAlgorithm>(
             .iter()
             .filter(|a| !matches!(a, MutexAction::Try(_)))
             .collect();
-        let action = if !tries.is_empty() && (others.is_empty() || rng.gen_bool(try_bias)) {
+        let action = if !tries.is_empty() && (others.is_empty() || rng.gen_ratio(try_bias_pct, 100))
+        {
             *tries[rng.gen_range(0..tries.len())]
         } else {
             *others[rng.gen_range(0..others.len())]
@@ -124,7 +128,7 @@ mod tests {
 
     #[test]
     fn peterson_fair_under_contention() {
-        let stats = simulate_random(&Peterson2::new(), 60_000, 42, 0.9);
+        let stats = simulate_random(&Peterson2::new(), 60_000, 42, 90);
         assert!(!stats.mutex_violated);
         assert!(stats.entries.iter().all(|&e| e > 0));
         // Bounded bypass: the doorway (set-flag, set-turn) may admit the
@@ -134,7 +138,7 @@ mod tests {
 
     #[test]
     fn bakery_never_violates_and_is_fair_n4() {
-        let stats = simulate_random(&Bakery::new(4), 120_000, 7, 0.8);
+        let stats = simulate_random(&Bakery::new(4), 120_000, 7, 80);
         assert!(!stats.mutex_violated);
         assert!(stats.entries.iter().all(|&e| e > 0));
         // FIFO after the doorway: bypass bounded by roughly one round of the
@@ -185,15 +189,15 @@ mod tests {
 
     #[test]
     fn one_bit_safe_for_five_processes() {
-        let stats = simulate_random(&OneBit::new(5), 150_000, 11, 0.7);
+        let stats = simulate_random(&OneBit::new(5), 150_000, 11, 70);
         assert!(!stats.mutex_violated);
         assert!(stats.entries.iter().sum::<usize>() > 0);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let a = simulate_random(&Peterson2::new(), 10_000, 5, 0.5);
-        let b = simulate_random(&Peterson2::new(), 10_000, 5, 0.5);
+        let a = simulate_random(&Peterson2::new(), 10_000, 5, 50);
+        let b = simulate_random(&Peterson2::new(), 10_000, 5, 50);
         assert_eq!(a, b);
     }
 }

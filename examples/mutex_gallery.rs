@@ -49,10 +49,10 @@ fn main() {
 
     println!("\nRandomized long-run statistics (200k scheduled actions):");
     for stats in [
-        ("peterson", simulate_random(&Peterson2::new(), 200_000, 1, 0.8)),
-        ("bakery(4)", simulate_random(&Bakery::new(4), 200_000, 1, 0.8)),
-        ("one-bit(5)", simulate_random(&OneBit::new(5), 200_000, 1, 0.8)),
-        ("tas-lock", simulate_random(&TasLock::new(2), 200_000, 1, 0.8)),
+        ("peterson", simulate_random(&Peterson2::new(), 200_000, 1, 80)),
+        ("bakery(4)", simulate_random(&Bakery::new(4), 200_000, 1, 80)),
+        ("one-bit(5)", simulate_random(&OneBit::new(5), 200_000, 1, 80)),
+        ("tas-lock", simulate_random(&TasLock::new(2), 200_000, 1, 80)),
     ] {
         println!(
             "  {:12} entries={:?} max-bypass={} violated={}",

@@ -11,8 +11,20 @@ cd "$(dirname "$0")/.."
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 
-echo "== impossible-lint (determinism & hermeticity, deny-all) =="
+echo "== impossible-lint (determinism & soundness, deny-all) =="
+# Self-check: the gate must be running the full ten-rule analyzer (the
+# item-aware rules included), not a stale binary with fewer rules.
+lint_help="$(cargo run -q -p impossible-lint --release --offline -- --help)"
+for rule in det-float encode-coverage twin-drift waiver-doc-sync; do
+    if ! printf '%s' "$lint_help" | grep -q "$rule"; then
+        echo "error: impossible-lint --help does not list rule '$rule'" >&2
+        exit 1
+    fi
+done
+lint_start=$(date +%s%N)
 cargo run -q -p impossible-lint --release --offline -- --deny-all
+lint_end=$(date +%s%N)
+echo "lint stage: $(( (lint_end - lint_start) / 1000000 )) ms wall"
 
 echo "== tests (all crates, offline) =="
 cargo test -q --offline --workspace
@@ -21,6 +33,11 @@ echo "== docs (no warnings allowed) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
 echo "== bench harness smoke (1 sample, tiny grid) =="
-./scripts/bench.sh --check
+bench_out="$(./scripts/bench.sh --check)"
+printf '%s\n' "$bench_out"
+if ! printf '%s' "$bench_out" | grep -q "bench --check: OK"; then
+    echo "error: bench.sh --check did not report 'bench --check: OK'" >&2
+    exit 1
+fi
 
 echo "verify: OK"

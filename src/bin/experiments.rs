@@ -388,10 +388,10 @@ fn e11() {
     println!("{cert}");
     println!("\nABP over loss+duplication (FIFO): possibility side");
     let msgs: Vec<u64> = (0..20).collect();
-    for (drop, dup) in [(0.0, 0.0), (0.3, 0.0), (0.0, 0.3), (0.3, 0.3)] {
+    for (drop, dup) in [(0, 0), (300, 0), (0, 300), (300, 300)] {
         let (delivered, tx) = abp::run_abp(&msgs, 11, drop, dup, 400_000);
         println!(
-            "  drop={drop:.1} dup={dup:.1}: delivered {}/{} in order, {tx} transmissions",
+            "  drop={drop}‰ dup={dup}‰: delivered {}/{} in order, {tx} transmissions",
             delivered.len(),
             msgs.len()
         );

@@ -105,7 +105,7 @@ fn commit_messages_exactly_meet_dwork_skeen() {
 fn datalink_split_by_channel_power() {
     // FIFO loss/duplication: ABP (2 headers) wins.
     let msgs: Vec<u64> = (0..12).collect();
-    let (delivered, _) = run_abp(&msgs, 4, 0.3, 0.3, 400_000);
+    let (delivered, _) = run_abp(&msgs, 4, 300, 300, 400_000);
     assert_eq!(delivered, msgs);
     // Withholding channel: every finite header space loses.
     for k in [2u64, 3, 8] {

@@ -81,7 +81,7 @@ det_prop! {
         seed in 0u64..500,
         drop_pct in 0u32..40,
     ) {
-        let (delivered, _) = run_abp(&msgs, seed, f64::from(drop_pct) / 100.0, 0.2, 600_000);
+        let (delivered, _) = run_abp(&msgs, seed, drop_pct * 10, 200, 600_000);
         det_assert_eq!(delivered, msgs);
     }
 
@@ -90,7 +90,7 @@ det_prop! {
         seed in 0u64..200,
         bias in 1u32..10,
     ) {
-        let bias = f64::from(bias) / 10.0;
+        let bias = bias * 10; // percent
         det_assert!(!simulate_random(&Peterson2::new(), 30_000, seed, bias).mutex_violated);
         det_assert!(!simulate_random(&Bakery::new(3), 30_000, seed, bias).mutex_violated);
         det_assert!(!simulate_random(&OneBit::new(3), 30_000, seed, bias).mutex_violated);
