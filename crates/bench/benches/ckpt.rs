@@ -1,0 +1,88 @@
+//! Checkpoint overhead (`BENCH_ckpt.json`): what does pausing a search,
+//! sealing it to snapshot bytes, decoding them back and resuming cost over
+//! just running straight through?
+//!
+//! The resume contract says the *bytes* of the report are identical either
+//! way; this suite prices the detour. Three cases on the 6×6 grid
+//! (117,649 states, the same instance `BENCH_5.json` tracks):
+//!
+//! 1. `straight` — one uninterrupted `explore()`.
+//! 2. `resume` — pause at ~half the space, `Snapshot::to_bytes` →
+//!    `from_bytes`, resume to completion (the full service round trip
+//!    minus the filesystem).
+//! 3. `encode_decode` — just the snapshot codec on the paused state, to
+//!    split serialization cost from search cost.
+//!
+//! Run with `cargo bench --bench ckpt`; `scripts/bench.sh` moves the JSON
+//! to the repo root for committing.
+
+use impossible_ckpt::Snapshot;
+use impossible_det::bench::BenchSuite;
+use impossible_explore::{Grid, PauseBudget, Resumable, Search};
+use std::hint::black_box;
+
+/// Timed samples per case (one full exploration per sample).
+const SAMPLES: usize = 9;
+
+fn main() {
+    let mut suite = BenchSuite::new("ckpt");
+
+    let big = Grid { n: 6, max: 6 }; // 7^6 = 117,649 states
+    let pause = 60_000; // roughly half the space
+
+    suite.case("ckpt/straight_grid_6x6_117649", SAMPLES, || {
+        let r = Search::new(black_box(&big)).max_states(200_000).explore();
+        assert_eq!(r.num_states, 117_649);
+        black_box(r.num_transitions);
+    });
+
+    suite.case("ckpt/resume_grid_6x6_117649", SAMPLES, || {
+        let run = Search::new(black_box(&big))
+            .max_states(200_000)
+            .run_resumable(PauseBudget::states(pause));
+        let ckpt = match run {
+            Resumable::Paused(c) => c,
+            Resumable::Done(_) => panic!("pause budget below the space size"),
+        };
+        let bytes = Snapshot::new(0, ckpt).to_bytes();
+        let back = Snapshot::<Vec<u8>, usize>::from_bytes(black_box(&bytes)).expect("decode");
+        let r = Search::new(&big)
+            .max_states(200_000)
+            .resume(back.ckpt, PauseBudget::never())
+            .done()
+            .expect("unbounded resume finishes");
+        assert_eq!(r.num_states, 117_649);
+        black_box(r.num_transitions);
+    });
+
+    // Codec alone: seal the same paused state once per sample.
+    let paused = Search::new(&big)
+        .max_states(200_000)
+        .run_resumable(PauseBudget::states(pause))
+        .paused()
+        .expect("must pause");
+    let snap = Snapshot::new(0, paused);
+    suite.case("ckpt/encode_decode_grid_6x6_117649", SAMPLES, || {
+        let bytes = black_box(&snap).to_bytes();
+        let back = Snapshot::<Vec<u8>, usize>::from_bytes(&bytes).expect("decode");
+        black_box(back.ckpt.num_states());
+    });
+
+    let median = |name: &str| {
+        suite
+            .cases()
+            .iter()
+            .find(|c| c.name.ends_with(name))
+            .expect("case ran")
+            .median_ns
+    };
+    let straight = median("straight_grid_6x6_117649");
+    let resume = median("resume_grid_6x6_117649");
+    let codec = median("encode_decode_grid_6x6_117649");
+    println!(
+        "resume overhead (resume/straight, grid 6x6): {:.2}x ({:.1}% of it in the codec)",
+        resume / straight,
+        100.0 * codec / resume,
+    );
+    suite.finish().expect("write BENCH_ckpt.json");
+}

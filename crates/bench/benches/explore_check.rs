@@ -32,6 +32,26 @@ fn main() {
         let r = Search::new(black_box(&tiny)).workers(2).explore();
         assert_eq!(r.num_states, 625);
     });
+    // Checkpoint layer: pause mid-search, seal → bytes → decode, resume to
+    // completion; keeps the snapshot codec and the resumable BFS path wired
+    // into tier-1 alongside the fused one.
+    suite.case("check/resume_grid_4x4_625", 1, || {
+        use impossible_ckpt::Snapshot;
+        use impossible_explore::{PauseBudget, Resumable};
+        let run = Search::new(black_box(&tiny)).run_resumable(PauseBudget::states(300));
+        let r = match run {
+            Resumable::Done(r) => r,
+            Resumable::Paused(ckpt) => {
+                let bytes = Snapshot::new(0, ckpt).to_bytes();
+                let back = Snapshot::<Vec<u8>, usize>::from_bytes(&bytes).expect("decode");
+                Search::new(&tiny)
+                    .resume(back.ckpt, PauseBudget::never())
+                    .done()
+                    .expect("unbounded resume finishes")
+            }
+        };
+        assert_eq!(r.num_states, 625);
+    });
     suite.case("check/graph_grid_4x4_625", 1, || {
         let g = Search::new(black_box(&tiny)).graph();
         assert_eq!(g.len(), 625);

@@ -1,0 +1,259 @@
+//! The verdict cache: check results keyed by canonical model fingerprint.
+//!
+//! The checking *service* the roadmap aims at absorbs streams of
+//! near-duplicate requests — the same model × property pair arrives over
+//! and over with only occasional edits in between. A verdict is a pure
+//! function of `(model, property)`, so it is cacheable exactly as long as
+//! the key captures everything the verdict depends on. The key here is an
+//! [`FpHasher`] fingerprint over the model's registry name, its full
+//! parameter vector, and the property name ([`model_fp`] + [`job_key`]):
+//! edit any parameter and the key moves, so stale verdicts are unreachable
+//! rather than invalidated — the same content-addressing discipline the
+//! snapshot format uses for its model field.
+//!
+//! The on-disk format is a sorted, line-oriented text file (header line
+//! `impossible-ckpt-cache v1`, then one `key holds states edges label`
+//! line per entry, ascending key). Sorted text keeps the file
+//! deterministic — saving the same cache twice produces the same bytes —
+//! and reviewable in a diff, mirroring the canonical-JSONL discipline.
+
+use crate::snapshot::CkptError;
+use impossible_explore::FpHasher;
+use std::collections::BTreeMap;
+
+/// Seed for model/job fingerprints. Fixed and independent of any search
+/// seed: cache keys are part of the service contract, not of a run.
+const KEY_SEED: u64 = 0x1DEA_CAC4_E5EE_D000;
+
+/// Header line of the cache file format.
+const HEADER: &str = "impossible-ckpt-cache v1";
+
+/// The canonical fingerprint of a model instance: registry name plus full
+/// parameter vector. Everything a workload's construction depends on must
+/// be in `params` — a parameter the fingerprint skips is an edit the cache
+/// will wrongly survive.
+pub fn model_fp(name: &str, params: &[u64]) -> u64 {
+    let mut h = FpHasher::new(KEY_SEED);
+    h.write_bytes(name.as_bytes());
+    h.write_usize(params.len());
+    for &p in params {
+        h.write_u64(p);
+    }
+    h.finish()
+}
+
+/// Cache key of one check job: the model fingerprint plus the property
+/// name checked against it.
+pub fn job_key(model: u64, property: &str) -> u64 {
+    let mut h = FpHasher::new(KEY_SEED);
+    h.write_u64(model);
+    h.write_bytes(property.as_bytes());
+    h.finish()
+}
+
+/// A cached check outcome: the boolean verdict plus the region it was
+/// established over (enough to cross-check a recomputation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// Did the property hold?
+    pub holds: bool,
+    /// States in the checked region.
+    pub states: usize,
+    /// Edges in the checked region.
+    pub edges: usize,
+}
+
+/// An ordered `job_key → (label, verdict)` store with a deterministic
+/// text-file round trip. The label is advisory (it makes the file and the
+/// reports readable); identity is the key alone.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerdictCache {
+    entries: BTreeMap<u64, (String, Verdict)>,
+}
+
+impl VerdictCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        VerdictCache::default()
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cached verdict under `key`, if any.
+    pub fn get(&self, key: u64) -> Option<Verdict> {
+        self.entries.get(&key).map(|(_, v)| *v)
+    }
+
+    /// Store (or overwrite) a verdict.
+    pub fn insert(&mut self, key: u64, label: &str, verdict: Verdict) {
+        self.entries.insert(key, (label.to_string(), verdict));
+    }
+
+    /// Render the canonical file bytes (header + ascending-key lines).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for (key, (label, v)) in &self.entries {
+            out.push_str(&format!(
+                "{:016x} {} {} {} {}\n",
+                key,
+                u8::from(v.holds),
+                v.states,
+                v.edges,
+                label
+            ));
+        }
+        out
+    }
+
+    /// Parse [`VerdictCache::to_text`] output.
+    pub fn from_text(text: &str) -> Result<Self, CkptError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h == HEADER => {}
+            _ => return Err(CkptError::Malformed("cache header")),
+        }
+        let mut entries = BTreeMap::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(5, ' ');
+            let key = parts
+                .next()
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or(CkptError::Malformed("cache key"))?;
+            let holds = match parts.next() {
+                Some("0") => false,
+                Some("1") => true,
+                _ => return Err(CkptError::Malformed("cache verdict")),
+            };
+            let states = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(CkptError::Malformed("cache states"))?;
+            let edges = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(CkptError::Malformed("cache edges"))?;
+            let label = parts.next().unwrap_or("").to_string();
+            entries.insert(
+                key,
+                (
+                    label,
+                    Verdict {
+                        holds,
+                        states,
+                        edges,
+                    },
+                ),
+            );
+        }
+        Ok(VerdictCache { entries })
+    }
+
+    /// Load from `path`; a missing file is an empty cache (cold start), any
+    /// other failure is typed.
+    pub fn load(path: &str) -> Result<Self, CkptError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::from_text(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::new()),
+            Err(e) => Err(CkptError::Io(e.to_string())),
+        }
+    }
+
+    /// Write the canonical bytes to `path`.
+    pub fn save(&self, path: &str) -> Result<(), CkptError> {
+        std::fs::write(path, self.to_text()).map_err(|e| CkptError::Io(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_separate_models_params_and_properties() {
+        let ring4 = model_fp("ring", &[4]);
+        let ring5 = model_fp("ring", &[5]);
+        let grid4 = model_fp("grid", &[4]);
+        assert_ne!(ring4, ring5, "a parameter edit must move the key");
+        assert_ne!(ring4, grid4, "a model rename must move the key");
+        assert_ne!(
+            job_key(ring4, "elects"),
+            job_key(ring4, "agreement"),
+            "the property is part of the key"
+        );
+        assert_eq!(model_fp("ring", &[4]), ring4, "keys are stable");
+    }
+
+    #[test]
+    fn text_round_trip_is_exact_and_sorted() {
+        let mut c = VerdictCache::new();
+        c.insert(
+            job_key(model_fp("ring", &[4]), "elects"),
+            "ring 4 elects",
+            Verdict {
+                holds: true,
+                states: 13,
+                edges: 29,
+            },
+        );
+        c.insert(
+            job_key(model_fp("quorum", &[3]), "agreement"),
+            "quorum 3 agreement",
+            Verdict {
+                holds: false,
+                states: 700,
+                edges: 2100,
+            },
+        );
+        let text = c.to_text();
+        assert!(text.starts_with("impossible-ckpt-cache v1\n"));
+        let back = VerdictCache::from_text(&text).expect("round trip");
+        assert_eq!(back, c);
+        assert_eq!(back.to_text(), text, "saving twice produces the same bytes");
+    }
+
+    #[test]
+    fn labels_with_spaces_survive() {
+        let mut c = VerdictCache::new();
+        c.insert(
+            7,
+            "a label with several spaces",
+            Verdict {
+                holds: true,
+                states: 1,
+                edges: 0,
+            },
+        );
+        let back = VerdictCache::from_text(&c.to_text()).expect("round trip");
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        for bad in [
+            "wrong header\n",
+            "impossible-ckpt-cache v1\nnothex 1 2 3 x\n",
+            "impossible-ckpt-cache v1\n00000000000000aa 7 2 3 x\n",
+            "impossible-ckpt-cache v1\n00000000000000aa 1 no 3 x\n",
+        ] {
+            assert!(VerdictCache::from_text(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn missing_file_is_a_cold_start() {
+        let c = VerdictCache::load("/nonexistent/impossible-ckpt-cache-test").expect("cold");
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! # impossible-ckpt
+//!
+//! Checkpoint/restore and incremental checking over the explore stack —
+//! the storage and caching layer of the roadmap's checking *service*.
+//! Lynch's survey treats impossibility work as re-running the same
+//! adversarial arguments against small protocol variations; this crate
+//! makes that workload cheap by making search state a first-class,
+//! versioned, content-addressed artifact:
+//!
+//! * [`codec`] — the reversible little-endian [`Persist`] byte codec
+//!   (deliberately distinct from the one-way fingerprint `Encode`);
+//! * [`snapshot`] — the versioned binary [`Snapshot`] format for paused
+//!   [`Search::run_resumable`](impossible_explore::Search::run_resumable)
+//!   runs: magic, format version, model fingerprint, canonical per-shard
+//!   visited pages + frontier, trailing checksum. Byte-identical for any
+//!   worker count; corruption and version drift surface as typed
+//!   [`CkptError`]s;
+//! * [`incr`] — incremental re-exploration after a model edit:
+//!   [`ActionEdit`] expresses the edit, [`reexplore_incremental`] re-pays
+//!   `enabled`/`step` only on the dirty frontier and splices the old
+//!   graph's successor lists everywhere else, provably equal to a full
+//!   rebuild;
+//! * [`cache`] — the [`VerdictCache`]: check outcomes keyed by
+//!   [`model_fp`]/[`job_key`] fingerprints with a deterministic sorted
+//!   text-file round trip;
+//! * [`manifest`] — [`run_manifest`], the batch scheduler behind
+//!   `src/bin/check`: hits served from the cache, misses computed on the
+//!   [`WorkerPool`](impossible_explore::WorkerPool), outcomes reported in
+//!   manifest order with `scope:"ckpt"` trace events behind the usual
+//!   `*_traced` twin.
+//!
+//! The determinism contract everywhere is the repo's usual one: every
+//! artifact (snapshot bytes, cache file, manifest report JSON, trace) is a
+//! pure function of its declared inputs — worker counts, pause points and
+//! process boundaries never change a byte. See `docs/CKPT.md`.
+
+pub mod cache;
+pub mod codec;
+pub mod incr;
+pub mod manifest;
+pub mod snapshot;
+
+pub use cache::{job_key, model_fp, Verdict, VerdictCache};
+pub use codec::Persist;
+pub use incr::{crash_process, reexplore_incremental, reexplore_incremental_traced, ActionEdit, IncrStats};
+pub use manifest::{run_manifest, run_manifest_traced, CheckJob, JobOutcome, ManifestReport};
+pub use snapshot::{CkptError, Snapshot, FORMAT_VERSION, MAGIC};

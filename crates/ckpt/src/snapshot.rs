@@ -1,0 +1,412 @@
+//! The versioned on-disk snapshot of a paused search.
+//!
+//! Layout (all integers little-endian via [`Persist`]):
+//!
+//! ```text
+//! magic            8 bytes   b"IMPCKPT1"
+//! format version   u32       FORMAT_VERSION
+//! model fp         u64       canonical model fingerprint (see cache::model_fp)
+//! seed             u64       fingerprint seed of the run
+//! partitions       u64       shard/partition count (the semantic quantity;
+//!                            the transient pool size is deliberately absent)
+//! depth            u64       completed levels
+//! transitions      u64
+//! truncated_by     u8        0 = none, 1 = states, 2 = depth
+//! counters         6 × u64   levels, expansions, dedup_hits, canon_hits,
+//!                            peak_frontier, cap_fallbacks
+//! visited pages    vec of vec of (key u64, parent)   per shard, ascending key
+//! frontier         vec of vec of (fp u64, state)     per partition, in order
+//! terminal         vec of state                      merge order
+//! checksum         u64       FpHasher over every preceding byte
+//! ```
+//!
+//! Because every section is either a counter or a canonically-ordered page
+//! of a worker-count-invariant structure, the byte stream is a pure
+//! function of `(system, bounds, seed, canon, partitions, budget)`: any
+//! worker count on either side of the pause produces the identical file.
+//! This mirrors the obs crate's canonical-JSONL discipline — an artifact is
+//! evidence only if re-producing it reproduces its bytes.
+//!
+//! Corruption surfaces as typed [`CkptError`]s: a flipped bit fails the
+//! trailing checksum (or, in the length prefixes, a `Malformed` decode), a
+//! bumped format version fails before any payload decoding, and a snapshot
+//! of a different model is refused by fingerprint before the engine ever
+//! sees its states.
+
+use crate::codec::{take, Persist};
+use impossible_core::explore::Truncation;
+use impossible_explore::search::{Parent, SearchCheckpoint};
+use impossible_explore::FpHasher;
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"IMPCKPT1";
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Seed for the trailing integrity checksum (fixed: the checksum is part of
+/// the format, not of any run's fingerprint universe).
+const CHECKSUM_SEED: u64 = 0xC4EC_50FF_1CE5_EED5;
+
+/// Typed snapshot failure. Everything a hostile or stale file can do wrong
+/// maps onto one of these; decoding never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// Shorter than the fixed header + checksum can be.
+    TooShort,
+    /// The first 8 bytes are not [`MAGIC`].
+    BadMagic,
+    /// Written by a different format version than this build reads.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The trailing checksum does not match the preceding bytes.
+    ChecksumMismatch,
+    /// The snapshot's model fingerprint differs from the expected model.
+    ModelMismatch {
+        /// Fingerprint found in the file.
+        found: u64,
+        /// Fingerprint of the model being resumed.
+        expected: u64,
+    },
+    /// A section failed to decode (truncation, bad tag, hostile length).
+    Malformed(&'static str),
+    /// Bytes left over after a complete decode.
+    TrailingBytes,
+    /// Filesystem failure, with the `std::io` error rendered.
+    Io(String),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::TooShort => write!(f, "snapshot too short for header + checksum"),
+            CkptError::BadMagic => write!(f, "not a snapshot: bad magic"),
+            CkptError::VersionMismatch { found, expected } => {
+                write!(f, "snapshot format v{found}, this build reads v{expected}")
+            }
+            CkptError::ChecksumMismatch => write!(f, "snapshot checksum mismatch (corrupt)"),
+            CkptError::ModelMismatch { found, expected } => write!(
+                f,
+                "snapshot is of model {found:#018x}, expected {expected:#018x}"
+            ),
+            CkptError::Malformed(what) => write!(f, "malformed snapshot section: {what}"),
+            CkptError::TrailingBytes => write!(f, "trailing bytes after snapshot payload"),
+            CkptError::Io(e) => write!(f, "snapshot io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl Persist for Truncation {
+    fn write(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Truncation::States => 1,
+            Truncation::Depth => 2,
+        });
+    }
+
+    fn read(buf: &[u8], pos: &mut usize) -> Result<Self, CkptError> {
+        match u8::read(buf, pos)? {
+            1 => Ok(Truncation::States),
+            2 => Ok(Truncation::Depth),
+            _ => Err(CkptError::Malformed("truncation tag")),
+        }
+    }
+}
+
+impl<A: Persist> Persist for Parent<A> {
+    fn write(&self, out: &mut Vec<u8>) {
+        match self {
+            Parent::Root(i) => {
+                out.push(0);
+                i.write(out);
+            }
+            Parent::Child { parent, action } => {
+                out.push(1);
+                parent.write(out);
+                action.write(out);
+            }
+        }
+    }
+
+    fn read(buf: &[u8], pos: &mut usize) -> Result<Self, CkptError> {
+        match u8::read(buf, pos)? {
+            0 => Ok(Parent::Root(usize::read(buf, pos)?)),
+            1 => Ok(Parent::Child {
+                parent: u64::read(buf, pos)?,
+                action: A::read(buf, pos)?,
+            }),
+            _ => Err(CkptError::Malformed("parent tag")),
+        }
+    }
+}
+
+/// A serializable paused search: the engine's [`SearchCheckpoint`] plus the
+/// canonical fingerprint of the model it belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot<S, A> {
+    /// Canonical model fingerprint ([`crate::cache::model_fp`]); resuming a
+    /// different model is refused with [`CkptError::ModelMismatch`].
+    pub model_fp: u64,
+    /// The suspended engine state.
+    pub ckpt: SearchCheckpoint<S, A>,
+}
+
+impl<S: Persist, A: Persist> Snapshot<S, A> {
+    /// Wrap a paused run for persistence.
+    pub fn new(model_fp: u64, ckpt: SearchCheckpoint<S, A>) -> Self {
+        Snapshot { model_fp, ckpt }
+    }
+
+    /// The canonical byte encoding (format above), checksum included.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        FORMAT_VERSION.write(&mut out);
+        self.model_fp.write(&mut out);
+        self.ckpt.seed.write(&mut out);
+        self.ckpt.partitions.write(&mut out);
+        self.ckpt.depth.write(&mut out);
+        self.ckpt.transitions.write(&mut out);
+        match self.ckpt.truncated_by {
+            None => out.push(0),
+            Some(t) => t.write(&mut out),
+        }
+        self.ckpt.levels.write(&mut out);
+        self.ckpt.expansions.write(&mut out);
+        self.ckpt.dedup_hits.write(&mut out);
+        self.ckpt.canon_hits.write(&mut out);
+        self.ckpt.peak_frontier.write(&mut out);
+        self.ckpt.cap_fallbacks.write(&mut out);
+        self.ckpt.visited.write(&mut out);
+        self.ckpt.frontier.write(&mut out);
+        self.ckpt.terminal.write(&mut out);
+        checksum(&out).write(&mut out);
+        out
+    }
+
+    /// Decode and validate (magic, version, checksum, exact length). Model
+    /// identity is checked separately by [`Snapshot::expect_model`] so a
+    /// caller can still *inspect* a snapshot it does not intend to resume.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, CkptError> {
+        // Header + checksum floor: magic + version + 5×u64 + tag + 6×u64 + checksum.
+        if buf.len() < MAGIC.len() + 4 + 8 {
+            return Err(CkptError::TooShort);
+        }
+        if buf[..MAGIC.len()] != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let mut pos = MAGIC.len();
+        let version = u32::read(buf, &mut pos)?;
+        if version != FORMAT_VERSION {
+            return Err(CkptError::VersionMismatch {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        // Verify integrity before decoding the payload: a flipped bit in a
+        // length prefix must be reported as corruption, not as whatever
+        // Malformed shape it happens to decode into.
+        let body_len = buf.len() - 8;
+        let mut tail = body_len;
+        let stored = u64::read(buf, &mut tail)?;
+        if checksum(&buf[..body_len]) != stored {
+            return Err(CkptError::ChecksumMismatch);
+        }
+
+        let model_fp = u64::read(buf, &mut pos)?;
+        let seed = u64::read(buf, &mut pos)?;
+        let partitions = usize::read(buf, &mut pos)?;
+        let depth = usize::read(buf, &mut pos)?;
+        let transitions = usize::read(buf, &mut pos)?;
+        let truncated_by = match take(buf, &mut pos, 1, "truncation tag")?[0] {
+            0 => None,
+            1 => Some(Truncation::States),
+            2 => Some(Truncation::Depth),
+            _ => return Err(CkptError::Malformed("truncation tag")),
+        };
+        let levels = usize::read(buf, &mut pos)?;
+        let expansions = usize::read(buf, &mut pos)?;
+        let dedup_hits = usize::read(buf, &mut pos)?;
+        let canon_hits = usize::read(buf, &mut pos)?;
+        let peak_frontier = usize::read(buf, &mut pos)?;
+        let cap_fallbacks = usize::read(buf, &mut pos)?;
+        let visited = Vec::<Vec<(u64, Parent<A>)>>::read(buf, &mut pos)?;
+        let frontier = Vec::<Vec<(u64, S)>>::read(buf, &mut pos)?;
+        let terminal = Vec::<S>::read(buf, &mut pos)?;
+        if pos != body_len {
+            return Err(CkptError::TrailingBytes);
+        }
+        Ok(Snapshot {
+            model_fp,
+            ckpt: SearchCheckpoint {
+                seed,
+                partitions,
+                depth,
+                transitions,
+                truncated_by,
+                visited,
+                frontier,
+                terminal,
+                levels,
+                expansions,
+                dedup_hits,
+                canon_hits,
+                peak_frontier,
+                cap_fallbacks,
+            },
+        })
+    }
+
+    /// Refuse to hand this snapshot to a different model.
+    pub fn expect_model(&self, expected: u64) -> Result<(), CkptError> {
+        if self.model_fp != expected {
+            return Err(CkptError::ModelMismatch {
+                found: self.model_fp,
+                expected,
+            });
+        }
+        Ok(())
+    }
+
+    /// Write the canonical bytes to `path`.
+    pub fn save(&self, path: &str) -> Result<(), CkptError> {
+        std::fs::write(path, self.to_bytes()).map_err(|e| CkptError::Io(e.to_string()))
+    }
+
+    /// Read, decode and validate a snapshot file.
+    pub fn load(path: &str) -> Result<Self, CkptError> {
+        let bytes = std::fs::read(path).map_err(|e| CkptError::Io(e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// The trailing integrity checksum: an [`FpHasher`] pass over the bytes.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = FpHasher::new(CHECKSUM_SEED);
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot<u64, u8> {
+        Snapshot::new(
+            0xABCD,
+            SearchCheckpoint {
+                seed: 7,
+                partitions: 2,
+                depth: 3,
+                transitions: 40,
+                truncated_by: Some(Truncation::States),
+                visited: vec![
+                    vec![(2, Parent::Root(0)), (8, Parent::Child { parent: 2, action: 1 })],
+                    vec![(3, Parent::Child { parent: 2, action: 0 })],
+                ],
+                frontier: vec![vec![(8, 800u64)], vec![]],
+                terminal: vec![4, 5],
+                levels: 3,
+                expansions: 11,
+                dedup_hits: 6,
+                canon_hits: 0,
+                peak_frontier: 5,
+                cap_fallbacks: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn bytes_round_trip_exactly() {
+        let snap = sample();
+        let bytes = snap.to_bytes();
+        let back = Snapshot::<u64, u8>::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, snap);
+        assert_eq!(back.to_bytes(), bytes, "re-encoding reproduces the bytes");
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let bytes = sample().to_bytes();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[i] ^= 1 << bit;
+                let r = Snapshot::<u64, u8>::from_bytes(&bad);
+                assert!(
+                    r.is_err(),
+                    "flip of byte {i} bit {bit} must be rejected, got {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn version_bump_is_a_typed_mismatch() {
+        let mut bytes = sample().to_bytes();
+        // Version field sits right after the magic; the checksum guards it
+        // too, so rewrite both.
+        let vpos = MAGIC.len();
+        bytes[vpos] = 2;
+        let body_len = bytes.len() - 8;
+        let sum = super::checksum(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            Snapshot::<u64, u8>::from_bytes(&bytes),
+            Err(CkptError::VersionMismatch {
+                found: 2,
+                expected: FORMAT_VERSION
+            })
+        );
+    }
+
+    #[test]
+    fn model_mismatch_is_typed() {
+        let snap = sample();
+        assert_eq!(snap.expect_model(0xABCD), Ok(()));
+        assert_eq!(
+            snap.expect_model(0xEEEE),
+            Err(CkptError::ModelMismatch {
+                found: 0xABCD,
+                expected: 0xEEEE
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_magic_and_short_files_are_typed() {
+        assert_eq!(
+            Snapshot::<u64, u8>::from_bytes(b"NOTACKPT"),
+            Err(CkptError::TooShort)
+        );
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(
+            Snapshot::<u64, u8>::from_bytes(&bytes),
+            Err(CkptError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        // Appending bytes breaks the checksum (it is positional); to reach
+        // the TrailingBytes check we must re-seal, which proves the decode
+        // length accounting is exact either way.
+        let mut bytes = sample().to_bytes();
+        let sum_at = bytes.len() - 8;
+        bytes.truncate(sum_at);
+        bytes.push(0);
+        let sum = super::checksum(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            Snapshot::<u64, u8>::from_bytes(&bytes),
+            Err(CkptError::TrailingBytes)
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! The snapshot acceptance contract, end to end: pause a search, seal it
+//! into canonical snapshot bytes, decode them back, resume under a
+//! *different* worker count — and land on a report byte-identical to the
+//! uninterrupted run. Plus the refusal side: flipped bits and version
+//! drift must surface as typed errors, never as a silently different
+//! search.
+
+use impossible_ckpt::{model_fp, CkptError, Snapshot, FORMAT_VERSION};
+use impossible_det::{det_assert, det_assert_eq, det_prop};
+use impossible_explore::{Grid, PauseBudget, Resumable, Search, SearchReport};
+
+const GRID: Grid = Grid { n: 4, max: 3 };
+
+fn grid_fp() -> u64 {
+    model_fp("grid", &[GRID.n as u64, GRID.max as u64])
+}
+
+/// Everything except `stats.workers` (which records the pool size by
+/// design) must match byte-for-byte.
+fn strip_workers(r: &SearchReport<Vec<u8>, usize>) -> String {
+    let mut stats = r.stats;
+    stats.workers = 0;
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        r.num_states, r.num_transitions, r.terminal_states, r.truncated_by, r.witness, stats
+    )
+}
+
+fn straight(seed: u64, workers: usize) -> String {
+    strip_workers(&Search::new(&GRID).workers(workers).seed(seed).explore())
+}
+
+/// Run with `w1` workers until `pause_at` states, seal → bytes → decode,
+/// resume with `w2` workers to completion.
+fn through_snapshot(seed: u64, pause_at: usize, w1: usize, w2: usize) -> String {
+    let run = Search::new(&GRID)
+        .workers(w1)
+        .seed(seed)
+        .run_resumable(PauseBudget::states(pause_at));
+    match run {
+        Resumable::Done(r) => strip_workers(&r),
+        Resumable::Paused(ckpt) => {
+            let snap = Snapshot::new(grid_fp(), ckpt);
+            let bytes = snap.to_bytes();
+            let back = Snapshot::<Vec<u8>, usize>::from_bytes(&bytes).expect("decode");
+            back.expect_model(grid_fp()).expect("same model");
+            assert_eq!(back, snap, "decode inverts encode exactly");
+            let resumed = Search::new(&GRID)
+                .workers(w2)
+                .seed(seed)
+                .resume(back.ckpt, PauseBudget::never());
+            strip_workers(&resumed.done().expect("unbounded resume finishes"))
+        }
+    }
+}
+
+det_prop! {
+    fn save_load_continue_is_byte_identical(
+        cases = 10,
+        seed in 0u64..1_000_000,
+        pause_at in 10usize..250,
+        w1 in 1usize..9,
+        w2 in 1usize..9
+    ) {
+        let expected = straight(seed, w2);
+        let got = through_snapshot(seed, pause_at, w1, w2);
+        det_assert_eq!(expected, got);
+        det_assert!(!got.is_empty(), "report must render");
+    }
+}
+
+#[test]
+fn snapshot_bytes_are_worker_count_invariant() {
+    let seal = |workers: usize| {
+        let ckpt = Search::new(&GRID)
+            .workers(workers)
+            .run_resumable(PauseBudget::states(60))
+            .paused()
+            .expect("60 < 625 states, must pause");
+        Snapshot::new(grid_fp(), ckpt).to_bytes()
+    };
+    let one = seal(1);
+    assert_eq!(one, seal(2), "2 workers changed the snapshot bytes");
+    assert_eq!(one, seal(8), "8 workers changed the snapshot bytes");
+}
+
+#[test]
+fn file_round_trip_preserves_the_bytes() {
+    let ckpt = Search::new(&GRID)
+        .run_resumable(PauseBudget::states(60))
+        .paused()
+        .expect("must pause");
+    let snap = Snapshot::new(grid_fp(), ckpt);
+    let path = format!("{}/roundtrip.ckpt", env!("CARGO_TARGET_TMPDIR"));
+    snap.save(&path).expect("save");
+    let back = Snapshot::<Vec<u8>, usize>::load(&path).expect("load");
+    assert_eq!(back, snap);
+    assert_eq!(back.to_bytes(), snap.to_bytes());
+}
+
+#[test]
+fn corrupted_files_are_rejected_not_resumed() {
+    let ckpt = Search::new(&GRID)
+        .run_resumable(PauseBudget::states(60))
+        .paused()
+        .expect("must pause");
+    let bytes = Snapshot::new(grid_fp(), ckpt).to_bytes();
+    // Flip one bit somewhere in the payload (past magic and version).
+    let mut bad = bytes.clone();
+    let mid = bytes.len() / 2;
+    bad[mid] ^= 0x10;
+    match Snapshot::<Vec<u8>, usize>::from_bytes(&bad) {
+        Err(CkptError::ChecksumMismatch) => {}
+        other => panic!("payload corruption must be a checksum error, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_drift_is_rejected_by_name() {
+    let ckpt = Search::new(&GRID)
+        .run_resumable(PauseBudget::states(60))
+        .paused()
+        .expect("must pause");
+    let mut bytes = Snapshot::new(grid_fp(), ckpt).to_bytes();
+    // The u32 version sits right after the 8-byte magic, little-endian.
+    let next = FORMAT_VERSION + 1;
+    bytes[8..12].copy_from_slice(&next.to_le_bytes());
+    match Snapshot::<Vec<u8>, usize>::from_bytes(&bytes) {
+        Err(CkptError::VersionMismatch { found, expected }) => {
+            assert_eq!(found, next);
+            assert_eq!(expected, FORMAT_VERSION);
+        }
+        other => panic!("version drift must be typed, got {other:?}"),
+    }
+}
+
+#[test]
+fn foreign_models_are_refused() {
+    let ckpt = Search::new(&GRID)
+        .run_resumable(PauseBudget::states(60))
+        .paused()
+        .expect("must pause");
+    let snap = Snapshot::new(grid_fp(), ckpt);
+    let other = model_fp("grid", &[5, 3]);
+    match snap.expect_model(other) {
+        Err(CkptError::ModelMismatch { found, expected }) => {
+            assert_eq!(found, grid_fp());
+            assert_eq!(expected, other);
+        }
+        ok => panic!("a different model must be refused, got {ok:?}"),
+    }
+}

@@ -20,7 +20,8 @@
 
 use impossible_core::symmetry::canonical_rotation;
 use impossible_core::system::System;
-use impossible_explore::{Search, SearchReport};
+use impossible_explore::property::{eventually, leads_to};
+use impossible_explore::{Checker, PropertyReport, Search, SearchReport};
 
 /// An anonymous unidirectional token ring: `state[i] == 1` iff slot `i`
 /// holds a token; action `i` moves that token to slot `i+1 (mod n)`,
@@ -78,6 +79,103 @@ pub fn explore_quotient(n: usize, max_states: usize) -> SearchReport<Vec<u8>, us
         .explore()
 }
 
+/// [`TokenRing`] under a *greedy-merge scheduler*: whenever some token can
+/// merge into an occupied slot, only merging moves are enabled; otherwise
+/// every move is. This is a scheduler restriction, not a protocol change —
+/// the same transition function with fewer enabled actions — and it is the
+/// benign end of the adversary spectrum the free scheduler anchors the
+/// other end of.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyMergeRing {
+    /// Ring size (number of slots / processes).
+    pub n: usize,
+}
+
+impl GreedyMergeRing {
+    fn merging(&self, s: &[u8]) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&i| s[i] == 1 && s[(i + 1) % self.n] == 1)
+            .collect()
+    }
+}
+
+impl System for GreedyMergeRing {
+    type State = Vec<u8>;
+    type Action = usize;
+
+    fn initial_states(&self) -> Vec<Vec<u8>> {
+        TokenRing { n: self.n }.initial_states()
+    }
+
+    fn enabled(&self, s: &Vec<u8>) -> Vec<usize> {
+        let merges = self.merging(s);
+        if merges.is_empty() {
+            TokenRing { n: self.n }.enabled(s)
+        } else {
+            merges
+        }
+    }
+
+    fn step(&self, s: &Vec<u8>, i: &usize) -> Vec<u8> {
+        TokenRing { n: self.n }.step(s, i)
+    }
+}
+
+/// Number of tokens in a configuration.
+fn tokens(s: &[u8]) -> usize {
+    s.iter().filter(|&&b| b == 1).count()
+}
+
+/// The liveness face of the election claim: under a *free* scheduler,
+/// `◇(one token)` **fails** — the adversary can circulate tokens in
+/// lockstep forever, never letting two collide. The counterexample is a
+/// lasso in the rotation quotient (for `n = 4`: the alternating necklace
+/// `0101` and the adjacent pair `0011` feed each other without merging).
+/// This is the model-checking rendition of the survey's scheduler-adversary
+/// arguments: reachability (`shortest_election`) says a leader *can*
+/// emerge; this lasso says no free schedule *must* produce one.
+pub fn election_evades_free_schedulers(
+    n: usize,
+    max_states: usize,
+) -> PropertyReport<Vec<u8>, usize> {
+    let sys = TokenRing { n };
+    let g = Search::new(&sys)
+        .max_states(max_states)
+        .canon(rotation_canon)
+        .graph();
+    let report =
+        Checker::new(&g).check(&eventually("one-token", |s: &Vec<u8>| tokens(s) == 1));
+    report
+}
+
+/// The matching positive claim — with a sharp edge. Under the greedy-merge
+/// scheduler, `multi-token ⤳ one-token` **holds for `n ≤ 4`**: any move
+/// from an isolated-token configuration creates an adjacency, the next step
+/// is then a forced merge, and the token count drains to one (the
+/// goal-avoiding region of the quotient graph is acyclic). For `n ≥ 5` the
+/// guarantee **breaks**: two tokens at gaps `(2, n-2)` can keep stepping
+/// without ever becoming adjacent (the move to gaps `(n-2, 2)` is the same
+/// necklace), so even the merge-greedy scheduler admits an election-free
+/// lasso. Local greed is not fairness — exactly the gap between "a good
+/// schedule exists" and "every schedule of this kind succeeds" that the
+/// survey's adversary arguments turn on.
+pub fn election_under_greedy_merges(
+    n: usize,
+    max_states: usize,
+) -> PropertyReport<Vec<u8>, usize> {
+    let sys = GreedyMergeRing { n };
+    let g = Search::new(&sys)
+        .max_states(max_states)
+        .canon(rotation_canon)
+        .graph();
+    let report = Checker::new(&g).check(&leads_to(
+        "merges-elect",
+        |s: &Vec<u8>| tokens(s) >= 2,
+        |s: &Vec<u8>| tokens(s) == 1,
+    ));
+    report
+}
+
 /// Shortest schedule electing a leader (reducing to a single token) in the
 /// rotation quotient, as a number of token-passing steps.
 pub fn shortest_election(n: usize, max_states: usize) -> Option<usize> {
@@ -130,5 +228,78 @@ mod tests {
         }
         // And the quotient really is smaller than the full space.
         assert!(explore_full(5, 100_000).num_states > states.len());
+    }
+}
+
+
+#[cfg(test)]
+mod liveness_tests {
+    use super::*;
+    use impossible_explore::Counterexample;
+
+    #[test]
+    fn free_scheduler_evades_election_with_a_rotation_lasso() {
+        let r = election_evades_free_schedulers(4, 100_000);
+        assert!(!r.holds, "a free scheduler never has to let tokens merge");
+        match r.counterexample.as_ref().expect("violated") {
+            Counterexample::Lasso(l) => {
+                // The cheapest evasion: rotate the 3-token necklace forever
+                // (a quotient self-loop; in the full space, an infinite run
+                // through its rotations).
+                assert_eq!(l.stem.last(), &vec![0, 1, 1, 1]);
+                assert!(!l.cycle.is_empty(), "the run must be infinite");
+                for (_, s) in &l.cycle {
+                    assert!(tokens(s) >= 2, "the cycle avoids election");
+                }
+            }
+            other => panic!("expected lasso, got {other:?}"),
+        }
+        // And it is not a size-4 artifact.
+        assert!(!election_evades_free_schedulers(5, 100_000).holds);
+        assert!(!election_evades_free_schedulers(6, 100_000).holds);
+    }
+
+    #[test]
+    fn greedy_merges_force_election_only_up_to_four() {
+        for n in 2..=4 {
+            let r = election_under_greedy_merges(n, 100_000);
+            assert!(r.holds, "n={n}: merging drains the token count to 1");
+            assert_eq!(r.candidate_sccs, 0, "n={n}: multi-token region is acyclic");
+        }
+        // n ≥ 5: two tokens at gaps (2, n-2) sidestep each other forever —
+        // the move to gaps (n-2, 2) is the same necklace, no adjacency ever
+        // forms, and greed never gets a merge to be greedy about.
+        for n in 5..=6 {
+            let r = election_under_greedy_merges(n, 100_000);
+            assert!(!r.holds, "n={n}: isolated tokens can evade the greedy scheduler");
+            match r.counterexample.as_ref().expect("violated") {
+                Counterexample::Lasso(l) => {
+                    for (_, s) in &l.cycle {
+                        assert!(tokens(s) >= 2, "n={n}: the cycle avoids election");
+                    }
+                }
+                other => panic!("expected lasso, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn liveness_reports_are_pinned_json() {
+        // Byte-for-byte regressions of the two n = 4 verdicts; any engine
+        // or model drift must show up here as a reviewed diff.
+        assert_eq!(
+            election_evades_free_schedulers(4, 100_000).to_json(),
+            "{\"name\":\"one-token\",\"kind\":\"eventually\",\"holds\":false,\
+             \"states\":5,\"edges\":12,\"region\":4,\"sccs\":3,\"candidate_sccs\":2,\
+             \"truncated\":false,\"counterexample\":{\"type\":\"lasso\",\"pivot\":null,\
+             \"stem_states\":[\"[1, 1, 1, 1]\",\"[0, 1, 1, 1]\"],\"stem_actions\":[\"0\"],\
+             \"cycle_actions\":[\"3\"],\"cycle_states\":[\"[0, 1, 1, 1]\"]}}"
+        );
+        assert_eq!(
+            election_under_greedy_merges(4, 100_000).to_json(),
+            "{\"name\":\"merges-elect\",\"kind\":\"leads-to\",\"holds\":true,\
+             \"states\":5,\"edges\":10,\"region\":4,\"sccs\":4,\"candidate_sccs\":0,\
+             \"truncated\":false,\"counterexample\":null}"
+        );
     }
 }

@@ -57,7 +57,10 @@ pub use graph::ReachableGraph;
 pub use grid::Grid;
 pub use pool::WorkerPool;
 pub use property::{Checker, Counterexample, Lasso, Property, PropertyReport};
-pub use search::{Search, SearchReport, DEFAULT_PARTITIONS, DEFAULT_SEED};
+pub use search::{
+    Parent, PauseBudget, Resumable, Search, SearchCheckpoint, SearchReport, DEFAULT_PARTITIONS,
+    DEFAULT_SEED,
+};
 pub use stats::SearchStats;
 pub use table::{Cap, FpMap, ShardedFpMap};
 

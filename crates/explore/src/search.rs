@@ -98,12 +98,144 @@ impl<S, A> SearchReport<S, A> {
     }
 }
 
-/// Parent-map entry, keyed by child fingerprint.
-enum Parent<A> {
+/// Parent-map entry, keyed by child fingerprint. Public so the checkpoint
+/// layer (`impossible-ckpt`) can persist the witness-replay chain; the
+/// search engine itself only ever builds these through its insert paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Parent<A> {
     /// `initial_states()[i]`.
     Root(usize),
     /// Reached from the state fingerprinted `parent` via `action`.
     Child { parent: u64, action: A },
+}
+
+/// Pause thresholds for [`Search::run_resumable`] / [`Search::resume`]: the
+/// run suspends at the first **completed level** where either bound is met
+/// (levels are the engine's atomic unit — pausing mid-level would make the
+/// suspended state depend on worker scheduling). `usize::MAX` disables a
+/// bound; [`PauseBudget::never`] never pauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PauseBudget {
+    /// Pause once at least this many states are visited.
+    pub states: usize,
+    /// Pause once this many levels are completed.
+    pub levels: usize,
+}
+
+impl PauseBudget {
+    /// Pause at the first level boundary with `n` or more visited states.
+    pub fn states(n: usize) -> Self {
+        PauseBudget {
+            states: n,
+            levels: usize::MAX,
+        }
+    }
+
+    /// Pause after `n` completed levels.
+    pub fn levels(n: usize) -> Self {
+        PauseBudget {
+            states: usize::MAX,
+            levels: n,
+        }
+    }
+
+    /// Run to completion (no pause).
+    pub fn never() -> Self {
+        PauseBudget {
+            states: usize::MAX,
+            levels: usize::MAX,
+        }
+    }
+}
+
+/// Outcome of a resumable run: either the finished report or a suspended
+/// checkpoint that [`Search::resume`] (in this or a fresh process, via
+/// `impossible-ckpt`'s snapshot format) continues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resumable<S, A> {
+    /// The run finished within the pause budget.
+    Done(SearchReport<S, A>),
+    /// The run suspended at a level boundary.
+    Paused(SearchCheckpoint<S, A>),
+}
+
+impl<S, A> Resumable<S, A> {
+    /// The finished report, if the run completed.
+    pub fn done(self) -> Option<SearchReport<S, A>> {
+        match self {
+            Resumable::Done(r) => Some(r),
+            Resumable::Paused(_) => None,
+        }
+    }
+
+    /// The suspended checkpoint, if the run paused.
+    pub fn paused(self) -> Option<SearchCheckpoint<S, A>> {
+        match self {
+            Resumable::Done(_) => None,
+            Resumable::Paused(c) => Some(c),
+        }
+    }
+}
+
+/// A BFS run suspended at a level boundary: everything the level loop
+/// carries between levels, in canonical (worker-count invariant) order.
+///
+/// * `visited[k]` is visited-set shard `k` in ascending stored-key order
+///   (the canonical order [`FpMap::iter_ordered`] defines) — parent links
+///   included, so witness replay survives the round trip;
+/// * `frontier[k]` is frontier partition `k` in the exact in-partition
+///   order the expansion left it (traversal order, which every worker
+///   count reproduces);
+/// * the counter fields are the [`SearchStats`] counters minus `workers`
+///   (a resumed run reports the *resuming* pool's worker count, exactly as
+///   an uninterrupted run would).
+///
+/// Two runs of the same `(system, bounds, seed, canon, partitions)` paused
+/// at the same budget produce `==` checkpoints for any worker counts —
+/// pinned by `tests/determinism.rs` and serialized byte-identically by
+/// `impossible-ckpt`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchCheckpoint<S, A> {
+    /// Fingerprint seed of the suspended run.
+    pub seed: u64,
+    /// Partition/shard count of the suspended run.
+    pub partitions: usize,
+    /// Completed levels (the next level to expand).
+    pub depth: usize,
+    /// Transitions traversed so far.
+    pub transitions: usize,
+    /// The first bound that tripped, if any.
+    pub truncated_by: Option<Truncation>,
+    /// Visited-set pages: per shard, `(stored key, parent)` ascending by key.
+    pub visited: Vec<Vec<(u64, Parent<A>)>>,
+    /// Frontier partitions, in-partition order preserved.
+    pub frontier: Vec<Vec<(u64, S)>>,
+    /// Terminal states found so far, in merge order.
+    pub terminal: Vec<S>,
+    /// [`SearchStats::levels`] so far.
+    pub levels: usize,
+    /// [`SearchStats::expansions`] so far.
+    pub expansions: usize,
+    /// [`SearchStats::dedup_hits`] so far.
+    pub dedup_hits: usize,
+    /// [`SearchStats::canon_hits`] so far.
+    pub canon_hits: usize,
+    /// [`SearchStats::peak_frontier`] so far.
+    pub peak_frontier: usize,
+    /// [`SearchStats::cap_fallbacks`] so far.
+    pub cap_fallbacks: usize,
+}
+
+impl<S, A> SearchCheckpoint<S, A> {
+    /// Distinct states visited at suspension.
+    pub fn num_states(&self) -> usize {
+        self.visited.iter().map(Vec::len).sum()
+    }
+
+    /// Frontier size at suspension.
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.iter().map(Vec::len).sum()
+    }
 }
 
 /// Builder/engine for fingerprint-deduped state-space search.
@@ -252,6 +384,28 @@ struct Expanded<S, A> {
     route: Vec<u32>,
 }
 
+/// In-flight BFS state: everything the level loop carries between levels.
+/// One struct so the fused path (`run_bfs`), the resumable path
+/// (`run_resumable`) and the resumed path (`resume`) share the *same* loop
+/// body — any budget/truncation fix lands on all three at once.
+struct BfsRun<Sys: System> {
+    stats: SearchStats,
+    visited: ShardedFpMap<Parent<Sys::Action>>,
+    audit_states: BTreeMap<u64, Sys::State>,
+    terminal: Vec<Sys::State>,
+    transitions: usize,
+    truncated_by: Option<Truncation>,
+    found: Option<u64>,
+    /// Frontier, pre-partitioned: `parts[k]` holds the states whose
+    /// fingerprints shard to `k`.
+    parts: Vec<Vec<(u64, Sys::State)>>,
+    /// Completed levels (the next level to expand).
+    depth: usize,
+    /// Encode scratch for the sequential control path (rebuilt fresh on
+    /// restore — it is a buffer, never state).
+    scratch: EncodeScratch,
+}
+
 impl<'a, Sys: System> Search<'a, Sys>
 where
     Sys: Sync,
@@ -296,6 +450,98 @@ where
         self.run_bfs(Some(pred), tracer)
     }
 
+    /// Run the full reachable exploration, pausing at `budget` if it trips
+    /// first. The suspended checkpoint continues — in this process via
+    /// [`Search::resume`], or in a fresh one via `impossible-ckpt`'s
+    /// snapshot format — and the eventual [`SearchReport`] is byte-identical
+    /// to an uninterrupted [`Search::explore`] at any worker count on
+    /// either side of the pause (the level loop is literally the same code;
+    /// `tests/determinism.rs` pins the equality). Exploration only
+    /// (no predicate: a paused run has no `found` state by construction)
+    /// and incompatible with [`Search::collision_audit`].
+    pub fn run_resumable(
+        &self,
+        budget: PauseBudget,
+    ) -> Resumable<Sys::State, Sys::Action> {
+        self.run_resumable_traced(budget, &mut NoopTracer)
+    }
+
+    /// [`Search::run_resumable`], recording trace events into `tracer`
+    /// (scope `"search"`); a pause emits one final `pause` event.
+    pub fn run_resumable_traced(
+        &self,
+        budget: PauseBudget,
+        tracer: &mut dyn Tracer,
+    ) -> Resumable<Sys::State, Sys::Action> {
+        assert!(!self.audit, "collision audit is not resumable");
+        let pool = WorkerPool::new(self.workers);
+        let mut run = self.bfs_init(&pool, None::<&fn(&Sys::State) -> bool>, tracer);
+        if self.bfs_levels(
+            &pool,
+            &mut run,
+            None::<&fn(&Sys::State) -> bool>,
+            &budget,
+            tracer,
+        ) {
+            Resumable::Paused(self.suspend(run))
+        } else {
+            Resumable::Done(self.bfs_finish(run, tracer))
+        }
+    }
+
+    /// Continue a paused run (possibly under a different worker count —
+    /// the report never depends on it) until done or `budget` trips again.
+    /// The builder must carry the same `(system, bounds, seed, canon,
+    /// partitions)` the checkpoint was taken under; seed/partition drift is
+    /// detected here, model drift by `impossible-ckpt`'s fingerprint check.
+    pub fn resume(
+        &self,
+        ckpt: SearchCheckpoint<Sys::State, Sys::Action>,
+        budget: PauseBudget,
+    ) -> Resumable<Sys::State, Sys::Action> {
+        self.resume_traced(ckpt, budget, &mut NoopTracer)
+    }
+
+    /// [`Search::resume`], recording trace events into `tracer` (scope
+    /// `"search"`): a fresh `start` event, one `resume` event with the
+    /// restored position, then the usual level events.
+    pub fn resume_traced(
+        &self,
+        ckpt: SearchCheckpoint<Sys::State, Sys::Action>,
+        budget: PauseBudget,
+        tracer: &mut dyn Tracer,
+    ) -> Resumable<Sys::State, Sys::Action> {
+        assert!(!self.audit, "collision audit is not resumable");
+        let pool = WorkerPool::new(self.workers);
+        trace_event!(tracer, "search", "start",
+            "strategy": "bfs",
+            "partitions": self.partitions,
+            "seed": self.seed,
+            "max_states": self.max_states,
+            "max_depth": self.max_depth,
+            "canon": self.canon.is_some(),
+        );
+        let run = self.restore(&pool, ckpt);
+        trace_event!(tracer, "search", "resume",
+            "level": run.depth,
+            "states": run.visited.len(),
+            "frontier": run.parts.iter().map(Vec::len).sum::<usize>(),
+            "transitions": run.transitions,
+        );
+        let mut run = run;
+        if self.bfs_levels(
+            &pool,
+            &mut run,
+            None::<&fn(&Sys::State) -> bool>,
+            &budget,
+            tracer,
+        ) {
+            Resumable::Paused(self.suspend(run))
+        } else {
+            Resumable::Done(self.bfs_finish(run, tracer))
+        }
+    }
+
     /// The BFS engine. Trace emissions happen only on the sequential
     /// control path (init loop, level boundaries, and the ordered merge) —
     /// never inside worker closures — and no event carries the worker
@@ -309,11 +555,25 @@ where
         F: Fn(&Sys::State) -> bool,
     {
         let pool = WorkerPool::new(self.workers);
+        let mut run = self.bfs_init(&pool, pred.as_ref(), tracer);
+        let paused = self.bfs_levels(&pool, &mut run, pred.as_ref(), &PauseBudget::never(), tracer);
+        debug_assert!(!paused, "PauseBudget::never cannot pause");
+        self.bfs_finish(run, tracer)
+    }
+
+    /// BFS init: seed the visited set and the partitioned root frontier.
+    fn bfs_init<F>(
+        &self,
+        pool: &WorkerPool,
+        pred: Option<&F>,
+        tracer: &mut dyn Tracer,
+    ) -> BfsRun<Sys>
+    where
+        F: Fn(&Sys::State) -> bool,
+    {
         let mut stats = SearchStats::new("bfs", pool.workers(), self.partitions, self.seed);
         let mut visited: ShardedFpMap<Parent<Sys::Action>> = ShardedFpMap::new(self.partitions);
         let mut audit_states: BTreeMap<u64, Sys::State> = BTreeMap::new();
-        let mut terminal: Vec<Sys::State> = Vec::new();
-        let mut transitions = 0usize;
         let mut truncated_by: Option<Truncation> = None;
         let mut found: Option<u64> = None;
         // Encode scratch for every fingerprint taken on this (sequential)
@@ -352,7 +612,7 @@ where
             if self.audit {
                 audit_states.insert(fp, sc.clone());
             }
-            if found.is_none() && pred.as_ref().is_some_and(|p| p(&sc)) {
+            if found.is_none() && pred.is_some_and(|p| p(&sc)) {
                 found = Some(fp);
             }
             roots.push((fp, sc));
@@ -362,10 +622,9 @@ where
         // level loop so `peak_frontier` is never 0 on runs where the loop
         // body is skipped (predicate matched an initial state, or the space
         // has no initial states to expand).
-        let mut frontier_len = roots.len();
-        stats.peak_frontier = stats.peak_frontier.max(frontier_len);
+        stats.peak_frontier = stats.peak_frontier.max(roots.len());
         trace_event!(tracer, "search", "init",
-            "frontier": frontier_len,
+            "frontier": roots.len(),
             "states": visited.len(),
             "dedup": stats.dedup_hits,
         );
@@ -384,42 +643,87 @@ where
             parts[k].push(item);
         }
 
-        let mut depth = 0usize;
-        while found.is_none() && frontier_len > 0 {
-            stats.peak_frontier = stats.peak_frontier.max(frontier_len);
-            if depth >= self.max_depth {
+        BfsRun {
+            stats,
+            visited,
+            audit_states,
+            terminal: Vec::new(),
+            transitions: 0,
+            truncated_by,
+            found,
+            parts,
+            depth: 0,
+            scratch,
+        }
+    }
+
+    /// The level loop, shared verbatim by the fused, resumable and resumed
+    /// paths. Returns `true` when the pause budget tripped at a level
+    /// boundary (never mid-level) with the run still having work to do —
+    /// the caller suspends; `false` means the run finished (witness found,
+    /// frontier exhausted, or depth cutoff), which `PauseBudget::never`
+    /// guarantees.
+    fn bfs_levels<F>(
+        &self,
+        pool: &WorkerPool,
+        run: &mut BfsRun<Sys>,
+        pred: Option<&F>,
+        pause: &PauseBudget,
+        tracer: &mut dyn Tracer,
+    ) -> bool
+    where
+        F: Fn(&Sys::State) -> bool,
+    {
+        loop {
+            let frontier_len: usize = run.parts.iter().map(Vec::len).sum();
+            if run.found.is_some() || frontier_len == 0 {
+                return false;
+            }
+            // Pause check first: a resumed run re-enters here with the
+            // pre-pause frontier, so every per-level update below (peak
+            // sampling included) still happens exactly once per level.
+            if run.visited.len() >= pause.states || run.depth >= pause.levels {
+                trace_event!(tracer, "search", "pause",
+                    "level": run.depth,
+                    "states": run.visited.len(),
+                    "frontier": frontier_len,
+                );
+                return true;
+            }
+            run.stats.peak_frontier = run.stats.peak_frontier.max(frontier_len);
+            if run.depth >= self.max_depth {
                 // Cutoff level: record terminals, flag unexpanded work.
                 // (Shard-major traversal — the only loop left that sees a
                 // whole frontier.)
                 trace_event!(tracer, "search", "cutoff",
-                    "level": depth,
+                    "level": run.depth,
                     "frontier": frontier_len,
                 );
-                for part in &parts {
+                for part in &run.parts {
                     for (_, s) in part {
-                        stats.expansions += 1;
+                        run.stats.expansions += 1;
                         if self.sys.enabled(s).is_empty() {
-                            terminal.push(s.clone());
+                            run.terminal.push(s.clone());
                         } else {
-                            if truncated_by.is_none() {
+                            if run.truncated_by.is_none() {
                                 trace_event!(tracer, "search", "truncate",
                                     "cause": "depth",
-                                    "level": depth,
+                                    "level": run.depth,
                                 );
                             }
-                            truncated_by.get_or_insert(Truncation::Depth);
+                            run.truncated_by.get_or_insert(Truncation::Depth);
                         }
                     }
                 }
-                break;
+                return false;
             }
             trace_event!(tracer, "search", "level.enter",
-                "level": depth,
+                "level": run.depth,
                 "frontier": frontier_len,
             );
 
-            stats.levels += 1;
-            let visited_before = visited.len();
+            run.stats.levels += 1;
+            let visited_before = run.visited.len();
             let mut next_parts: Vec<Vec<(u64, Sys::State)>> =
                 (0..self.partitions).map(|_| Vec::new()).collect();
 
@@ -430,37 +734,37 @@ where
             // exhausting it on the orchestration around them.
             let (level_children, trans_delta) = if pool.workers() == 1 {
                 self.expand_level_fused(
-                    depth,
-                    &parts,
-                    &mut visited,
-                    &mut scratch,
-                    &mut audit_states,
+                    run.depth,
+                    &run.parts,
+                    &mut run.visited,
+                    &mut run.scratch,
+                    &mut run.audit_states,
                     &mut next_parts,
-                    &mut terminal,
-                    &mut stats,
-                    &mut truncated_by,
+                    &mut run.terminal,
+                    &mut run.stats,
+                    &mut run.truncated_by,
                     tracer,
                 )
             } else {
                 self.expand_level_parallel(
-                    depth,
-                    &pool,
-                    &parts,
-                    &mut visited,
-                    &mut audit_states,
+                    run.depth,
+                    pool,
+                    &run.parts,
+                    &mut run.visited,
+                    &mut run.audit_states,
                     &mut next_parts,
-                    &mut terminal,
-                    &mut stats,
-                    &mut truncated_by,
+                    &mut run.terminal,
+                    &mut run.stats,
+                    &mut run.truncated_by,
                     tracer,
                 )
             };
-            transitions += trans_delta;
+            run.transitions += trans_delta;
             // Worker-invariant by construction: both counters are pure
             // functions of the state space and bounds, never of the
             // schedule or of which insert path ran.
             if visited_before + level_children > self.max_states {
-                stats.cap_fallbacks += 1;
+                run.stats.cap_fallbacks += 1;
             }
 
             // Predicate scan over the level's newly-inserted states, in
@@ -468,13 +772,13 @@ where
             // paths) is what makes `found` identical for every worker
             // count; the cost is that a matching level is always completed
             // before the search stops.
-            if let Some(p) = pred.as_ref() {
+            if let Some(p) = pred {
                 'scan: for bucket in &next_parts {
                     for (fp, s) in bucket {
                         if p(s) {
-                            found = Some(*fp);
+                            run.found = Some(*fp);
                             trace_event!(tracer, "search", "found",
-                                "depth": depth + 1,
+                                "depth": run.depth + 1,
                                 "fp": *fp,
                             );
                             break 'scan;
@@ -483,38 +787,139 @@ where
                 }
             }
 
-            frontier_len = next_parts.iter().map(Vec::len).sum();
-            parts = next_parts;
+            let next_len: usize = next_parts.iter().map(Vec::len).sum();
+            run.parts = next_parts;
             trace_event!(tracer, "search", "level.exit",
-                "level": depth,
-                "next": frontier_len,
-                "states": visited.len(),
-                "transitions": transitions,
-                "dedup": stats.dedup_hits,
-                "canon": stats.canon_hits,
-                "terminals": terminal.len(),
+                "level": run.depth,
+                "next": next_len,
+                "states": run.visited.len(),
+                "transitions": run.transitions,
+                "dedup": run.stats.dedup_hits,
+                "canon": run.stats.canon_hits,
+                "terminals": run.terminal.len(),
             );
-            depth += 1;
+            run.depth += 1;
         }
+    }
+
+    /// Finish a run: the `end` event, witness replay, and the report.
+    fn bfs_finish(
+        &self,
+        run: BfsRun<Sys>,
+        tracer: &mut dyn Tracer,
+    ) -> SearchReport<Sys::State, Sys::Action> {
         trace_event!(tracer, "search", "end",
-            "states": visited.len(),
-            "transitions": transitions,
-            "levels": stats.levels,
-            "expansions": stats.expansions,
-            "peak_frontier": stats.peak_frontier,
-            "truncated": truncation_name(&truncated_by),
-            "witness": found.is_some(),
+            "states": run.visited.len(),
+            "transitions": run.transitions,
+            "levels": run.stats.levels,
+            "expansions": run.stats.expansions,
+            "peak_frontier": run.stats.peak_frontier,
+            "truncated": truncation_name(&run.truncated_by),
+            "witness": run.found.is_some(),
         );
 
-        let witness = found.map(|target| self.replay_witness(&visited, target));
+        let witness = run
+            .found
+            .map(|target| self.replay_witness(&run.visited, target));
 
         SearchReport {
-            num_states: visited.len(),
-            num_transitions: transitions,
-            terminal_states: terminal,
-            truncated_by,
+            num_states: run.visited.len(),
+            num_transitions: run.transitions,
+            terminal_states: run.terminal,
+            truncated_by: run.truncated_by,
             witness,
+            stats: run.stats,
+        }
+    }
+
+    /// Package a paused run as a checkpoint, in canonical order: visited
+    /// shards page out via [`FpMap::iter_ordered`] (ascending stored key),
+    /// frontier partitions keep their in-partition traversal order.
+    fn suspend(&self, run: BfsRun<Sys>) -> SearchCheckpoint<Sys::State, Sys::Action> {
+        debug_assert!(run.found.is_none(), "paused runs carry no witness");
+        let visited = run
+            .visited
+            .shards()
+            .iter()
+            .map(|shard| {
+                shard
+                    .iter_ordered()
+                    .map(|(k, v)| (k, v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        SearchCheckpoint {
+            seed: self.seed,
+            partitions: self.partitions,
+            depth: run.depth,
+            transitions: run.transitions,
+            truncated_by: run.truncated_by,
+            visited,
+            frontier: run.parts,
+            terminal: run.terminal,
+            levels: run.stats.levels,
+            expansions: run.stats.expansions,
+            dedup_hits: run.stats.dedup_hits,
+            canon_hits: run.stats.canon_hits,
+            peak_frontier: run.stats.peak_frontier,
+            cap_fallbacks: run.stats.cap_fallbacks,
+        }
+    }
+
+    /// Rebuild in-flight state from a checkpoint. Stored keys are already
+    /// folded (fingerprint `0` → `1`) and the fold is idempotent, so
+    /// re-inserting them shard-locally reproduces the exact table contents;
+    /// `workers` in the restored stats is the *resuming* pool's count,
+    /// matching what an uninterrupted run under that pool would record.
+    fn restore(
+        &self,
+        pool: &WorkerPool,
+        ckpt: SearchCheckpoint<Sys::State, Sys::Action>,
+    ) -> BfsRun<Sys> {
+        assert_eq!(ckpt.seed, self.seed, "checkpoint seed mismatch");
+        assert_eq!(
+            ckpt.partitions, self.partitions,
+            "checkpoint partition-count mismatch"
+        );
+        assert_eq!(
+            ckpt.visited.len(),
+            self.partitions,
+            "checkpoint shard-page count mismatch"
+        );
+        assert_eq!(
+            ckpt.frontier.len(),
+            self.partitions,
+            "checkpoint frontier-partition count mismatch"
+        );
+        let mut stats = SearchStats::new("bfs", pool.workers(), self.partitions, self.seed);
+        stats.levels = ckpt.levels;
+        stats.expansions = ckpt.expansions;
+        stats.dedup_hits = ckpt.dedup_hits;
+        stats.canon_hits = ckpt.canon_hits;
+        stats.peak_frontier = ckpt.peak_frontier;
+        stats.cap_fallbacks = ckpt.cap_fallbacks;
+
+        let mut visited: ShardedFpMap<Parent<Sys::Action>> = ShardedFpMap::new(self.partitions);
+        for (k, page) in ckpt.visited.into_iter().enumerate() {
+            let shard = &mut visited.shards_mut()[k];
+            for (key, parent) in page {
+                let r = shard.try_insert_with(key, Cap::Unbounded, || parent);
+                assert_eq!(r, TryInsert::Inserted, "duplicate key in checkpoint page");
+            }
+        }
+        visited.refresh_len();
+
+        BfsRun {
             stats,
+            visited,
+            audit_states: BTreeMap::new(),
+            terminal: ckpt.terminal,
+            transitions: ckpt.transitions,
+            truncated_by: ckpt.truncated_by,
+            found: None,
+            parts: ckpt.frontier,
+            depth: ckpt.depth,
+            scratch: EncodeScratch::new(),
         }
     }
 

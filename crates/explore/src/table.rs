@@ -341,6 +341,14 @@ impl<V> ShardedFpMap<V> {
         TryInsert::Inserted
     }
 
+    /// Read-only view of the shard array, in shard order. The checkpoint
+    /// layer serializes each shard's [`FpMap::iter_ordered`] page from
+    /// this; restoring inserts straight back into [`Self::shards_mut`]
+    /// (stored keys are already folded, and the fold is idempotent).
+    pub fn shards(&self) -> &[FpMap<V>] {
+        &self.shards
+    }
+
     /// Exclusive access to the shard array, for the worker pool: worker `w`
     /// mutates only shards `w, w+W, w+2W, …` (its frontier partitions), so
     /// the borrows are disjoint by construction. Call

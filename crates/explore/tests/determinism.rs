@@ -8,7 +8,9 @@
 //! the property cases.
 
 use impossible_det::{det_assert, det_assert_eq, det_prop, DetRng};
-use impossible_explore::{Cap, FpMap, Grid, Search, SearchReport, ShardedFpMap};
+use impossible_explore::{
+    Cap, FpMap, Grid, PauseBudget, Resumable, Search, SearchReport, ShardedFpMap,
+};
 
 /// Debug strings are the byte-level comparison: every field, every witness
 /// state and action, formatted identically or not at all.
@@ -105,6 +107,132 @@ fn collision_audit_is_worker_invariant() {
     let one = render(1);
     assert_eq!(one, render(2));
     assert_eq!(one, render(8));
+}
+
+#[test]
+fn paused_and_resumed_run_matches_uninterrupted_bytes() {
+    // The core resume contract: pause at a state budget, resume (under a
+    // different worker count), and the final report is byte-identical to
+    // the uninterrupted run.
+    let sys = Grid { n: 4, max: 3 };
+    let straight = Search::new(&sys).workers(2).explore();
+    let ckpt = Search::new(&sys)
+        .workers(1)
+        .run_resumable(PauseBudget::states(60))
+        .paused()
+        .expect("60 < 256 states: must pause");
+    assert!(ckpt.num_states() >= 60);
+    assert!(ckpt.frontier_len() > 0);
+    let resumed = Search::new(&sys)
+        .workers(2)
+        .resume(ckpt, PauseBudget::never())
+        .done()
+        .expect("never-budget resume runs to completion");
+    assert_eq!(strip_workers(&straight), strip_workers(&resumed));
+}
+
+#[test]
+fn checkpoints_are_worker_count_invariant() {
+    // The suspended state itself — not just the final report — must be
+    // equal across worker counts: canonical shard pages + partition-ordered
+    // frontier make the checkpoint a pure function of (system, seed,
+    // partitions, budget).
+    let sys = Grid { n: 4, max: 3 };
+    let take = |workers: usize| {
+        Search::new(&sys)
+            .workers(workers)
+            .run_resumable(PauseBudget::states(60))
+            .paused()
+            .expect("must pause")
+    };
+    let one = take(1);
+    assert_eq!(one, take(2));
+    assert_eq!(one, take(8));
+}
+
+#[test]
+fn resume_preserves_cap_truncation_and_fallback_counters() {
+    // Satellite: a run stopped by `Truncation::States` exactly at the cap
+    // must report the same `truncated_by`/`cap_fallbacks` whether the cap
+    // bound before the pause, on the resumed side, or with no pause at all
+    // — the resumable path runs the very same level loop as the fused path.
+    let sys = Grid { n: 4, max: 4 };
+    let straight = Search::new(&sys).max_states(301).workers(1).explore();
+    assert_eq!(straight.num_states, 301);
+    assert!(straight.truncated());
+    assert!(straight.stats.cap_fallbacks > 0);
+
+    for pause_at in [60, 200, 290] {
+        let ckpt = Search::new(&sys)
+            .max_states(301)
+            .workers(1)
+            .run_resumable(PauseBudget::states(pause_at))
+            .paused()
+            .expect("pause budget below the cap must pause");
+        for workers in [1, 2, 8] {
+            let resumed = Search::new(&sys)
+                .max_states(301)
+                .workers(workers)
+                .resume(ckpt.clone(), PauseBudget::never())
+                .done()
+                .expect("resume to completion");
+            assert_eq!(resumed.truncated_by, straight.truncated_by);
+            assert_eq!(
+                resumed.stats.cap_fallbacks, straight.stats.cap_fallbacks,
+                "pause_at={pause_at} workers={workers}"
+            );
+            assert_eq!(strip_workers(&straight), strip_workers(&resumed));
+        }
+    }
+}
+
+#[test]
+fn chained_pauses_reach_the_same_bytes() {
+    // Resume may itself pause; an arbitrary chain of budgets must land on
+    // the uninterrupted bytes.
+    let sys = Grid { n: 4, max: 3 };
+    let straight = Search::new(&sys).explore();
+    let mut state = Search::new(&sys).run_resumable(PauseBudget::levels(1));
+    let mut hops = 0usize;
+    let report = loop {
+        match state {
+            Resumable::Done(r) => break r,
+            Resumable::Paused(ckpt) => {
+                hops += 1;
+                assert!(hops <= 32, "chain must terminate");
+                state = Search::new(&sys).resume(ckpt, PauseBudget::levels(ckpt_next(hops)));
+            }
+        }
+    };
+    assert!(hops >= 2, "the chain actually paused repeatedly");
+    assert_eq!(strip_workers(&straight), strip_workers(&report));
+}
+
+/// Budget schedule for the chained-pause test: one more level per hop.
+fn ckpt_next(hop: usize) -> usize {
+    hop + 1
+}
+
+det_prop! {
+    fn pause_resume_is_byte_identical_for_any_budget(cases = 10, seed in 0u64..1_000_000, pause_at in 10usize..250, w1 in 1usize..9, w2 in 1usize..9) {
+        let sys = Grid { n: 4, max: 3 };
+        let straight = Search::new(&sys).seed(seed).workers(w1).explore();
+        match Search::new(&sys).seed(seed).workers(w1).run_resumable(PauseBudget::states(pause_at)) {
+            Resumable::Done(r) => {
+                // Budget past the space: the resumable path must agree anyway.
+                det_assert_eq!(strip_workers(&straight), strip_workers(&r));
+            }
+            Resumable::Paused(ckpt) => {
+                let resumed = Search::new(&sys)
+                    .seed(seed)
+                    .workers(w2)
+                    .resume(ckpt, PauseBudget::never())
+                    .done()
+                    .expect("resume to completion");
+                det_assert_eq!(strip_workers(&straight), strip_workers(&resumed));
+            }
+        }
+    }
 }
 
 det_prop! {

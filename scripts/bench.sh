@@ -30,7 +30,7 @@ if [ "${1:-}" = "--check" ]; then
         echo "       the bench harness is silently broken" >&2
         exit 1
     fi
-    for case in '"name":"check/search_grid_4x4_625_w2"' '"name":"check/property_grid_4x4_625"'; do
+    for case in '"name":"check/search_grid_4x4_625_w2"' '"name":"check/property_grid_4x4_625"' '"name":"check/resume_grid_4x4_625"'; do
         if ! grep -q "$case" crates/bench/BENCH_check.json; then
             echo "error: BENCH_check.json is missing expected case $case:" >&2
             cat crates/bench/BENCH_check.json >&2
@@ -69,3 +69,13 @@ mv crates/bench/BENCH_5.json BENCH_5.json
 sed -i "s/^{\"suite\":\"5\",/{\"suite\":\"5\",\"nproc\":$NPROC,/" BENCH_5.json
 echo "machine: nproc=$NPROC (scaling curve is machine-limited below the worker count)"
 echo "baseline: $(cat BENCH_5.json)"
+
+echo "== bench: ckpt (writes BENCH_ckpt.json) =="
+cargo bench -q --offline -p impossible-bench --bench ckpt -- "$@"
+if [ ! -f crates/bench/BENCH_ckpt.json ]; then
+    echo "error: bench run produced no crates/bench/BENCH_ckpt.json;" >&2
+    echo "       refusing to report the stale committed BENCH_ckpt.json as fresh" >&2
+    exit 1
+fi
+mv crates/bench/BENCH_ckpt.json BENCH_ckpt.json
+echo "ckpt baseline: $(cat BENCH_ckpt.json)"

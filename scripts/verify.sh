@@ -32,6 +32,36 @@ cargo test -q --offline --workspace
 echo "== docs (no warnings allowed) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 
+echo "== check service smoke (manifest cache + cross-process resume) =="
+check_tmp="$(mktemp -d)"
+trap 'rm -rf "$check_tmp"' EXIT
+printf 'ring 4 evades-free\nquorum 3 0 nonterm\n' > "$check_tmp/manifest.txt"
+# First run: cold cache, both jobs computed.
+first="$(./target/release/check manifest "$check_tmp/manifest.txt" --cache "$check_tmp/cache.txt")"
+printf '%s\n' "$first" | tail -1
+if ! printf '%s' "$first" | grep -q "check: OK (jobs=2 hits=0 misses=2)"; then
+    echo "error: first check run was not a 2-job cold-cache run" >&2
+    exit 1
+fi
+# Second run over the unchanged manifest: served entirely from the cache.
+second="$(./target/release/check manifest "$check_tmp/manifest.txt" --cache "$check_tmp/cache.txt")"
+printf '%s\n' "$second" | tail -1
+if ! printf '%s' "$second" | grep -q "check: OK (jobs=2 hits=2 misses=0)"; then
+    echo "error: second check run was not served entirely from the verdict cache" >&2
+    exit 1
+fi
+# Pause in one process, resume in a fresh one; the report must be
+# byte-identical to the uninterrupted run.
+./target/release/check snapshot "$check_tmp/probe.ckpt" > /dev/null
+./target/release/check resume "$check_tmp/probe.ckpt" > "$check_tmp/resumed.txt"
+./target/release/check straight > "$check_tmp/straight.txt"
+if ! cmp -s "$check_tmp/resumed.txt" "$check_tmp/straight.txt"; then
+    echo "error: cross-process resume diverged from the uninterrupted run:" >&2
+    diff "$check_tmp/resumed.txt" "$check_tmp/straight.txt" >&2 || true
+    exit 1
+fi
+echo "check smoke: OK (cache hit on rerun; resumed == straight bytes)"
+
 echo "== bench harness smoke (1 sample, tiny grid) =="
 bench_out="$(./scripts/bench.sh --check)"
 printf '%s\n' "$bench_out"

@@ -2,7 +2,7 @@
 //! of the paper (see DESIGN.md §3 and EXPERIMENTS.md).
 //!
 //! Usage: `cargo run --release --bin experiments [ID ...]`
-//! with IDs among F1 F2 F3 and E1 through E22; no argument runs everything.
+//! with IDs among F1 F2 F3 and E1 through E23; no argument runs everything.
 
 use impossible::consensus::{approx, benor, commit, eig, flp, round_lb, scenario3t};
 use impossible::core::exec::Admissibility;
@@ -710,12 +710,112 @@ fn e22() {
     println!(" see crates/consensus/src/quorum.rs tests and docs/PROPERTIES.md)");
 }
 
+fn e23() {
+    header("E23", "Incremental re-check after a model edit + verdict caching [55]");
+    use impossible::ckpt::{
+        crash_process, job_key, model_fp, reexplore_incremental, Verdict, VerdictCache,
+    };
+    use impossible::consensus::{flp, quorum};
+    use impossible::core::ids::ProcessId;
+    use impossible::core::system::System;
+    use impossible::explore::Search;
+
+    // The survey's workload: re-run the same impossibility argument against
+    // small protocol variations. Build the full quorum-vote graph once,
+    // then derive each crash variant incrementally — recomputing only the
+    // states the crash actually touches — and prove the result equal to a
+    // from-scratch rebuild.
+    let cand = quorum::QuorumVote::new(3);
+    let sys = flp::FlpSystem::all_binary(&cand);
+    let old = Search::new(&sys).max_states(400_000).graph();
+    println!(
+        "base quorum-vote graph (n = 3, no crash): {} states, {} edges\n",
+        old.len(),
+        old.num_edges()
+    );
+    println!(
+        "{:>7} {:>8} {:>7} {:>8} {:>10} {:>9}",
+        "crashed", "states", "edges", "reused", "recomputed", "identical"
+    );
+    for failed in 0..3 {
+        let edit = crash_process(&sys, ProcessId(failed));
+        let (g, stats) =
+            reexplore_incremental(&old, &edit, |s| edit.dirty_state(s), 400_000);
+        let full = Search::new(&sys)
+            .max_states(400_000)
+            .graph_filtered(|a| sys.owner(a) != Some(ProcessId(failed)));
+        let same = format!("{:?}|{:?}|{}", g.order, g.succ, g.initials)
+            == format!("{:?}|{:?}|{}", full.order, full.succ, full.initials);
+        assert!(same, "incremental graph diverged from the full rebuild");
+        println!(
+            "{failed:>7} {:>8} {:>7} {:>8} {:>10} {same:>9}",
+            g.len(),
+            g.num_edges(),
+            stats.reused,
+            stats.recomputed
+        );
+    }
+
+    // Crash edits dirty everything (a crashed process could have moved in
+    // nearly every state), so the splice saves nothing there — honestly
+    // reported above. A *finer* variation shows the other regime: forbid
+    // process 2's null step while the network is empty (a scheduler tweak,
+    // not a crash). Only empty-network states are dirty; everything else is
+    // spliced from the old graph without touching `enabled`/`step`.
+    let edit = impossible::ckpt::ActionEdit::new(&sys, |s: &flp::FlpState<_, _>, a| {
+        !(matches!(a, flp::FlpAction::Null(2)) && s.pending.is_empty())
+    });
+    let (g, stats) = reexplore_incremental(&old, &edit, |s| edit.dirty_state(s), 400_000);
+    let full = Search::new(&edit).max_states(400_000).graph();
+    assert!(
+        format!("{:?}|{:?}|{}", g.order, g.succ, g.initials)
+            == format!("{:?}|{:?}|{}", full.order, full.succ, full.initials),
+        "incremental graph diverged from the full rebuild"
+    );
+    println!(
+        "\nfiner edit (no Null(2) on an empty network): {} states, {} reused, {} recomputed",
+        g.len(),
+        stats.reused,
+        stats.recomputed
+    );
+
+    // The service face of the same workload: verdicts are content-addressed
+    // by (model name, parameter vector, property), so an edit moves the key
+    // and stale verdicts become unreachable instead of invalidated.
+    let mut cache = VerdictCache::new();
+    for failed in 0..3 {
+        let key = job_key(model_fp("quorum", &[3, failed]), "nonterm");
+        let r = quorum::exhibit_flp_lasso(3, failed as usize, 400_000);
+        cache.insert(
+            key,
+            &format!("quorum 3 {failed} nonterm"),
+            Verdict { holds: r.holds, states: r.states, edges: r.edges },
+        );
+    }
+    let hit = cache.get(job_key(model_fp("quorum", &[3, 0]), "nonterm"));
+    let miss = cache.get(job_key(model_fp("quorum", &[5, 0]), "nonterm"));
+    println!("\nverdict cache after checking the three crash variants:");
+    println!("  entries: {}", cache.len());
+    println!("  re-request (n=3, crash 0): {}", match hit {
+        Some(v) => format!("HIT  (holds={}, {} states)", v.holds, v.states),
+        None => "MISS?!".to_string(),
+    });
+    println!("  edited model (n=5, crash 0): {}", if miss.is_none() {
+        "MISS (key moved with the edit — recompute)"
+    } else {
+        "HIT?!"
+    });
+    assert!(hit.is_some() && miss.is_none());
+    println!("\n(`cargo run --bin check` serves manifests of exactly such jobs");
+    println!(" through this cache; see docs/CKPT.md)");
+}
+
 fn main() {
     // LINT-ALLOW: det-ambient -- CLI experiment filters; never protocol state
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = [
         "F1", "F2", "F3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11",
-        "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22",
+        "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23",
     ];
     let selected: Vec<String> = if args.is_empty() {
         all.iter().map(|s| s.to_string()).collect()
@@ -749,6 +849,7 @@ fn main() {
             "E20" => e20(),
             "E21" => e21(),
             "E22" => e22(),
+            "E23" => e23(),
             other => eprintln!("unknown experiment id {other}"),
         }
     }

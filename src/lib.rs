@@ -21,6 +21,10 @@
 //!   sets, symmetry canonicalization hooks, deterministic parallel
 //!   frontiers, and the unified [`Search`](impossible_explore::Search)
 //!   API every engine above explores through (see `docs/EXPLORE.md`).
+//! * [`ckpt`] — checkpoint/restore for that search: versioned binary
+//!   snapshots ([`Snapshot`](impossible_ckpt::Snapshot)) of paused runs,
+//!   incremental re-exploration after a model edit, and the verdict cache +
+//!   manifest runner behind `src/bin/check.rs` (see `docs/CKPT.md`).
 //! * [`det`] — the in-tree deterministic infrastructure: seeded PRNG,
 //!   property-testing harness (`det_prop!` with `DET_SEED` replay), bench
 //!   timer. Everything random in the workspace flows through it.
@@ -47,6 +51,7 @@
 //! assert!(verdict.is_contradiction());
 //! ```
 
+pub use impossible_ckpt as ckpt;
 pub use impossible_clocksync as clocksync;
 pub use impossible_consensus as consensus;
 pub use impossible_core as core;
