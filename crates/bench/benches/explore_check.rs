@@ -72,5 +72,28 @@ fn main() {
         assert!(!live.holds);
     });
 
+    // External-memory layer: the same tiny grid forced through per-shard
+    // run files and frontier pages at the most hostile threshold
+    // (`ram_keys(0)` evicts everything every level), asserting byte-parity
+    // with the resident search modulo the masked `workers`/`peak_bytes`.
+    suite.case("check/extmem_grid_4x4_625", 1, || {
+        use impossible_explore::{SearchReport, SpillPolicy};
+        let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("extmem-check");
+        let policy = SpillPolicy::new(dir).ram_keys(0).spill_frontier(true);
+        let resident = Search::new(black_box(&tiny)).explore();
+        let spilled = Search::new(black_box(&tiny)).explore_extmem(&policy);
+        assert_eq!(spilled.num_states, 625);
+        let mask = |r: &SearchReport<Vec<u8>, usize>| {
+            let mut st = r.stats;
+            st.workers = 0;
+            st.peak_bytes = 0;
+            format!(
+                "{:?}|{:?}|{:?}|{:?}",
+                r.num_states, r.num_transitions, r.terminal_states, st
+            )
+        };
+        assert_eq!(mask(&spilled), mask(&resident));
+    });
+
     suite.finish().expect("write BENCH_check.json");
 }

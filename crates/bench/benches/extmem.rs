@@ -1,0 +1,106 @@
+//! External-memory exploration bench (`BENCH_extmem.json`): price the
+//! spill-to-disk detour past 10⁷ states and stamp the byte-level memory
+//! accounting into the committed JSON.
+//!
+//! The workload is the 7-counter grid with `max = 9` — exactly 10⁷
+//! reachable states, the largest committed exploration in the repo. Four
+//! cases:
+//!
+//! 1. `resident` — one fully in-RAM `explore()`, recording the
+//!    `peak_bytes` high-water mark of the visited set plus frontier.
+//! 2. `spill_w1` / `spill_w2` / `spill_w8` — the same search through
+//!    [`SpillPolicy`] with a 2²⁰-key RAM budget and frontier paging, at
+//!    one, two and eight workers. Each run **asserts** its report is
+//!    byte-identical to the resident one (masking only `stats.workers`
+//!    and `stats.peak_bytes`), so the committed baseline doubles as the
+//!    determinism check at full scale.
+//!
+//! Unlike the `BenchSuite` suites, this binary hand-writes its JSON so
+//! every case carries a `peak_bytes` field — the point of the suite is
+//! the memory trajectory, not just the wall clock. `scripts/bench.sh`
+//! moves the JSON to the repo root for committing.
+
+use impossible_det::bench::{bench_case, CaseStats};
+use impossible_explore::{Grid, Search, SearchReport, SpillPolicy};
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The canonical comparison line: everything in the report except the
+/// worker count and the RAM high-water mark, which are the two counters
+/// the spill contract allows to differ.
+fn masked(r: &SearchReport<Vec<u8>, usize>) -> String {
+    let mut stats = r.stats;
+    stats.workers = 0;
+    stats.peak_bytes = 0;
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        r.num_states, r.num_transitions, r.terminal_states, r.truncated_by, r.witness, stats
+    )
+}
+
+fn main() {
+    println!("== bench suite: extmem ==");
+    let big = Grid { n: 7, max: 9 }; // 10^7 = 10,000,000 states
+    let scratch = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("extmem-bench");
+
+    let mut cases: Vec<(CaseStats, usize)> = Vec::new();
+    let peak = Cell::new(0usize);
+    let baseline = RefCell::new(String::new());
+
+    let stats = bench_case("extmem/resident_grid_7x9_10000000", 1, || {
+        let r = Search::new(&big).max_states(20_000_000).explore();
+        assert_eq!(r.num_states, 10_000_000);
+        peak.set(r.stats.peak_bytes);
+        *baseline.borrow_mut() = masked(&r);
+    });
+    let resident_peak = peak.get();
+    cases.push((stats, resident_peak));
+
+    for workers in [1usize, 2, 8] {
+        let policy = SpillPolicy::new(scratch.join(format!("w{workers}")))
+            .ram_keys(1 << 20)
+            .spill_frontier(true);
+        let stats = bench_case(&format!("extmem/spill_grid_7x9_10000000_w{workers}"), 1, || {
+            let r = Search::new(&big)
+                .max_states(20_000_000)
+                .workers(workers)
+                .explore_extmem(&policy);
+            assert_eq!(r.num_states, 10_000_000);
+            assert_eq!(
+                masked(&r),
+                *baseline.borrow(),
+                "spilled report must match resident bytes (w={workers})"
+            );
+            peak.set(r.stats.peak_bytes);
+        });
+        cases.push((stats, peak.get()));
+    }
+    let spilled_peak = peak.get();
+
+    let mut out = String::from("{\"suite\":\"extmem\",\"cases\":[");
+    for (i, (c, pb)) in cases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"samples\":{},\"iters_per_sample\":{},\
+             \"median_ns\":{:.1},\"p95_ns\":{:.1},\"min_ns\":{:.1},\"mean_ns\":{:.1},\
+             \"peak_bytes\":{}}}",
+            c.name, c.samples, c.iters_per_sample, c.median_ns, c.p95_ns, c.min_ns, c.mean_ns, pb,
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"states\":10000000,\"spill_identical_workers\":[1,2,8]}}"
+    );
+    std::fs::write("BENCH_extmem.json", &out).expect("write BENCH_extmem.json");
+    println!("wrote BENCH_extmem.json");
+    println!(
+        "extmem: spilled == resident bytes at w=1/2/8; peak_bytes resident {} vs spilled {} ({:.1}x smaller)",
+        resident_peak,
+        spilled_peak,
+        resident_peak as f64 / spilled_peak.max(1) as f64
+    );
+}

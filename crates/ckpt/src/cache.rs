@@ -12,10 +12,20 @@
 //! snapshot format uses for its model field.
 //!
 //! The on-disk format is a sorted, line-oriented text file (header line
-//! `impossible-ckpt-cache v1`, then one `key holds states edges label`
-//! line per entry, ascending key). Sorted text keeps the file
-//! deterministic — saving the same cache twice produces the same bytes —
-//! and reviewable in a diff, mirroring the canonical-JSONL discipline.
+//! `impossible-ckpt-cache v2`, one `key holds states edges label` line per
+//! entry in ascending key order, and a `count N` trailer). Sorted text
+//! keeps the file deterministic — saving the same cache twice produces the
+//! same bytes — and reviewable in a diff, mirroring the canonical-JSONL
+//! discipline.
+//!
+//! The v2 trailer and the atomic [`VerdictCache::save`] are durability
+//! fixes: v1 had no end-of-file marker, so a file truncated mid-write (a
+//! crash during the old bare `std::fs::write`) parsed as a *shorter valid
+//! cache* — silently forgetting verdicts, the one failure mode a cache
+//! must turn into a loud error rather than absorb. A v2 file whose line
+//! count disagrees with its trailer is typed corruption; a v1-headered
+//! file is treated as a cold start (verdicts are content-addressed and
+//! recomputable, so discarding the stale format is always sound).
 
 use crate::snapshot::CkptError;
 use impossible_explore::FpHasher;
@@ -26,7 +36,11 @@ use std::collections::BTreeMap;
 const KEY_SEED: u64 = 0x1DEA_CAC4_E5EE_D000;
 
 /// Header line of the cache file format.
-const HEADER: &str = "impossible-ckpt-cache v1";
+const HEADER: &str = "impossible-ckpt-cache v2";
+
+/// Header of the retired v1 format (no trailer; cannot detect truncation).
+/// Loading one is a cold start, not an error.
+const HEADER_V1: &str = "impossible-ckpt-cache v1";
 
 /// The canonical fingerprint of a model instance: registry name plus full
 /// parameter vector. Everything a workload's construction depends on must
@@ -97,7 +111,8 @@ impl VerdictCache {
         self.entries.insert(key, (label.to_string(), verdict));
     }
 
-    /// Render the canonical file bytes (header + ascending-key lines).
+    /// Render the canonical file bytes (header + ascending-key lines +
+    /// count trailer).
     pub fn to_text(&self) -> String {
         let mut out = String::from(HEADER);
         out.push('\n');
@@ -111,19 +126,35 @@ impl VerdictCache {
                 label
             ));
         }
+        out.push_str(&format!("count {}\n", self.entries.len()));
         out
     }
 
-    /// Parse [`VerdictCache::to_text`] output.
+    /// Parse [`VerdictCache::to_text`] output. A file cut short anywhere —
+    /// mid-line or between lines — fails the `count` trailer check and
+    /// surfaces as [`CkptError::Malformed`], never as a silently smaller
+    /// cache.
     pub fn from_text(text: &str) -> Result<Self, CkptError> {
         let mut lines = text.lines();
         match lines.next() {
             Some(h) if h == HEADER => {}
+            Some(h) if h == HEADER_V1 => return Ok(Self::new()),
             _ => return Err(CkptError::Malformed("cache header")),
         }
         let mut entries = BTreeMap::new();
+        let mut sealed: Option<usize> = None;
         for line in lines {
             if line.is_empty() {
+                continue;
+            }
+            if sealed.is_some() {
+                return Err(CkptError::Malformed("cache lines after count trailer"));
+            }
+            if let Some(n) = line.strip_prefix("count ") {
+                sealed = Some(
+                    n.parse()
+                        .map_err(|_| CkptError::Malformed("cache count trailer"))?,
+                );
                 continue;
             }
             let mut parts = line.splitn(5, ' ');
@@ -157,7 +188,11 @@ impl VerdictCache {
                 ),
             );
         }
-        Ok(VerdictCache { entries })
+        match sealed {
+            Some(n) if n == entries.len() => Ok(VerdictCache { entries }),
+            Some(_) => Err(CkptError::Malformed("cache count mismatch")),
+            None => Err(CkptError::Malformed("cache count trailer missing")),
+        }
     }
 
     /// Load from `path`; a missing file is an empty cache (cold start), any
@@ -170,9 +205,25 @@ impl VerdictCache {
         }
     }
 
-    /// Write the canonical bytes to `path`.
+    /// Write the canonical bytes to `path`, atomically: temp file in the
+    /// same directory, then rename. The old code was a bare
+    /// `std::fs::write`, which truncates the destination *before* writing
+    /// — a crash in the window left a short file that (pre-v2) parsed as a
+    /// valid empty-ish cache. Rename is atomic on POSIX filesystems, so
+    /// readers now see the old bytes or the new bytes, nothing between.
+    /// The temp name is derived from the content fingerprint (no ambient
+    /// pid/clock — the workspace lints ban both), so identical concurrent
+    /// saves collide harmlessly on identical bytes.
     pub fn save(&self, path: &str) -> Result<(), CkptError> {
-        std::fs::write(path, self.to_text()).map_err(|e| CkptError::Io(e.to_string()))
+        let text = self.to_text();
+        let mut h = FpHasher::new(KEY_SEED);
+        h.write_bytes(text.as_bytes());
+        let tmp = format!("{path}.{:016x}.tmp", h.finish());
+        std::fs::write(&tmp, &text).map_err(|e| CkptError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            CkptError::Io(e.to_string())
+        })
     }
 }
 
@@ -217,10 +268,55 @@ mod tests {
             },
         );
         let text = c.to_text();
-        assert!(text.starts_with("impossible-ckpt-cache v1\n"));
+        assert!(text.starts_with("impossible-ckpt-cache v2\n"));
+        assert!(text.ends_with("count 2\n"), "trailer seals the file");
         let back = VerdictCache::from_text(&text).expect("round trip");
         assert_eq!(back, c);
         assert_eq!(back.to_text(), text, "saving twice produces the same bytes");
+    }
+
+    #[test]
+    fn truncated_files_are_typed_errors_not_smaller_caches() {
+        // Regression: v1 had no trailer, so a file cut short by a crashed
+        // write parsed as a valid cache with fewer (or zero) entries —
+        // silent data loss. Every proper prefix of a v2 file must now be
+        // refused.
+        let mut c = VerdictCache::new();
+        for i in 0..4u64 {
+            c.insert(
+                i * 1000 + 7,
+                "entry",
+                Verdict {
+                    holds: i % 2 == 0,
+                    states: 10 + i as usize,
+                    edges: 20,
+                },
+            );
+        }
+        let text = c.to_text();
+        // Every data-losing prefix (the final cut only strips the trailing
+        // newline of an otherwise-complete file, which is still readable).
+        for cut in 0..text.len() - 1 {
+            let r = VerdictCache::from_text(&text[..cut]);
+            assert!(
+                matches!(r, Err(CkptError::Malformed(_))),
+                "prefix of {cut} bytes must be typed corruption, got {r:?}"
+            );
+        }
+        // Appending junk after the trailer is equally corrupt.
+        let mut trailing = text.clone();
+        trailing.push_str("0000000000000001 1 1 1 late\n");
+        assert!(VerdictCache::from_text(&trailing).is_err());
+    }
+
+    #[test]
+    fn v1_files_are_a_cold_start_not_an_error() {
+        // The retired format cannot prove it is complete; verdicts are
+        // recomputable, so the service restarts cold instead of trusting
+        // or rejecting it.
+        let v1 = "impossible-ckpt-cache v1\n00000000000000aa 1 2 3 old\n";
+        let c = VerdictCache::from_text(v1).expect("cold start");
+        assert!(c.is_empty());
     }
 
     #[test]
@@ -243,9 +339,12 @@ mod tests {
     fn malformed_lines_are_typed_errors() {
         for bad in [
             "wrong header\n",
-            "impossible-ckpt-cache v1\nnothex 1 2 3 x\n",
-            "impossible-ckpt-cache v1\n00000000000000aa 7 2 3 x\n",
-            "impossible-ckpt-cache v1\n00000000000000aa 1 no 3 x\n",
+            "impossible-ckpt-cache v2\nnothex 1 2 3 x\ncount 1\n",
+            "impossible-ckpt-cache v2\n00000000000000aa 7 2 3 x\ncount 1\n",
+            "impossible-ckpt-cache v2\n00000000000000aa 1 no 3 x\ncount 1\n",
+            "impossible-ckpt-cache v2\n00000000000000aa 1 2 3 x\ncount 2\n",
+            "impossible-ckpt-cache v2\n00000000000000aa 1 2 3 x\ncount nan\n",
+            "impossible-ckpt-cache v2\n00000000000000aa 1 2 3 x\n",
         ] {
             assert!(VerdictCache::from_text(bad).is_err(), "{bad:?} must fail");
         }

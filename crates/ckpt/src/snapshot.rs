@@ -11,14 +11,24 @@
 //!                            the transient pool size is deliberately absent)
 //! depth            u64       completed levels
 //! transitions      u64
-//! truncated_by     u8        0 = none, 1 = states, 2 = depth
-//! counters         6 × u64   levels, expansions, dedup_hits, canon_hits,
-//!                            peak_frontier, cap_fallbacks
-//! visited pages    vec of vec of (key u64, parent)   per shard, ascending key
-//! frontier         vec of vec of (fp u64, state)     per partition, in order
-//! terminal         vec of state                      merge order
+//! truncated_by     u8        0 = none, 1 = states, 2 = depth, 3 = index
+//! counters         7 × u64   levels, expansions, dedup_hits, canon_hits,
+//!                            peak_frontier, cap_fallbacks, peak_bytes
+//! visited pages    vec of run page bytes       one delta+varint run page
+//!                                              per shard, ascending key
+//!                                              (the extmem spill format)
+//! frontier pages   vec of frontier page bytes  one varint page per
+//!                                              partition, traversal order
+//! terminal         vec of state                merge order
 //! checksum         u64       FpHasher over every preceding byte
 //! ```
+//!
+//! Version 2 (the spill-to-disk PR) re-encoded the visited and frontier
+//! sections as the [`impossible_explore::page`] formats the external-memory
+//! engine spills, so a snapshot's pages and a spill run's pages are the
+//! same bytes for the same shard — one codec, one set of corruption
+//! guards, and the delta compression the run files get for free. It also
+//! added `peak_bytes` as the seventh counter.
 //!
 //! Because every section is either a counter or a canonically-ordered page
 //! of a worker-count-invariant structure, the byte stream is a pure
@@ -33,16 +43,18 @@
 //! of a different model is refused by fingerprint before the engine ever
 //! sees its states.
 
-use crate::codec::{take, Persist};
+use crate::codec::{take, Persist, PersistError};
 use impossible_core::explore::Truncation;
+use impossible_explore::page::{decode_frontier_page, decode_run_page, encode_frontier_page, encode_run_page};
 use impossible_explore::search::{Parent, SearchCheckpoint};
 use impossible_explore::FpHasher;
 
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"IMPCKPT1";
 
-/// Current snapshot format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current snapshot format version. v2: page-encoded visited/frontier
+/// sections shared with the extmem spill format, `peak_bytes` counter.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Seed for the trailing integrity checksum (fixed: the checksum is part of
 /// the format, not of any run's fingerprint universe).
@@ -102,46 +114,14 @@ impl std::fmt::Display for CkptError {
 
 impl std::error::Error for CkptError {}
 
-impl Persist for Truncation {
-    fn write(&self, out: &mut Vec<u8>) {
-        out.push(match self {
-            Truncation::States => 1,
-            Truncation::Depth => 2,
-        });
-    }
-
-    fn read(buf: &[u8], pos: &mut usize) -> Result<Self, CkptError> {
-        match u8::read(buf, pos)? {
-            1 => Ok(Truncation::States),
-            2 => Ok(Truncation::Depth),
-            _ => Err(CkptError::Malformed("truncation tag")),
-        }
-    }
-}
-
-impl<A: Persist> Persist for Parent<A> {
-    fn write(&self, out: &mut Vec<u8>) {
-        match self {
-            Parent::Root(i) => {
-                out.push(0);
-                i.write(out);
-            }
-            Parent::Child { parent, action } => {
-                out.push(1);
-                parent.write(out);
-                action.write(out);
-            }
-        }
-    }
-
-    fn read(buf: &[u8], pos: &mut usize) -> Result<Self, CkptError> {
-        match u8::read(buf, pos)? {
-            0 => Ok(Parent::Root(usize::read(buf, pos)?)),
-            1 => Ok(Parent::Child {
-                parent: u64::read(buf, pos)?,
-                action: A::read(buf, pos)?,
-            }),
-            _ => Err(CkptError::Malformed("parent tag")),
+/// Codec-layer failures surface as [`CkptError::Malformed`] — the decoders
+/// in `impossible_explore::persist`/`page` compose with `?` in snapshot
+/// code unchanged. (The `Persist` impls for `Truncation` and `Parent`
+/// moved there with the codec; the byte tags are identical.)
+impl From<PersistError> for CkptError {
+    fn from(e: PersistError) -> Self {
+        match e {
+            PersistError::Malformed(what) => CkptError::Malformed(what),
         }
     }
 }
@@ -183,8 +163,19 @@ impl<S: Persist, A: Persist> Snapshot<S, A> {
         self.ckpt.canon_hits.write(&mut out);
         self.ckpt.peak_frontier.write(&mut out);
         self.ckpt.cap_fallbacks.write(&mut out);
-        self.ckpt.visited.write(&mut out);
-        self.ckpt.frontier.write(&mut out);
+        self.ckpt.peak_bytes.write(&mut out);
+        // Visited shards and frontier partitions travel as the extmem page
+        // formats (one length-prefixed page per shard/partition): the same
+        // bytes `SpillPolicy` writes to run files, delta compression
+        // included.
+        self.ckpt.visited.len().write(&mut out);
+        for shard in &self.ckpt.visited {
+            encode_run_page(shard).write(&mut out);
+        }
+        self.ckpt.frontier.len().write(&mut out);
+        for part in &self.ckpt.frontier {
+            encode_frontier_page(part).write(&mut out);
+        }
         self.ckpt.terminal.write(&mut out);
         checksum(&out).write(&mut out);
         out
@@ -228,6 +219,7 @@ impl<S: Persist, A: Persist> Snapshot<S, A> {
             0 => None,
             1 => Some(Truncation::States),
             2 => Some(Truncation::Depth),
+            3 => Some(Truncation::Index),
             _ => return Err(CkptError::Malformed("truncation tag")),
         };
         let levels = usize::read(buf, &mut pos)?;
@@ -236,8 +228,17 @@ impl<S: Persist, A: Persist> Snapshot<S, A> {
         let canon_hits = usize::read(buf, &mut pos)?;
         let peak_frontier = usize::read(buf, &mut pos)?;
         let cap_fallbacks = usize::read(buf, &mut pos)?;
-        let visited = Vec::<Vec<(u64, Parent<A>)>>::read(buf, &mut pos)?;
-        let frontier = Vec::<Vec<(u64, S)>>::read(buf, &mut pos)?;
+        let peak_bytes = usize::read(buf, &mut pos)?;
+        let visited_pages = Vec::<Vec<u8>>::read(buf, &mut pos)?;
+        let visited = visited_pages
+            .iter()
+            .map(|page| decode_run_page::<Parent<A>>(page))
+            .collect::<Result<Vec<_>, _>>()?;
+        let frontier_pages = Vec::<Vec<u8>>::read(buf, &mut pos)?;
+        let frontier = frontier_pages
+            .iter()
+            .map(|page| decode_frontier_page::<S>(page))
+            .collect::<Result<Vec<_>, _>>()?;
         let terminal = Vec::<S>::read(buf, &mut pos)?;
         if pos != body_len {
             return Err(CkptError::TrailingBytes);
@@ -259,6 +260,7 @@ impl<S: Persist, A: Persist> Snapshot<S, A> {
                 canon_hits,
                 peak_frontier,
                 cap_fallbacks,
+                peak_bytes,
             },
         })
     }
@@ -274,9 +276,21 @@ impl<S: Persist, A: Persist> Snapshot<S, A> {
         Ok(())
     }
 
-    /// Write the canonical bytes to `path`.
+    /// Write the canonical bytes to `path`, atomically: the bytes land in
+    /// a same-directory temp file first and are renamed into place, so a
+    /// crash mid-write leaves either the old snapshot or the new one —
+    /// never a truncated hybrid that [`Snapshot::load`] would refuse as
+    /// corrupt. The temp name is derived from the content checksum (no
+    /// ambient pid/clock), so concurrent saves of identical bytes are
+    /// idempotent rather than racy.
     pub fn save(&self, path: &str) -> Result<(), CkptError> {
-        std::fs::write(path, self.to_bytes()).map_err(|e| CkptError::Io(e.to_string()))
+        let bytes = self.to_bytes();
+        let tmp = format!("{path}.{:016x}.tmp", checksum(&bytes));
+        std::fs::write(&tmp, &bytes).map_err(|e| CkptError::Io(e.to_string()))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            CkptError::Io(e.to_string())
+        })
     }
 
     /// Read, decode and validate a snapshot file.
@@ -318,6 +332,7 @@ mod tests {
                 canon_hits: 0,
                 peak_frontier: 5,
                 cap_fallbacks: 1,
+                peak_bytes: 4096,
             },
         )
     }
@@ -353,14 +368,26 @@ mod tests {
         // Version field sits right after the magic; the checksum guards it
         // too, so rewrite both.
         let vpos = MAGIC.len();
-        bytes[vpos] = 2;
+        bytes[vpos] = 3;
         let body_len = bytes.len() - 8;
         let sum = super::checksum(&bytes[..body_len]);
         bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
         assert_eq!(
             Snapshot::<u64, u8>::from_bytes(&bytes),
             Err(CkptError::VersionMismatch {
-                found: 2,
+                found: 3,
+                expected: FORMAT_VERSION
+            })
+        );
+        // A v1 file (pre-page sections) is likewise refused up front.
+        let mut bytes = sample().to_bytes();
+        bytes[vpos] = 1;
+        let sum = super::checksum(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            Snapshot::<u64, u8>::from_bytes(&bytes),
+            Err(CkptError::VersionMismatch {
+                found: 1,
                 expected: FORMAT_VERSION
             })
         );

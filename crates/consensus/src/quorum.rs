@@ -191,6 +191,46 @@ impl AsyncCandidate for QuorumVote {
     }
 }
 
+/// Canonicalization hook for [`QuorumVote`] over **binary inputs**
+/// ([`FlpSystem::all_binary`]): flipping the value bit `0 ↔ 1` everywhere
+/// it appears — inputs, recorded votes, decisions, and `Vote`/`Commit`
+/// payloads in flight — is a system automorphism. The protocol is
+/// value-oblivious: `try_decide` compares counts against the quorum
+/// threshold (at most one value can reach a majority), and `Commit`
+/// adoption copies whatever value arrives, so flipping commutes with every
+/// step; the all-binary initial set is flip-closed. The hook returns the
+/// `Ord`-minimum of the state and its flipped image (pending re-sorted to
+/// keep the multiset representation canonical), which is idempotent
+/// because flipping is an involution. No reachable state is flip-fixed
+/// (`locals[0].input` always flips), so every orbit has size exactly two
+/// and the quotient halves the explored space.
+pub fn value_swap_canon(
+    s: &FlpState<QuorumLocal, QuorumMsg>,
+) -> FlpState<QuorumLocal, QuorumMsg> {
+    let flip = |v: u64| v ^ 1;
+    let mut t = s.clone();
+    for l in &mut t.locals {
+        l.input = flip(l.input);
+        for v in l.votes.iter_mut().flatten() {
+            *v = flip(*v);
+        }
+        if let Some(d) = &mut l.decided {
+            *d = flip(*d);
+        }
+    }
+    for (_, _, m) in &mut t.pending {
+        match m {
+            QuorumMsg::Vote(v) | QuorumMsg::Commit(v) => *v = flip(*v),
+        }
+    }
+    t.pending.sort();
+    if t < *s {
+        t
+    } else {
+        s.clone()
+    }
+}
+
 /// Mechanically exhibit the quorum protocol's FLP lasso: crash `failed`,
 /// drop its actions from the reachable graph (over every binary input
 /// vector), and check `eventually(every live process decides)` under FLP
@@ -305,6 +345,71 @@ mod tests {
             }
             other => panic!("expected lasso, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn value_swap_canon_halves_the_binary_input_space() {
+        // Every reachable state's orbit under the 0 ↔ 1 flip has size
+        // exactly two (the input bit of process 0 always flips), so the
+        // quotient is exactly half the resident space.
+        let q = QuorumVote::new(2);
+        let sys = FlpSystem::all_binary(&q);
+        let resident = Search::new(&sys).max_states(CAP).explore();
+        let quotient = Search::new(&sys)
+            .max_states(CAP)
+            .canon(value_swap_canon)
+            .explore();
+        assert!(!resident.truncated() && !quotient.truncated());
+        assert_eq!(2 * quotient.num_states, resident.num_states);
+        assert!(quotient.stats.canon_hits > 0);
+
+        // Idempotence on every terminal representative.
+        for s in &quotient.terminal_states {
+            assert_eq!(value_swap_canon(&value_swap_canon(s)), value_swap_canon(s));
+        }
+    }
+
+    #[test]
+    fn quotient_preserves_agreement_and_the_flp_stall() {
+        // Safety survives the quotient: the flip maps split decisions to
+        // split decisions, so checking representatives suffices.
+        let q = QuorumVote::new(3);
+        let sys = FlpSystem::all_binary(&q);
+        let safe = Search::new(&sys)
+            .max_states(CAP)
+            .canon(value_swap_canon)
+            .check_property(&always(
+                "agreement",
+                |s: &FlpState<QuorumLocal, QuorumMsg>| {
+                    let d: Vec<u64> = s.locals.iter().filter_map(|l| q.decision(l)).collect();
+                    d.windows(2).all(|w| w[0] == w[1])
+                },
+            ));
+        assert!(safe.holds && !safe.truncated);
+
+        // Liveness violation survives too: the crash-filtered quotient
+        // graph still contains an admissible fair non-deciding lasso.
+        let g = Search::new(&sys)
+            .max_states(CAP)
+            .canon(value_swap_canon)
+            .graph_filtered(|a| sys.owner(a) != Some(ProcessId(0)));
+        let live = [1usize, 2];
+        let prop = eventually(
+            "live-processes-decide",
+            |s: &FlpState<QuorumLocal, QuorumMsg>| {
+                live.iter().all(|&p| q.decision(&s.locals[p]).is_some())
+            },
+        );
+        let r = Checker::new(&g)
+            .admissible(|s: &FlpState<QuorumLocal, QuorumMsg>| {
+                s.pending.iter().all(|(_, to, _)| *to == 0)
+            })
+            .fairness(2, |a: &FlpAction| {
+                sys.owner(a).and_then(|p| live.iter().position(|&x| x == p.index()))
+            })
+            .check(&prop);
+        assert!(!r.holds, "the FLP stall is value-symmetric");
+        assert!(matches!(r.counterexample, Some(Counterexample::Lasso(_))));
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub enum Truncation {
     /// The depth cap tripped: some non-terminal state at the cutoff depth
     /// was left unexpanded.
     Depth,
+    /// An index-width limit tripped: the engine's compact node indices
+    /// (`u32` in the interned graph builder) cannot address any more
+    /// states, so discovery stopped before the configured bounds did.
+    Index,
 }
 
 impl Truncation {
@@ -37,6 +41,7 @@ impl Truncation {
         match self {
             Truncation::States => "states",
             Truncation::Depth => "depth",
+            Truncation::Index => "index",
         }
     }
 }

@@ -23,9 +23,14 @@
 //! win comes from the shared sharded-table + encode-scratch machinery, not
 //! from threads.
 //!
-//! Graphs honor the search's `max_states` bound and canonicalization hook,
-//! but not `max_depth` (matching the legacy `ValenceEngine` builder, which
-//! the seam [`ValenceEngine::analyze_from_graph`] pairs this with).
+//! Graphs honor the search's bounds — `max_states`, and (since the
+//! spill-to-disk PR fixed the builder silently ignoring it) `max_depth`:
+//! the FIFO cursor tracks BFS level boundaries, stops expanding at the
+//! depth bound, and reports [`Truncation::Depth`] when unexpanded
+//! non-terminal states remain, exactly like `Search::explore`. Interned
+//! node indices are `u32`; the conversion is checked, surfacing as
+//! [`Truncation::Index`] instead of a silent wrap, should a space ever
+//! outgrow the index width before the state cap binds.
 
 use crate::fingerprint::{Encode, EncodeScratch, Fingerprint};
 use crate::search::Search;
@@ -97,7 +102,7 @@ where
         F: Fn(&Sys::Action) -> bool,
     {
         let sys = self.sys();
-        let (max_states, _) = self.bounds();
+        let (max_states, max_depth) = self.bounds();
         let canon = self.canon_hook();
         let seed = self.seed_value();
         let canonize = |s: Sys::State| match canon {
@@ -134,17 +139,27 @@ where
                 }
             };
         }
-        // Intern a known-new state as index `$j`.
+        // Intern a known-new state as index `$j`. Evaluates to `false` —
+        // without interning — when `$j` no longer fits the `u32` index
+        // width: the caller records `Truncation::Index` and stops adding
+        // states, instead of the old `as u32` silently wrapping the index
+        // into a bogus (and aliased) slot.
         macro_rules! intern_new {
             ($fp:expr, $sc:expr, $j:expr) => {{
-                if first_by_fp.contains($fp) {
-                    spill.entry($fp).or_default().push($j as u32);
-                } else {
-                    let r = first_by_fp.try_insert_with($fp, Cap::Unbounded, || $j as u32);
-                    debug_assert_eq!(r, TryInsert::Inserted);
+                match u32::try_from($j) {
+                    Err(_) => false,
+                    Ok(j32) => {
+                        if first_by_fp.contains($fp) {
+                            spill.entry($fp).or_default().push(j32);
+                        } else {
+                            let r = first_by_fp.try_insert_with($fp, Cap::Unbounded, || j32);
+                            debug_assert_eq!(r, TryInsert::Inserted);
+                        }
+                        order.push($sc);
+                        succ.push(Vec::new());
+                        true
+                    }
                 }
-                order.push($sc);
-                succ.push(Vec::new());
             }};
         }
 
@@ -155,7 +170,10 @@ where
                 continue;
             }
             let j = order.len();
-            intern_new!(fp, sc, j);
+            if !intern_new!(fp, sc, j) {
+                truncated_by.get_or_insert(Truncation::Index);
+                break;
+            }
         }
         let initials = order.len();
 
@@ -166,7 +184,29 @@ where
         // `order` is never grown while a state borrow is live).
         let mut children: Vec<(Sys::Action, Sys::State, u64)> = Vec::new();
         let mut i = 0usize;
+        // BFS level boundary: indices `[0, level_end)` are at most `depth`
+        // steps from an initial state. FIFO order makes the boundary a
+        // plain cursor — no per-state depth bookkeeping.
+        let mut depth = 0usize;
+        let mut level_end = order.len();
         while i < order.len() {
+            if i == level_end {
+                depth += 1;
+                level_end = order.len();
+            }
+            if depth >= max_depth {
+                // Depth cutoff, matching `Search::explore`: the remaining
+                // states stay in the graph with empty successor lists, and
+                // the truncation is flagged iff any of them still had kept
+                // work to expand.
+                if order[i..]
+                    .iter()
+                    .any(|s| sys.enabled(s).iter().any(|a| keep(a)))
+                {
+                    truncated_by.get_or_insert(Truncation::Depth);
+                }
+                break;
+            }
             {
                 let state = &order[i];
                 for a in sys.enabled(state) {
@@ -187,7 +227,10 @@ where
                             continue;
                         }
                         let j = order.len();
-                        intern_new!(fp, tc, j);
+                        if !intern_new!(fp, tc, j) {
+                            truncated_by.get_or_insert(Truncation::Index);
+                            continue;
+                        }
                         j
                     }
                 };
@@ -283,6 +326,48 @@ mod tests {
         let g = Search::new(&Degenerate).graph();
         assert_eq!(g.len(), 10);
         assert!(!g.truncated());
+    }
+
+    #[test]
+    fn depth_bound_is_enforced_and_marked() {
+        // Regression: the builder used to ignore `max_depth` entirely —
+        // `.max_depth(3)` built the full space. A 1-D chain makes the
+        // level structure exact: depth d reaches counter values 0..=d.
+        let sys = Grid { n: 1, max: 100 };
+        let g = Search::new(&sys).max_depth(3).graph();
+        assert_eq!(g.len(), 4, "roots + 3 expanded levels");
+        assert_eq!(g.truncated_by, Some(Truncation::Depth));
+        // The cutoff level's states are present but unexpanded.
+        assert!(g.succ[3].is_empty());
+        // And the search engine agrees on the census at the same bound.
+        let r = Search::new(&sys).max_depth(3).explore();
+        assert_eq!(r.num_states, g.len());
+        assert_eq!(r.truncated_by, g.truncated_by);
+    }
+
+    #[test]
+    fn depth_bound_on_terminal_frontier_is_not_truncation() {
+        // If the depth bound lands exactly on the space's own horizon —
+        // every frontier state terminal — nothing was cut off.
+        let sys = Grid { n: 1, max: 3 };
+        let g = Search::new(&sys).max_depth(3).graph();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.truncated_by, None);
+        // One level short, the same space *is* truncated.
+        let g = Search::new(&sys).max_depth(2).graph();
+        assert_eq!(g.truncated_by, Some(Truncation::Depth));
+    }
+
+    #[test]
+    fn depth_bound_respects_filtered_actions() {
+        // A state whose only enabled actions are filtered out is terminal
+        // *in the filtered graph*: reaching it at the cutoff depth is not
+        // truncation.
+        let sys = Grid { n: 2, max: 2 };
+        // Keep only counter-0 increments: chain (0,0)→(1,0)→(2,0), done.
+        let g = Search::new(&sys).max_depth(2).graph_filtered(|a| *a == 0);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.truncated_by, None);
     }
 
     #[test]

@@ -28,6 +28,15 @@
 //! * [`graph`] — the exact fingerprint-accelerated reachable-graph builder
 //!   feeding `ValenceEngine::analyze_from_graph` and the product-space
 //!   engines;
+//! * [`persist`] — the reversible little-endian [`Persist`] byte codec
+//!   (moved here from `impossible-ckpt` so snapshots and spill share one
+//!   format), plus [`page`] — delta+varint-compressed key/run/frontier
+//!   pages;
+//! * [`extmem`] — external-memory BFS: a [`SpillPolicy`] writes cold
+//!   visited shards (and optionally frontier partitions) to deterministic
+//!   per-shard run files and streams them back per level, keeping reports
+//!   byte-identical to the resident engine while peak memory stays
+//!   bounded;
 //! * [`property`] — the temporal-property layer over that graph:
 //!   [`always`](property::always) / [`never`](property::never) safety
 //!   checks as reachability, [`eventually`](property::eventually) /
@@ -43,16 +52,21 @@
 //! `docs/EXPLORE.md` for the architecture and the determinism argument.
 
 pub mod canon;
+pub mod extmem;
 pub mod fingerprint;
 pub mod graph;
 pub mod grid;
+pub mod page;
+pub mod persist;
 pub mod pool;
 pub mod property;
 pub mod search;
 pub mod stats;
 pub mod table;
 
+pub use extmem::SpillPolicy;
 pub use fingerprint::{Encode, EncodeScratch, Fingerprint, FpHasher};
+pub use persist::{Persist, PersistError};
 pub use graph::ReachableGraph;
 pub use grid::Grid;
 pub use pool::WorkerPool;

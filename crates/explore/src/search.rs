@@ -224,6 +224,8 @@ pub struct SearchCheckpoint<S, A> {
     pub peak_frontier: usize,
     /// [`SearchStats::cap_fallbacks`] so far.
     pub cap_fallbacks: usize,
+    /// [`SearchStats::peak_bytes`] so far.
+    pub peak_bytes: usize,
 }
 
 impl<S, A> SearchCheckpoint<S, A> {
@@ -346,8 +348,25 @@ impl<'a, Sys: System> Search<'a, Sys> {
         self.partitions
     }
 
+    pub(crate) fn workers_value(&self) -> usize {
+        self.workers
+    }
+
+    pub(crate) fn audit_enabled(&self) -> bool {
+        self.audit
+    }
+
+    /// Shallow byte width of one frontier record: the 8-byte fingerprint
+    /// plus the state's stack footprint. Deliberately ignores heap payloads
+    /// (a `Vec<u8>` state counts as its 24-byte header) — the accounting
+    /// must be a pure function of the type and the record count, never of
+    /// allocator behaviour, to keep `peak_bytes` deterministic.
+    pub(crate) fn frontier_item_bytes() -> usize {
+        8 + std::mem::size_of::<Sys::State>()
+    }
+
     /// Canonicalize (if a hook is installed), counting orbit collapses.
-    fn canonize(&self, s: Sys::State, hits: &mut usize) -> Sys::State {
+    pub(crate) fn canonize(&self, s: Sys::State, hits: &mut usize) -> Sys::State {
         match self.canon {
             None => s,
             Some(c) => {
@@ -364,46 +383,49 @@ impl<'a, Sys: System> Search<'a, Sys> {
 /// Per-partition expansion record produced by pass-1 workers. Children come
 /// back already bucketed by destination shard (`fp % partitions`), so pass 2
 /// can hand bucket `k` of every partition straight to the worker that owns
-/// visited-set shard `k` — the main thread never touches a child.
-struct Expanded<S, A> {
+/// visited-set shard `k` — the main thread never touches a child. The
+/// external-memory engine ([`crate::extmem`]) reuses the same pass-1 records
+/// for its probe/stage/commit pipeline.
+pub(crate) struct Expanded<S, A> {
     /// Terminal states of this partition, in frontier order.
-    terminals: Vec<S>,
+    pub(crate) terminals: Vec<S>,
     /// Frontier items expanded (`enabled` calls).
-    expansions: usize,
+    pub(crate) expansions: usize,
     /// Successors changed by the canonicalization hook.
-    canon_hits: usize,
+    pub(crate) canon_hits: usize,
     /// Total children produced (this partition's transition delta).
-    children: usize,
+    pub(crate) children: usize,
     /// `(child fp, canonical child, action, parent fp)` bucketed by
     /// destination shard; in-bucket order is traversal order (frontier
     /// order, in-state action order).
-    by_shard: Vec<Vec<(u64, S, A, u64)>>,
+    pub(crate) by_shard: Vec<Vec<(u64, S, A, u64)>>,
     /// Destination shard of each child in traversal order — lets the
     /// sequential cap fallback replay the exact global insert order from
     /// the bucketed layout.
-    route: Vec<u32>,
+    pub(crate) route: Vec<u32>,
 }
 
 /// In-flight BFS state: everything the level loop carries between levels.
 /// One struct so the fused path (`run_bfs`), the resumable path
-/// (`run_resumable`) and the resumed path (`resume`) share the *same* loop
-/// body — any budget/truncation fix lands on all three at once.
-struct BfsRun<Sys: System> {
-    stats: SearchStats,
-    visited: ShardedFpMap<Parent<Sys::Action>>,
-    audit_states: BTreeMap<u64, Sys::State>,
-    terminal: Vec<Sys::State>,
-    transitions: usize,
-    truncated_by: Option<Truncation>,
-    found: Option<u64>,
+/// (`run_resumable`), the resumed path (`resume`) and the external-memory
+/// loop (`crate::extmem`) share the *same* setup — any budget/truncation
+/// fix lands on all of them at once.
+pub(crate) struct BfsRun<Sys: System> {
+    pub(crate) stats: SearchStats,
+    pub(crate) visited: ShardedFpMap<Parent<Sys::Action>>,
+    pub(crate) audit_states: BTreeMap<u64, Sys::State>,
+    pub(crate) terminal: Vec<Sys::State>,
+    pub(crate) transitions: usize,
+    pub(crate) truncated_by: Option<Truncation>,
+    pub(crate) found: Option<u64>,
     /// Frontier, pre-partitioned: `parts[k]` holds the states whose
     /// fingerprints shard to `k`.
-    parts: Vec<Vec<(u64, Sys::State)>>,
+    pub(crate) parts: Vec<Vec<(u64, Sys::State)>>,
     /// Completed levels (the next level to expand).
-    depth: usize,
+    pub(crate) depth: usize,
     /// Encode scratch for the sequential control path (rebuilt fresh on
     /// restore — it is a buffer, never state).
-    scratch: EncodeScratch,
+    pub(crate) scratch: EncodeScratch,
 }
 
 impl<'a, Sys: System> Search<'a, Sys>
@@ -562,7 +584,7 @@ where
     }
 
     /// BFS init: seed the visited set and the partitioned root frontier.
-    fn bfs_init<F>(
+    pub(crate) fn bfs_init<F>(
         &self,
         pool: &WorkerPool,
         pred: Option<&F>,
@@ -623,6 +645,9 @@ where
         // body is skipped (predicate matched an initial state, or the space
         // has no initial states to expand).
         stats.peak_frontier = stats.peak_frontier.max(roots.len());
+        stats.peak_bytes = stats
+            .peak_bytes
+            .max(visited.approx_bytes() + roots.len() * Self::frontier_item_bytes());
         trace_event!(tracer, "search", "init",
             "frontier": roots.len(),
             "states": visited.len(),
@@ -691,6 +716,14 @@ where
                 return true;
             }
             run.stats.peak_frontier = run.stats.peak_frontier.max(frontier_len);
+            // Byte accounting, sampled at the same boundary: visited-table
+            // slot arrays plus the current frontier at its shallow record
+            // width. Worker-count-invariant (both are pure functions of the
+            // entry sets); the extmem loop samples the same formula, so a
+            // spilled run's lower number is comparable evidence.
+            run.stats.peak_bytes = run.stats.peak_bytes.max(
+                run.visited.approx_bytes() + frontier_len * Self::frontier_item_bytes(),
+            );
             if run.depth >= self.max_depth {
                 // Cutoff level: record terminals, flag unexpanded work.
                 // (Shard-major traversal — the only loop left that sees a
@@ -863,6 +896,7 @@ where
             canon_hits: run.stats.canon_hits,
             peak_frontier: run.stats.peak_frontier,
             cap_fallbacks: run.stats.cap_fallbacks,
+            peak_bytes: run.stats.peak_bytes,
         }
     }
 
@@ -898,6 +932,7 @@ where
         stats.canon_hits = ckpt.canon_hits;
         stats.peak_frontier = ckpt.peak_frontier;
         stats.cap_fallbacks = ckpt.cap_fallbacks;
+        stats.peak_bytes = ckpt.peak_bytes;
 
         let mut visited: ShardedFpMap<Parent<Sys::Action>> = ShardedFpMap::new(self.partitions);
         for (k, page) in ckpt.visited.into_iter().enumerate() {
@@ -1070,6 +1105,76 @@ where
         (level_children, transitions)
     }
 
+    /// Pass 1 of a parallel level: expand every frontier partition on the
+    /// pool (successors, canon, fingerprints, bucketed by destination
+    /// shard), touching no shared state. Records come back in partition
+    /// order regardless of worker count. Shared by
+    /// [`Search::expand_level_parallel`] and the external-memory engine —
+    /// both downstream consumers are extensionally equal to the fused
+    /// reference traversal because the records preserve traversal order
+    /// (`route` recovers the exact j-major sequence).
+    pub(crate) fn expand_pass1(
+        &self,
+        pool: &WorkerPool,
+        parts: &[Vec<(u64, Sys::State)>],
+    ) -> Vec<Expanded<Sys::State, Sys::Action>> {
+        pool.map_each_partition(parts, |part: &[(u64, Sys::State)]| {
+            self.expand_one_partition(part)
+        })
+    }
+
+    /// Expand one frontier partition (the pass-1 worker body): successors,
+    /// canon, fingerprints, children bucketed by destination shard. Pure —
+    /// touches no shared state — so the spilled-frontier path can decode a
+    /// partition page inside a worker and feed it straight through here.
+    pub(crate) fn expand_one_partition(
+        &self,
+        part: &[(u64, Sys::State)],
+    ) -> Expanded<Sys::State, Sys::Action> {
+        let sys = self.sys;
+        let canon = self.canon;
+        let seed = self.seed;
+        let shard_n = self.partitions;
+        let mut rec = Expanded {
+            terminals: Vec::new(),
+            expansions: 0,
+            canon_hits: 0,
+            children: 0,
+            by_shard: (0..shard_n).map(|_| Vec::new()).collect(),
+            route: Vec::new(),
+        };
+        // One scratch per partition-expansion (i.e. worker-local),
+        // reused across every state the partition fingerprints.
+        let mut scratch = EncodeScratch::new();
+        for (pfp, s) in part {
+            rec.expansions += 1;
+            let acts = sys.enabled(s);
+            if acts.is_empty() {
+                rec.terminals.push(s.clone());
+                continue;
+            }
+            for a in acts {
+                let t = sys.step(s, &a);
+                let tc = match canon {
+                    None => t,
+                    Some(c) => {
+                        let tc = c(&t);
+                        if tc != t {
+                            rec.canon_hits += 1;
+                        }
+                        tc
+                    }
+                };
+                let fp = tc.fingerprint_with(seed, &mut scratch);
+                let k = shard_index(fp, shard_n);
+                rec.by_shard[k].push((fp, tc, a, *pfp));
+                rec.route.push(k as u32);
+                rec.children += 1;
+            }
+        }
+        rec
+    }
+
     /// One BFS level on `pool` workers: pass 1 expands partitions in
     /// parallel (children come back bucketed by destination shard), the
     /// counters/terminals are stitched sequentially in partition order, and
@@ -1093,55 +1198,11 @@ where
         truncated_by: &mut Option<Truncation>,
         tracer: &mut dyn Tracer,
     ) -> (usize, usize) {
-        let sys = self.sys;
-        let canon = self.canon;
-        let seed = self.seed;
         let visited_before = visited.len();
         let mut level_children = 0usize;
         let mut transitions = 0usize;
-        // Pass 1 — parallel expand: successors, canon, fingerprints,
-        // bucketed by destination shard. No shared state touched.
         let shard_n = self.partitions;
-        let mut recs = pool.map_each_partition(parts, |part: &[(u64, Sys::State)]| {
-            let mut rec = Expanded {
-                terminals: Vec::new(),
-                expansions: 0,
-                canon_hits: 0,
-                children: 0,
-                by_shard: (0..shard_n).map(|_| Vec::new()).collect(),
-                route: Vec::new(),
-            };
-            // One scratch per partition-expansion (i.e. worker-local),
-            // reused across every state the partition fingerprints.
-            let mut scratch = EncodeScratch::new();
-            for (pfp, s) in part {
-                rec.expansions += 1;
-                let acts = sys.enabled(s);
-                if acts.is_empty() {
-                    rec.terminals.push(s.clone());
-                    continue;
-                }
-                for a in acts {
-                    let t = sys.step(s, &a);
-                    let tc = match canon {
-                        None => t,
-                        Some(c) => {
-                            let tc = c(&t);
-                            if tc != t {
-                                rec.canon_hits += 1;
-                            }
-                            tc
-                        }
-                    };
-                    let fp = tc.fingerprint_with(seed, &mut scratch);
-                    let k = shard_index(fp, shard_n);
-                    rec.by_shard[k].push((fp, tc, a, *pfp));
-                    rec.route.push(k as u32);
-                    rec.children += 1;
-                }
-            }
-            rec
-        });
+        let mut recs = self.expand_pass1(pool, parts);
 
         // Stitch the per-partition counters and terminals, in
         // partition order.
@@ -1247,14 +1308,25 @@ where
         visited: &ShardedFpMap<Parent<Sys::Action>>,
         target: u64,
     ) -> Execution<Sys::State, Sys::Action> {
+        self.replay_witness_with(target, |fp| visited.get(fp).cloned())
+    }
+
+    /// [`Search::replay_witness`] with a pluggable parent lookup, so the
+    /// external-memory engine ([`crate::extmem`]) can resolve links that
+    /// were spilled to run files through the same replay path.
+    pub(crate) fn replay_witness_with(
+        &self,
+        target: u64,
+        lookup: impl Fn(u64) -> Option<Parent<Sys::Action>>,
+    ) -> Execution<Sys::State, Sys::Action> {
         let mut rev_actions: Vec<Sys::Action> = Vec::new();
         let mut cur = target;
         let root = loop {
-            match visited.get(cur).expect("parent chain intact") {
-                Parent::Root(i) => break *i,
+            match lookup(cur).expect("parent chain intact") {
+                Parent::Root(i) => break i,
                 Parent::Child { parent, action } => {
-                    rev_actions.push(action.clone());
-                    cur = *parent;
+                    rev_actions.push(action);
+                    cur = parent;
                 }
             }
         };

@@ -35,6 +35,14 @@ pub struct SearchStats {
     /// exact-cap insert path instead of worker-local shard inserts. A pure
     /// function of the space and bounds — never of the worker count.
     pub cap_fallbacks: usize,
+    /// Peak bytes held by the visited set and frontier together, sampled
+    /// at level boundaries. Deterministic *shallow* accounting (table
+    /// slots + frontier records at fixed per-item widths — see
+    /// `docs/EXTMEM.md`), not an RSS syscall: the same run always reports
+    /// the same number, and spilling shards to disk lowers it. The one
+    /// stat that legitimately differs between a resident and a spilled run
+    /// of the same model — report comparisons mask it.
+    pub peak_bytes: usize,
 }
 
 impl SearchStats {
@@ -50,6 +58,7 @@ impl SearchStats {
             canon_hits: 0,
             peak_frontier: 0,
             cap_fallbacks: 0,
+            peak_bytes: 0,
         }
     }
 
@@ -57,7 +66,7 @@ impl SearchStats {
     /// variation, integers only. Equal stats encode to equal bytes.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"strategy\":\"{}\",\"workers\":{},\"partitions\":{},\"seed\":{},\"levels\":{},\"expansions\":{},\"dedup_hits\":{},\"canon_hits\":{},\"peak_frontier\":{},\"cap_fallbacks\":{}}}",
+            "{{\"strategy\":\"{}\",\"workers\":{},\"partitions\":{},\"seed\":{},\"levels\":{},\"expansions\":{},\"dedup_hits\":{},\"canon_hits\":{},\"peak_frontier\":{},\"cap_fallbacks\":{},\"peak_bytes\":{}}}",
             self.strategy,
             self.workers,
             self.partitions,
@@ -68,6 +77,7 @@ impl SearchStats {
             self.canon_hits,
             self.peak_frontier,
             self.cap_fallbacks,
+            self.peak_bytes,
         )
     }
 }
@@ -85,9 +95,10 @@ mod tests {
         s.canon_hits = 1;
         s.peak_frontier = 5;
         s.cap_fallbacks = 2;
+        s.peak_bytes = 99;
         assert_eq!(
             s.to_json(),
-            "{\"strategy\":\"bfs\",\"workers\":2,\"partitions\":64,\"seed\":7,\"levels\":3,\"expansions\":10,\"dedup_hits\":4,\"canon_hits\":1,\"peak_frontier\":5,\"cap_fallbacks\":2}"
+            "{\"strategy\":\"bfs\",\"workers\":2,\"partitions\":64,\"seed\":7,\"levels\":3,\"expansions\":10,\"dedup_hits\":4,\"canon_hits\":1,\"peak_frontier\":5,\"cap_fallbacks\":2,\"peak_bytes\":99}"
         );
         // Byte-determinism: same stats, same bytes.
         assert_eq!(s.to_json(), s.clone().to_json());

@@ -78,7 +78,7 @@ pub enum TryInsert {
 const EMPTY: u64 = 0;
 
 #[inline]
-fn key_of(fp: u64) -> u64 {
+pub(crate) fn key_of(fp: u64) -> u64 {
     if fp == EMPTY {
         1
     } else {
@@ -126,6 +126,24 @@ impl<V> FpMap<V> {
     /// True if no entries.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Shallow byte footprint of the slot arrays: `capacity × (8 + value
+    /// slot width)`. A pure function of the entry set (capacity doubles at
+    /// fixed load thresholds), so the same search samples the same number
+    /// on every run — the deterministic memory accounting behind
+    /// `SearchStats::peak_bytes`, deliberately *not* an RSS syscall.
+    pub fn approx_bytes(&self) -> usize {
+        self.keys.len() * (8 + std::mem::size_of::<Option<V>>())
+    }
+
+    /// Drop every entry and shrink back to the empty table's 64-slot
+    /// footprint, releasing the grown slot arrays. The spill path calls
+    /// this after paging a shard to disk; `approx_bytes` drops with it.
+    pub fn clear(&mut self) {
+        self.keys = vec![EMPTY; 64];
+        self.vals = (0..64).map(|_| None).collect();
+        self.len = 0;
     }
 
     #[inline]
@@ -362,6 +380,13 @@ impl<V> ShardedFpMap<V> {
         self.len = self.shards.iter().map(FpMap::len).sum();
     }
 
+    /// Shallow byte footprint: the sum of every shard's
+    /// [`FpMap::approx_bytes`]. Worker-count-invariant because shard
+    /// growth is driven by the (schedule-independent) entry sets.
+    pub fn approx_bytes(&self) -> usize {
+        self.shards.iter().map(FpMap::approx_bytes).sum()
+    }
+
     /// Entries in ascending key order, aggregated across shards by a
     /// `shards`-way merge of the per-shard ordered iterators. Because every
     /// shard's order and the flat [`FpMap`]'s order are both "ascending
@@ -567,5 +592,34 @@ mod tests {
         let b: Vec<(u64, u64)> = sharded.iter_ordered().map(|(k, &v)| (k, v)).collect();
         assert_eq!(a, b);
         assert!(a.windows(2).all(|w| w[0].0 < w[1].0), "ascending, duplicate-free");
+    }
+
+    #[test]
+    fn approx_bytes_tracks_growth_and_clear_releases_it() {
+        let slot = 8 + std::mem::size_of::<Option<u64>>();
+        let mut m: FpMap<u64> = FpMap::new();
+        assert_eq!(m.approx_bytes(), 64 * slot);
+        // Push past the 50% load threshold a few times; the footprint is a
+        // pure function of the entry count, not of insertion history.
+        for fp in 1..=200u64 {
+            m.try_insert_with(fp, Cap::Unbounded, || fp);
+        }
+        assert_eq!(m.approx_bytes(), 512 * slot);
+        m.clear();
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.approx_bytes(), 64 * slot);
+        assert!(!m.contains(7));
+        // Cleared tables accept fresh inserts from a clean slate.
+        m.try_insert_with(7, Cap::Unbounded, || 7);
+        assert_eq!(m.get(7), Some(&7));
+
+        let mut sharded: ShardedFpMap<u64> = ShardedFpMap::new(4);
+        assert_eq!(sharded.approx_bytes(), 4 * 64 * slot);
+        for fp in 1..=500u64 {
+            sharded.try_insert_with(fp, Cap::Unbounded, || fp);
+        }
+        let grown: usize = sharded.shards().iter().map(FpMap::approx_bytes).sum();
+        assert_eq!(sharded.approx_bytes(), grown);
+        assert!(sharded.approx_bytes() > 4 * 64 * slot);
     }
 }

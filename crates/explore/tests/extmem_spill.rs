@@ -1,0 +1,222 @@
+//! The external-memory determinism contract: a spilled run produces
+//! byte-identical reports to the resident engine — same states, same
+//! transitions, same dedup counts, same truncation, same witness — for any
+//! seed, worker count, and spill threshold. Only `stats.peak_bytes` may
+//! (and should) differ, downward.
+//!
+//! `DET_SEED` replays the property cases.
+
+use impossible_det::{det_assert, det_assert_eq, det_prop};
+use impossible_explore::page::{
+    decode_key_page, decode_run_page, encode_key_page, encode_run_page, run_page_keys,
+};
+use impossible_explore::{Grid, Search, SearchReport, SpillPolicy, Truncation};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+/// Strip the two legitimately-differing stats (worker count is recorded by
+/// design, `peak_bytes` is the whole point of spilling) before byte
+/// comparison.
+fn masked(r: &SearchReport<Vec<u8>, usize>) -> String {
+    let mut stats = r.stats;
+    stats.workers = 0;
+    stats.peak_bytes = 0;
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        r.num_states, r.num_transitions, r.terminal_states, r.truncated_by, r.witness, stats
+    )
+}
+
+#[test]
+fn spilled_exploration_matches_resident_bytes() {
+    let sys = Grid { n: 4, max: 3 }; // 256 states, several levels
+    let resident = Search::new(&sys).explore();
+    for (i, (ram_keys, front)) in [(0usize, false), (0, true), (40, false), (40, true)]
+        .iter()
+        .enumerate()
+    {
+        let dir = tmp(&format!("spill-match-{i}"));
+        let policy = SpillPolicy::new(&dir)
+            .ram_keys(*ram_keys)
+            .spill_frontier(*front);
+        let spilled = Search::new(&sys).explore_extmem(&policy);
+        assert!(
+            spilled.stats.peak_bytes <= resident.stats.peak_bytes,
+            "spilling must not raise peak bytes (ram_keys={ram_keys} front={front})"
+        );
+        assert_eq!(
+            masked(&spilled),
+            masked(&resident),
+            "ram_keys={ram_keys} front={front}"
+        );
+    }
+}
+
+#[test]
+fn spilled_reports_are_worker_count_invariant() {
+    // The headline contract from docs/EXTMEM.md, pinned at the canonical
+    // 1/2/8 worker counts (matching tests/determinism.rs for the resident
+    // engine): spill run files are ordered-concatenated per shard, so the
+    // bytes cannot depend on who wrote them.
+    let sys = Grid { n: 4, max: 3 };
+    let render = |workers: usize| {
+        let dir = tmp(&format!("spill-workers-{workers}"));
+        let policy = SpillPolicy::new(&dir).ram_keys(50).spill_frontier(true);
+        let r = Search::new(&sys).workers(workers).explore_extmem(&policy);
+        masked(&r)
+    };
+    let one = render(1);
+    assert_eq!(one, render(2));
+    assert_eq!(one, render(8));
+    // And all of them equal the resident engine's bytes.
+    assert_eq!(one, masked(&Search::new(&sys).explore()));
+}
+
+#[test]
+fn spilled_witness_replays_through_run_files() {
+    let sys = Grid { n: 3, max: 4 };
+    let target = |s: &Vec<u8>| s.iter().all(|&c| c == 4);
+    let resident = Search::new(&sys).search(target);
+    let policy = SpillPolicy::new(tmp("spill-witness"))
+        .ram_keys(0)
+        .spill_frontier(true);
+    let spilled = Search::new(&sys).search_extmem(target, &policy);
+    // ram_keys(0) flushes every level, so the witness's parent chain
+    // crosses several run files; the replay must walk them from disk and
+    // land on the identical shortest execution.
+    assert!(spilled.witness.is_some());
+    assert_eq!(masked(&spilled), masked(&resident));
+}
+
+#[test]
+fn cap_truncation_is_exact_under_spill() {
+    // The cap binds mid-level: the j-major replay path must produce the
+    // resident engine's exact truncation, state count, and fallback count.
+    let sys = Grid { n: 4, max: 3 };
+    let cap = 97;
+    let resident = Search::new(&sys).max_states(cap).explore();
+    assert_eq!(resident.truncated_by, Some(Truncation::States));
+    assert!(resident.stats.cap_fallbacks > 0);
+    let policy = SpillPolicy::new(tmp("spill-cap")).ram_keys(0);
+    let spilled = Search::new(&sys).max_states(cap).explore_extmem(&policy);
+    assert_eq!(spilled.num_states, cap);
+    assert_eq!(masked(&spilled), masked(&resident));
+}
+
+#[test]
+fn depth_truncation_is_exact_under_spill() {
+    let sys = Grid { n: 4, max: 3 };
+    let resident = Search::new(&sys).max_depth(3).explore();
+    assert_eq!(resident.truncated_by, Some(Truncation::Depth));
+    let policy = SpillPolicy::new(tmp("spill-depth"))
+        .ram_keys(0)
+        .spill_frontier(true);
+    let spilled = Search::new(&sys).max_depth(3).explore_extmem(&policy);
+    assert_eq!(masked(&spilled), masked(&resident));
+}
+
+#[test]
+fn run_files_are_deterministically_named_and_disjoint() {
+    let sys = Grid { n: 3, max: 3 };
+    let dir = tmp("spill-names");
+    let policy = SpillPolicy::new(&dir).ram_keys(0);
+    let report = Search::new(&sys).explore_extmem(&policy);
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.starts_with("shard"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty());
+    for n in &names {
+        assert_eq!(n.len(), "shardXXX.runXXX".len(), "bad run name {n}");
+    }
+    // Every visited key is on disk exactly once: with ram_keys(0) the last
+    // level flushed everything, so decoding all runs recovers exactly
+    // `num_states` distinct keys.
+    let mut total = 0usize;
+    let mut all_keys: Vec<u64> = Vec::new();
+    for n in &names {
+        let buf = std::fs::read(dir.join(n)).unwrap();
+        let keys = run_page_keys(&buf).unwrap();
+        total += keys.len();
+        all_keys.extend(keys);
+    }
+    all_keys.sort_unstable();
+    all_keys.dedup();
+    assert_eq!(all_keys.len(), total, "runs are key-disjoint");
+    assert_eq!(total, report.num_states);
+}
+
+#[test]
+fn page_codec_decode_then_encode_is_identity() {
+    // The round trip the other way: any bytes the encoder produced decode
+    // back to a value that re-encodes to the *same* bytes — there is exactly
+    // one encoding per page, so run files can be compared byte-wise.
+    let keys: Vec<u64> = (0..500u64).map(|i| 1 + i * i * 37).collect();
+    let page = encode_key_page(&keys);
+    let decoded = decode_key_page(&page).unwrap();
+    assert_eq!(encode_key_page(&decoded), page);
+
+    let entries: Vec<(u64, u32)> = keys.iter().map(|&k| (k, (k % 1000) as u32)).collect();
+    let run = encode_run_page(&entries);
+    let decoded = decode_run_page::<u32>(&run).unwrap();
+    assert_eq!(encode_run_page(&decoded), run);
+}
+
+det_prop! {
+    fn spill_sweep_any_seed_any_workers_any_threshold(cases = 10, seed in 0u64..1_000_000, w in 1usize..9, ram_keys in 0usize..300, case in 0usize..1_000_000) {
+        // The full determinism sweep: seed × worker count × spill
+        // threshold. The spilled run must reproduce the resident run's
+        // bytes exactly, witness hunt included.
+        let sys = Grid { n: 4, max: 3 };
+        let resident_full = Search::new(&sys).seed(seed).explore();
+        let resident_hunt = Search::new(&sys)
+            .seed(seed)
+            .search(|s| s.iter().all(|&c| c == 3));
+        let dir = tmp(&format!("spill-sweep-{case}"));
+        let spill_full = Search::new(&sys)
+            .seed(seed)
+            .workers(w)
+            .explore_extmem(&SpillPolicy::new(dir.join("full")).ram_keys(ram_keys).spill_frontier(ram_keys % 2 == 0));
+        let spill_hunt = Search::new(&sys)
+            .seed(seed)
+            .workers(w)
+            .search_extmem(
+                |s| s.iter().all(|&c| c == 3),
+                &SpillPolicy::new(dir.join("hunt")).ram_keys(ram_keys).spill_frontier(ram_keys % 2 == 1),
+            );
+        det_assert_eq!(masked(&resident_full), masked(&spill_full));
+        det_assert_eq!(masked(&resident_hunt), masked(&spill_hunt));
+        det_assert!(spill_full.stats.peak_bytes <= resident_full.stats.peak_bytes);
+    }
+}
+
+det_prop! {
+    fn property_reports_are_spill_and_worker_invariant(cases = 6, seed in 0u64..1_000_000, w in 1usize..9) {
+        // The property layer reads reports and graphs, never the table
+        // internals: a checker fed by any engine configuration must emit
+        // byte-identical PropertyReport JSON. (The graph builder itself is
+        // sequential and resident; what this pins is that the spilled
+        // search agrees with the graph on the space it summarizes.)
+        use impossible_explore::property::eventually;
+        use impossible_explore::Checker;
+        let sys = Grid { n: 3, max: 3 };
+        let g = Search::new(&sys).seed(seed).graph();
+        let full = |s: &Vec<u8>| s.iter().all(|&c| c == 3);
+        let report = Checker::new(&g).check(&eventually("saturates", full));
+        let again = Checker::new(&g).check(&eventually("saturates", full));
+        det_assert_eq!(report.to_json(), again.to_json());
+        // Cross-check the spilled search against the graph's census.
+        let dir = tmp(&format!("spill-prop-{seed}-{w}"));
+        let spilled = Search::new(&sys)
+            .seed(seed)
+            .workers(w)
+            .explore_extmem(&SpillPolicy::new(dir).ram_keys(64));
+        det_assert_eq!(spilled.num_states, g.len());
+        det_assert_eq!(spilled.num_transitions, g.num_edges());
+    }
+}

@@ -30,7 +30,7 @@ if [ "${1:-}" = "--check" ]; then
         echo "       the bench harness is silently broken" >&2
         exit 1
     fi
-    for case in '"name":"check/search_grid_4x4_625_w2"' '"name":"check/property_grid_4x4_625"' '"name":"check/resume_grid_4x4_625"'; do
+    for case in '"name":"check/search_grid_4x4_625_w2"' '"name":"check/property_grid_4x4_625"' '"name":"check/resume_grid_4x4_625"' '"name":"check/extmem_grid_4x4_625"'; do
         if ! grep -q "$case" crates/bench/BENCH_check.json; then
             echo "error: BENCH_check.json is missing expected case $case:" >&2
             cat crates/bench/BENCH_check.json >&2
@@ -79,3 +79,13 @@ if [ ! -f crates/bench/BENCH_ckpt.json ]; then
 fi
 mv crates/bench/BENCH_ckpt.json BENCH_ckpt.json
 echo "ckpt baseline: $(cat BENCH_ckpt.json)"
+
+echo "== bench: extmem (writes BENCH_extmem.json) =="
+cargo bench -q --offline -p impossible-bench --bench extmem -- "$@"
+if [ ! -f crates/bench/BENCH_extmem.json ]; then
+    echo "error: bench run produced no crates/bench/BENCH_extmem.json;" >&2
+    echo "       refusing to report the stale committed BENCH_extmem.json as fresh" >&2
+    exit 1
+fi
+mv crates/bench/BENCH_extmem.json BENCH_extmem.json
+echo "extmem baseline: $(cat BENCH_extmem.json)"

@@ -61,6 +61,17 @@ if ! cmp -s "$check_tmp/resumed.txt" "$check_tmp/straight.txt"; then
     exit 1
 fi
 echo "check smoke: OK (cache hit on rerun; resumed == straight bytes)"
+# External-memory twin: force every shard and frontier page through run
+# files in a scratch dir; the report must be byte-identical to the fully
+# resident search (workers and peak_bytes masked inside the binary).
+./target/release/check extmem > "$check_tmp/ext_resident.txt"
+./target/release/check extmem-spill "$check_tmp/spill" > "$check_tmp/ext_spilled.txt"
+if ! cmp -s "$check_tmp/ext_resident.txt" "$check_tmp/ext_spilled.txt"; then
+    echo "error: spilled exploration diverged from the resident run:" >&2
+    diff "$check_tmp/ext_resident.txt" "$check_tmp/ext_spilled.txt" >&2 || true
+    exit 1
+fi
+echo "extmem smoke: OK (spilled == resident bytes)"
 
 echo "== bench harness smoke (1 sample, tiny grid) =="
 bench_out="$(./scripts/bench.sh --check)"

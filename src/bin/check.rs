@@ -8,6 +8,8 @@
 //! cargo run --bin check -- snapshot <path>   # pause a search, seal it to <path>
 //! cargo run --bin check -- resume <path>     # load <path>, finish the search
 //! cargo run --bin check -- straight          # the same search, uninterrupted
+//! cargo run --bin check -- extmem            # reference search, fully resident
+//! cargo run --bin check -- extmem-spill <dir> # same search, spilled to <dir>
 //! ```
 //!
 //! Manifest lines are `<model> <params…> <property>`, one job per line
@@ -28,11 +30,17 @@
 //! pauses the reference grid search and seals it; `resume` (a fresh
 //! process) finishes it; `straight` never pauses — and both print the same
 //! canonical report line, byte for byte (pinned by `scripts/verify.sh`).
+//! `extmem` / `extmem-spill` are the external-memory twin of that probe:
+//! the first explores a reference grid fully resident, the second forces
+//! every shard and frontier page through run files in `<dir>` — and both
+//! print the same canonical line (with `peak_bytes` masked alongside
+//! `workers`, the only counters allowed to differ; also pinned by
+//! `scripts/verify.sh`).
 
 use impossible::ckpt::{job_key, model_fp, CheckJob, Snapshot, Verdict, VerdictCache};
 use impossible::consensus::quorum;
 use impossible::election::ring_search;
-use impossible::explore::{Grid, PauseBudget, Search, SearchReport, WorkerPool};
+use impossible::explore::{Grid, PauseBudget, Search, SearchReport, SpillPolicy, WorkerPool};
 
 /// State-space ceiling for every manifest job; large enough that nothing
 /// in the registry truncates.
@@ -46,7 +54,8 @@ const PROBE_PAUSE: usize = 60;
 
 fn usage() -> String {
     "usage: check manifest <path> [--cache <path>] [--workers N]\n\
-     \x20      check snapshot <path> | resume <path> | straight"
+     \x20      check snapshot <path> | resume <path> | straight\n\
+     \x20      check extmem | extmem-spill <dir>"
         .to_string()
 }
 
@@ -202,6 +211,38 @@ fn straight_mode() -> Result<(), String> {
     Ok(())
 }
 
+/// The external-memory probe's workload: a few thousand states across
+/// enough shards and levels that forced spilling exercises every path.
+const EXT_PROBE: Grid = Grid { n: 4, max: 4 };
+
+/// Canonical report line for the extmem probe: like [`report_line`] but
+/// also masking `stats.peak_bytes` — resident and spilled runs necessarily
+/// differ in RAM held, and the contract is that *nothing else* does.
+fn extmem_report_line(r: &SearchReport<Vec<u8>, usize>) -> String {
+    let mut stats = r.stats;
+    stats.workers = 0;
+    stats.peak_bytes = 0;
+    format!(
+        "extmem-report {:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+        r.num_states, r.num_transitions, r.terminal_states, r.truncated_by, r.witness, stats
+    )
+}
+
+fn extmem_mode() -> Result<(), String> {
+    let report = Search::new(&EXT_PROBE).workers(2).explore();
+    println!("{}", extmem_report_line(&report));
+    Ok(())
+}
+
+fn extmem_spill_mode(dir: &str) -> Result<(), String> {
+    // ram_keys(0) evicts every shard at every level and pages the
+    // frontier too: the maximally hostile spill schedule.
+    let policy = SpillPolicy::new(dir).ram_keys(0).spill_frontier(true);
+    let report = Search::new(&EXT_PROBE).workers(2).explore_extmem(&policy);
+    println!("{}", extmem_report_line(&report));
+    Ok(())
+}
+
 fn main() -> Result<(), String> {
     // LINT-ALLOW: det-ambient -- CLI argument parsing; never protocol state
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -225,6 +266,8 @@ fn main() -> Result<(), String> {
         ["snapshot", path] => snapshot_mode(path),
         ["resume", path] => resume_mode(path),
         ["straight"] => straight_mode(),
+        ["extmem"] => extmem_mode(),
+        ["extmem-spill", dir] => extmem_spill_mode(dir),
         _ => Err(usage()),
     }
 }
