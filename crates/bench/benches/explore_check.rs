@@ -86,6 +86,8 @@ fn main() {
         let mask = |r: &SearchReport<Vec<u8>, usize>| {
             let mut st = r.stats;
             st.workers = 0;
+            st.steals = 0;
+            st.stolen_shards = 0;
             st.peak_bytes = 0;
             format!(
                 "{:?}|{:?}|{:?}|{:?}",

@@ -11,9 +11,9 @@
 //! 2. `spill_w1` / `spill_w2` / `spill_w8` — the same search through
 //!    [`SpillPolicy`] with a 2²⁰-key RAM budget and frontier paging, at
 //!    one, two and eight workers. Each run **asserts** its report is
-//!    byte-identical to the resident one (masking only `stats.workers`
-//!    and `stats.peak_bytes`), so the committed baseline doubles as the
-//!    determinism check at full scale.
+//!    byte-identical to the resident one (masking only `stats.workers`,
+//!    the steal counters and `stats.peak_bytes`), so the committed
+//!    baseline doubles as the determinism check at full scale.
 //!
 //! Unlike the `BenchSuite` suites, this binary hand-writes its JSON so
 //! every case carries a `peak_bytes` field — the point of the suite is
@@ -27,11 +27,14 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// The canonical comparison line: everything in the report except the
-/// worker count and the RAM high-water mark, which are the two counters
-/// the spill contract allows to differ.
+/// worker count, the steal counters (all three record the pool shape by
+/// design) and the RAM high-water mark, which are the counters the spill
+/// contract allows to differ.
 fn masked(r: &SearchReport<Vec<u8>, usize>) -> String {
     let mut stats = r.stats;
     stats.workers = 0;
+    stats.steals = 0;
+    stats.stolen_shards = 0;
     stats.peak_bytes = 0;
     format!(
         "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",

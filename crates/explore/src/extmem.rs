@@ -143,6 +143,13 @@ struct DiskState {
     frontier_paged: bool,
     /// Per-partition lengths of the paged frontier (`frontier_paged` only).
     part_lens: Vec<usize>,
+    /// One reusable read buffer per shard for membership probes: run files
+    /// are re-read every level, and a fresh `fs::read` allocation per file
+    /// per level is pure churn. The buffer is cleared (capacity retained)
+    /// before each read. Deliberately *not* counted in `peak_bytes` — the
+    /// accounting formula covers table slots and frontier records only,
+    /// and must not change between the buffered and unbuffered read paths.
+    read_bufs: Vec<Vec<u8>>,
 }
 
 impl DiskState {
@@ -156,6 +163,7 @@ impl DiskState {
             spilled: 0,
             frontier_paged: false,
             part_lens: vec![0; partitions],
+            read_bufs: (0..partitions).map(|_| Vec::new()).collect(),
         }
     }
 
@@ -233,15 +241,26 @@ impl DiskState {
     }
 }
 
+/// Read `path` into `buf`, cleared first with capacity retained — the
+/// per-shard buffer reuse that replaces a fresh `fs::read` allocation per
+/// run file per level on the membership-probe hot path.
+fn read_run_file(path: &PathBuf, buf: &mut Vec<u8>) {
+    use std::io::Read;
+    buf.clear();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(buf))
+        .unwrap_or_else(|e| panic!("run read {}: {e}", path.display()));
+}
+
 /// Which staged keys are already in this shard's run files: a sorted-merge
 /// of the (sorted, unique) staged keys against each run page's key block —
-/// values never decoded. Returns the matches, sorted.
-fn disk_membership(staged_keys: &[u64], runs: &[PathBuf]) -> Vec<u64> {
+/// values never decoded, file bytes staged through the shard's reusable
+/// `buf`. Returns the matches, sorted.
+fn disk_membership(staged_keys: &[u64], runs: &[PathBuf], buf: &mut Vec<u8>) -> Vec<u64> {
     let mut old = Vec::new();
     for path in runs {
-        let buf =
-            std::fs::read(path).unwrap_or_else(|e| panic!("run read {}: {e}", path.display()));
-        let run_keys = run_page_keys(&buf)
+        read_run_file(path, buf);
+        let run_keys = run_page_keys(buf)
             .unwrap_or_else(|e| panic!("run page {}: {e}", path.display()));
         let (mut i, mut j) = (0usize, 0usize);
         while i < staged_keys.len() && j < run_keys.len() {
@@ -275,6 +294,7 @@ fn classify_shard<S, A: Clone>(
     shard: &mut FpMap<Parent<A>>,
     groups: Vec<Vec<(u64, S, A, u64)>>,
     runs: &[PathBuf],
+    buf: &mut Vec<u8>,
 ) -> (Vec<(u64, S)>, usize) {
     let mut dedup = 0usize;
     let mut staged: Vec<(u64, S, A, u64)> = Vec::new();
@@ -294,7 +314,7 @@ fn classify_shard<S, A: Clone>(
     }
     let mut staged_keys: Vec<u64> = staged.iter().map(|&(fp, ..)| key_of(fp)).collect();
     staged_keys.sort_unstable();
-    let old = disk_membership(&staged_keys, runs);
+    let old = disk_membership(&staged_keys, runs, buf);
     let mut fresh: Vec<(u64, S)> = Vec::new();
     for (fp, tc, a, parent) in staged {
         if old.binary_search(&key_of(fp)).is_ok() {
@@ -450,6 +470,7 @@ where
                     &'s mut FpMap<Parent<A>>,
                     Vec<Vec<(u64, S, A, u64)>>,
                     &'s [PathBuf],
+                    &'s mut Vec<u8>,
                 );
                 let jobs: Vec<ShardJob<'_, Sys::State, Sys::Action>> = run
                     .visited
@@ -457,10 +478,11 @@ where
                     .iter_mut()
                     .zip(per_shard)
                     .zip(disk.runs.iter())
-                    .map(|((shard, groups), runs)| (shard, groups, runs.as_slice()))
+                    .zip(disk.read_bufs.iter_mut())
+                    .map(|(((shard, groups), runs), buf)| (shard, groups, runs.as_slice(), buf))
                     .collect();
-                let results = pool.map_indexed(jobs, |_, (shard, groups, runs)| {
-                    classify_shard(shard, groups, runs)
+                let results = pool.map_indexed(jobs, |_, (shard, groups, runs, buf)| {
+                    classify_shard(shard, groups, runs, buf)
                 });
                 run.visited.refresh_len();
                 for (k, (fresh, dedup)) in results.into_iter().enumerate() {
@@ -480,7 +502,7 @@ where
                         .collect();
                     keys.sort_unstable();
                     keys.dedup();
-                    old_sets.push(disk_membership(&keys, &disk.runs[k]));
+                    old_sets.push(disk_membership(&keys, &disk.runs[k], &mut disk.read_bufs[k]));
                 }
                 for rec in recs {
                     let mut buckets: Vec<std::vec::IntoIter<_>> =
@@ -509,6 +531,14 @@ where
             if visited_before + level_children > max_states {
                 run.stats.cap_fallbacks += 1;
             }
+            // Fold the pool's steal counters in at the level boundary —
+            // the same pass structure as the resident engine (expand +
+            // shard classify, cap levels sequential), so a spilled and a
+            // resident run at the same worker count record the same
+            // numbers.
+            let (steal_passes, stolen) = pool.take_steals();
+            run.stats.steals += steal_passes as usize;
+            run.stats.stolen_shards += stolen as usize;
 
             // Predicate scan over the level's fresh states, shard-major —
             // the same placement that makes `found` worker-count invariant

@@ -32,7 +32,7 @@
 //! [`Truncation::Index`] instead of a silent wrap, should a space ever
 //! outgrow the index width before the state cap binds.
 
-use crate::fingerprint::{Encode, EncodeScratch, Fingerprint};
+use crate::fingerprint::{BatchScratch, Encode};
 use crate::search::Search;
 use crate::table::{Cap, ShardedFpMap, TryInsert};
 use impossible_core::explore::Truncation;
@@ -119,7 +119,7 @@ where
         // encodings.
         let mut first_by_fp: ShardedFpMap<u32> = ShardedFpMap::new(self.partitions_value());
         let mut spill: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
-        let mut scratch = EncodeScratch::new();
+        let mut batch = BatchScratch::new(seed);
         let mut truncated_by: Option<Truncation> = None;
 
         // Look up the interned index of `sc` under `fp`, with exact
@@ -165,7 +165,7 @@ where
 
         for s0 in sys.initial_states() {
             let sc = canonize(s0);
-            let fp = sc.fingerprint_with(seed, &mut scratch);
+            let fp = batch.fingerprint_one(&sc);
             if lookup!(fp, &sc).is_some() {
                 continue;
             }
@@ -182,7 +182,7 @@ where
         // VecDeque builder, without cloning each state out of `order` to
         // expand it (children are staged in a reusable buffer instead, so
         // `order` is never grown while a state borrow is live).
-        let mut children: Vec<(Sys::Action, Sys::State, u64)> = Vec::new();
+        let mut children: Vec<(Sys::Action, Sys::State)> = Vec::new();
         let mut i = 0usize;
         // BFS level boundary: indices `[0, level_end)` are at most `depth`
         // steps from an initial state. FIFO order makes the boundary a
@@ -214,11 +214,13 @@ where
                         continue;
                     }
                     let tc = canonize(sys.step(state, &a));
-                    let fp = tc.fingerprint_with(seed, &mut scratch);
-                    children.push((a, tc, fp));
+                    children.push((a, tc));
                 }
             }
-            for (a, tc, fp) in children.drain(..) {
+            // One batched fingerprint pass over the staged children — the
+            // same hot-path shape as the fused search engine.
+            let fps = batch.fingerprints(children.iter().map(|(_, tc)| tc));
+            for ((a, tc), &fp) in children.drain(..).zip(fps) {
                 let ti = match lookup!(fp, &tc) {
                     Some(j) => j,
                     None => {

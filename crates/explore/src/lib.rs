@@ -65,7 +65,7 @@ pub mod stats;
 pub mod table;
 
 pub use extmem::SpillPolicy;
-pub use fingerprint::{Encode, EncodeScratch, Fingerprint, FpHasher};
+pub use fingerprint::{BatchScratch, Encode, EncodeScratch, Fingerprint, FpHasher};
 pub use persist::{Persist, PersistError};
 pub use graph::ReachableGraph;
 pub use grid::Grid;

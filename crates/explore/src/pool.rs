@@ -1,4 +1,4 @@
-//! Deterministic fork-join worker pool.
+//! Deterministic fork-join worker pool with whole-shard work stealing.
 //!
 //! The one place in the workspace allowed to touch OS threads. The contract
 //! that keeps it deterministic is structural, not synchronization-based:
@@ -7,24 +7,47 @@
 //!   frontier **partitions** and visited-set **shards**, both keyed by the
 //!   same fixed `fingerprint % partitions` function (a constant independent
 //!   of the worker count);
-//! * worker `w` processes items `w, w + W, w + 2W, ...` — a pure function
-//!   of the item index, never a work-stealing race. Because visited-set
-//!   shard `k` and frontier partition `k` share an index, the worker that
-//!   expands partition `k` is also the exclusive owner of shard `k`: dedup
-//!   and insert run worker-locally with no locks;
-//! * results are returned **in item order**, so the caller's merge observes
-//!   a sequence that depends only on the input, never on thread scheduling.
+//! * idle workers claim the next *whole* item from a shared atomic claim
+//!   counter (`fetch_add` over the item index). A shard's item stream is
+//!   never split: whichever worker claims item `k` runs all of `f(k, item)`
+//!   to completion, so per-item output is the same pure function of
+//!   `(k, item)` no matter who computed it. The race decides only *who*
+//!   computes each item, which is unobservable in the output;
+//! * results are returned **in item order** (merged by item index into
+//!   fixed slots), so the caller's merge observes a sequence that depends
+//!   only on the input, never on thread scheduling.
 //!
 //! Consequently every mapper here is extensionally identical for any worker
 //! count — the determinism test in `tests/determinism.rs` pins byte-equal
 //! search reports for 1, 2 and 8 workers. Threads are *scoped* (joined
-//! before return) and share only the read-only closure, so no state leaks
-//! across calls. Panics in workers propagate to the caller.
+//! before return) and share only the read-only closure plus the claim
+//! counter, so no state leaks across calls. Panics in workers propagate to
+//! the caller.
+//!
+//! ## Steal accounting
+//!
+//! The pool counts claim-protocol activity in two atomic counters drained
+//! via [`WorkerPool::take_steals`]. Which *worker* performs a given steal is
+//! scheduling-dependent and deliberately not recorded; the *number* of
+//! steals is not: a parallel pass over `n` items with `W` workers spawns
+//! `min(W, n)` threads whose first claims are their own, so exactly
+//! `n - min(W, n)` claims are steals — a pure function of `(n, W)`. The
+//! search engine folds these into `SearchStats::{steals, stolen_shards}`,
+//! which therefore stay byte-identical across runs at the same worker
+//! count (and are zeroed alongside `workers` when tests compare across
+//! worker counts).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A fixed-size fork-join pool. `workers == 1` runs inline with no threads.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 pub struct WorkerPool {
     workers: usize,
+    /// Parallel passes in which at least one item was stolen.
+    steal_passes: AtomicU64,
+    /// Total items claimed beyond each worker's first (i.e. stolen shards).
+    stolen_shards: AtomicU64,
 }
 
 impl WorkerPool {
@@ -32,12 +55,25 @@ impl WorkerPool {
     pub fn new(workers: usize) -> Self {
         WorkerPool {
             workers: workers.max(1),
+            steal_passes: AtomicU64::new(0),
+            stolen_shards: AtomicU64::new(0),
         }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Drain the steal counters accumulated since the last call: `(passes
+    /// with stealing, shards claimed as steals)`. Both are deterministic
+    /// projections of the claim protocol (see the module docs); the inline
+    /// single-worker path never steals, so both stay 0 at `workers == 1`.
+    pub fn take_steals(&self) -> (u64, u64) {
+        (
+            self.steal_passes.swap(0, Ordering::Relaxed),
+            self.stolen_shards.swap(0, Ordering::Relaxed),
+        )
     }
 
     /// Apply `f` to every item of every partition, returning outputs grouped
@@ -70,14 +106,15 @@ impl WorkerPool {
         self.map_indexed(items, |_, p| f(p))
     }
 
-    /// Consume an ordered list of items, applying `f(index, item)` with
-    /// worker `index % workers`, and return outputs in index order.
+    /// Consume an ordered list of items, applying `f(index, item)` on
+    /// whichever worker claims the index first, and return outputs in index
+    /// order.
     ///
     /// This is the pool's core (the other mappers are wrappers) and the
     /// primitive behind worker-owned visited-set shards: passing
-    /// `&mut`-borrows of the shards as items hands each worker exclusive
-    /// access to exactly the shards whose index it owns — the borrows are
-    /// disjoint because each item is moved to exactly one worker. The
+    /// `&mut`-borrows of the shards as items hands each claiming worker
+    /// exclusive access to exactly the shards it claimed — the borrows are
+    /// disjoint because each item is taken from its slot exactly once. The
     /// output is a pure function of `(items, f)`; the worker count only
     /// affects wall-clock time.
     pub fn map_indexed<T, O, F>(&self, items: Vec<T>, f: F) -> Vec<O>
@@ -90,36 +127,55 @@ impl WorkerPool {
             return items.into_iter().enumerate().map(|(k, t)| f(k, t)).collect();
         }
         let n = items.len();
-        // Deal items to their owning worker: worker w gets k ≡ w (mod W),
-        // in ascending k order.
-        let mut dealt: Vec<Vec<(usize, T)>> = (0..self.workers).map(|_| Vec::new()).collect();
-        for (k, t) in items.into_iter().enumerate() {
-            dealt[k % self.workers].push((k, t));
+        // Steal accounting (deterministic — see module docs): the first
+        // claim of each spawned worker is its own; every further claim is a
+        // steal, so a pass over n items steals exactly n - spawned of them.
+        let spawned = self.workers.min(n);
+        let stolen = (n - spawned) as u64;
+        if stolen > 0 {
+            self.steal_passes.fetch_add(1, Ordering::Relaxed);
+            self.stolen_shards.fetch_add(stolen, Ordering::Relaxed);
         }
+        // Each item sits in a one-shot slot; a worker that wins index k via
+        // the claim counter takes the item out and is its only toucher.
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let next = AtomicUsize::new(0);
         let mut out: Vec<O> = Vec::with_capacity(n);
-        // Scoped threads: joined before return, sharing only `f`. Results
-        // are placed by item index, so scheduling order cannot influence
-        // the output.
-        // LINT-ALLOW: det-ambient -- deterministic fork-join pool: fixed index->worker map, ordered merge (docs/EXPLORE.md)
+        // Scoped threads: joined before return, sharing only `f`, the slots
+        // and the claim counter. Results are placed by item index, so
+        // scheduling order cannot influence the output.
+        // LINT-ALLOW: det-ambient -- deterministic fork-join pool: atomic whole-shard claim counter, ordered merge (docs/EXPLORE.md)
         std::thread::scope(|scope| {
             let f = &f;
-            let handles: Vec<_> = dealt
-                .into_iter()
-                .map(|mine| {
+            let slots = &slots;
+            let next = &next;
+            let handles: Vec<_> = (0..spawned)
+                .map(|_| {
                     scope.spawn(move || {
-                        mine.into_iter()
-                            .map(|(k, t)| (k, f(k, t)))
-                            .collect::<Vec<(usize, O)>>()
+                        let mut done: Vec<(usize, O)> = Vec::new();
+                        loop {
+                            let k = next.fetch_add(1, Ordering::Relaxed);
+                            if k >= n {
+                                break;
+                            }
+                            let t = slots[k]
+                                .lock()
+                                .expect("claim slot poisoned")
+                                .take()
+                                .expect("item claimed twice");
+                            done.push((k, f(k, t)));
+                        }
+                        done
                     })
                 })
                 .collect();
-            let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+            let mut merged: Vec<Option<O>> = (0..n).map(|_| None).collect();
             for h in handles {
                 for (k, v) in h.join().expect("explore worker panicked") {
-                    slots[k] = Some(v);
+                    merged[k] = Some(v);
                 }
             }
-            out.extend(slots.into_iter().map(|s| s.expect("item covered")));
+            out.extend(merged.into_iter().map(|s| s.expect("item covered")));
         });
         out
     }
@@ -159,8 +215,8 @@ mod tests {
 
     #[test]
     fn map_indexed_moves_items_and_keeps_order() {
-        // Owned items (here Strings) are consumed by their owning worker and
-        // outputs come back in index order for any worker count.
+        // Owned items (here Strings) are consumed by whichever worker claims
+        // them and outputs come back in index order for any worker count.
         let mk = || (0..17).map(|i| format!("item-{i}")).collect::<Vec<_>>();
         let one = WorkerPool::new(1).map_indexed(mk(), |k, s| format!("{k}:{s}"));
         for w in [2, 3, 8] {
@@ -173,8 +229,8 @@ mod tests {
 
     #[test]
     fn map_indexed_grants_exclusive_mutable_access() {
-        // &mut borrows as items: each worker mutates only the slots it
-        // owns; the merged result is schedule-independent.
+        // &mut borrows as items: each claiming worker mutates only the slots
+        // it claimed; the merged result is schedule-independent.
         let mut cells: Vec<u64> = vec![0; 23];
         {
             let items: Vec<&mut u64> = cells.iter_mut().collect();
@@ -183,5 +239,35 @@ mod tests {
             });
         }
         assert!(cells.iter().enumerate().all(|(k, &v)| v == (k as u64) * 10));
+    }
+
+    #[test]
+    fn steal_counters_are_a_pure_function_of_items_and_workers() {
+        // 64 items, 2 workers: the pass spawns 2 threads whose first claims
+        // are their own, so exactly 62 claims are steals — regardless of
+        // which thread performed them.
+        let pool = WorkerPool::new(2);
+        let _ = pool.map_indexed((0..64u64).collect(), |_, x| x + 1);
+        assert_eq!(pool.take_steals(), (1, 62));
+        // Drained: a second take reads zero.
+        assert_eq!(pool.take_steals(), (0, 0));
+        // Counters accumulate across passes until drained.
+        let _ = pool.map_indexed((0..64u64).collect(), |_, x| x);
+        let _ = pool.map_indexed((0..5u64).collect(), |_, x| x);
+        assert_eq!(pool.take_steals(), (2, 62 + 3));
+    }
+
+    #[test]
+    fn inline_paths_never_steal() {
+        // One worker (inline) and degenerate item counts record no steals.
+        let one = WorkerPool::new(1);
+        let _ = one.map_indexed((0..64u64).collect(), |_, x| x);
+        assert_eq!(one.take_steals(), (0, 0));
+        let many = WorkerPool::new(8);
+        let _ = many.map_indexed(vec![7u64], |_, x| x);
+        let _ = many.map_indexed(Vec::<u64>::new(), |_, x| x);
+        // n <= 1 runs inline; n == 8 spawns 8 workers, zero steals.
+        let _ = many.map_indexed((0..8u64).collect(), |_, x| x);
+        assert_eq!(many.take_steals(), (0, 0));
     }
 }

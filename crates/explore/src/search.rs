@@ -49,7 +49,7 @@
 //! remembering them — the classic memory/time trade. Depth limits iterate
 //! `0..=max_depth`, so the first hit is still a shortest witness.
 
-use crate::fingerprint::{Encode, EncodeScratch, Fingerprint};
+use crate::fingerprint::{BatchScratch, Encode, Fingerprint};
 use crate::pool::WorkerPool;
 use crate::stats::SearchStats;
 use crate::table::{shard_index, Cap, FpMap, ShardedFpMap, TryInsert};
@@ -423,9 +423,10 @@ pub(crate) struct BfsRun<Sys: System> {
     pub(crate) parts: Vec<Vec<(u64, Sys::State)>>,
     /// Completed levels (the next level to expand).
     pub(crate) depth: usize,
-    /// Encode scratch for the sequential control path (rebuilt fresh on
-    /// restore — it is a buffer, never state).
-    pub(crate) scratch: EncodeScratch,
+    /// Batched fingerprint pipeline shared by the sequential control path
+    /// and the fused level loop (rebuilt fresh on restore — it is a
+    /// buffer, never state).
+    pub(crate) batch: BatchScratch,
 }
 
 impl<'a, Sys: System> Search<'a, Sys>
@@ -598,10 +599,10 @@ where
         let mut audit_states: BTreeMap<u64, Sys::State> = BTreeMap::new();
         let mut truncated_by: Option<Truncation> = None;
         let mut found: Option<u64> = None;
-        // Encode scratch for every fingerprint taken on this (sequential)
-        // control path; parallel expansions carry their own (one per
-        // partition-expansion, reused across all of its states).
-        let mut scratch = EncodeScratch::new();
+        // Batched fingerprint pipeline for this (sequential) control path
+        // and the fused level loop; parallel expansions carry their own
+        // (one per partition-expansion, reused across all of its states).
+        let mut batch = BatchScratch::new(self.seed);
         let mut roots: Vec<(u64, Sys::State)> = Vec::new();
 
         trace_event!(tracer, "search", "start",
@@ -622,7 +623,7 @@ where
                 break;
             }
             let sc = self.canonize(s0, &mut stats.canon_hits);
-            let fp = sc.fingerprint_with(self.seed, &mut scratch);
+            let fp = batch.fingerprint_one(&sc);
             // The explicit length check above is the cap here, so the
             // insert itself is unbounded.
             if visited.try_insert_with(fp, Cap::Unbounded, || Parent::Root(i)) == TryInsert::Present
@@ -678,7 +679,7 @@ where
             found,
             parts,
             depth: 0,
-            scratch,
+            batch,
         }
     }
 
@@ -770,7 +771,7 @@ where
                     run.depth,
                     &run.parts,
                     &mut run.visited,
-                    &mut run.scratch,
+                    &mut run.batch,
                     &mut run.audit_states,
                     &mut next_parts,
                     &mut run.terminal,
@@ -793,6 +794,14 @@ where
                 )
             };
             run.transitions += trans_delta;
+            // Fold the pool's steal counters into the stats at the level
+            // boundary. Deterministic at a fixed worker count (each pass
+            // over n items steals exactly n - min(workers, n) shards — see
+            // `pool`); the fused single-worker path uses no pool, so both
+            // stay 0 at workers == 1.
+            let (steal_passes, stolen) = pool.take_steals();
+            run.stats.steals += steal_passes as usize;
+            run.stats.stolen_shards += stolen as usize;
             // Worker-invariant by construction: both counters are pure
             // functions of the state space and bounds, never of the
             // schedule or of which insert path ran.
@@ -933,6 +942,23 @@ where
         stats.peak_frontier = ckpt.peak_frontier;
         stats.cap_fallbacks = ckpt.cap_fallbacks;
         stats.peak_bytes = ckpt.peak_bytes;
+        // Steal counters are not persisted (the checkpoint stays a pure
+        // function of the space, worker-count-invariant); re-derive them
+        // as if the completed prefix had run at the *resuming* pool's
+        // width, matching what an uninterrupted run under that pool would
+        // record. Every completed level ran two pool passes of exactly
+        // `partitions` items (expand + shard insert) except cap-fallback
+        // levels, whose insert replays sequentially — and a pass over n
+        // items at width w steals n - min(w, n) of them (see `pool`).
+        let w = pool.workers();
+        if w > 1 {
+            let stolen_per_pass = self.partitions - w.min(self.partitions);
+            if stolen_per_pass > 0 {
+                let passes = 2 * ckpt.levels - ckpt.cap_fallbacks;
+                stats.steals = passes;
+                stats.stolen_shards = passes * stolen_per_pass;
+            }
+        }
 
         let mut visited: ShardedFpMap<Parent<Sys::Action>> = ShardedFpMap::new(self.partitions);
         for (k, page) in ckpt.visited.into_iter().enumerate() {
@@ -954,7 +980,7 @@ where
             found: None,
             parts: ckpt.frontier,
             depth: ckpt.depth,
-            scratch: EncodeScratch::new(),
+            batch: BatchScratch::new(self.seed),
         }
     }
 
@@ -977,7 +1003,7 @@ where
         depth: usize,
         parts: &[Vec<(u64, Sys::State)>],
         visited: &mut ShardedFpMap<Parent<Sys::Action>>,
-        scratch: &mut EncodeScratch,
+        batch: &mut BatchScratch,
         audit_states: &mut BTreeMap<u64, Sys::State>,
         next_parts: &mut [Vec<(u64, Sys::State)>],
         terminal: &mut Vec<Sys::State>,
@@ -995,7 +1021,7 @@ where
                 depth,
                 parts,
                 visited,
-                scratch,
+                batch,
                 audit_states,
                 next_parts,
                 terminal,
@@ -1008,7 +1034,7 @@ where
                 depth,
                 parts,
                 visited,
-                scratch,
+                batch,
                 audit_states,
                 next_parts,
                 terminal,
@@ -1026,7 +1052,7 @@ where
         depth: usize,
         parts: &[Vec<(u64, Sys::State)>],
         visited: &mut ShardedFpMap<Parent<Sys::Action>>,
-        scratch: &mut EncodeScratch,
+        batch: &mut BatchScratch,
         audit_states: &mut BTreeMap<u64, Sys::State>,
         next_parts: &mut [Vec<(u64, Sys::State)>],
         terminal: &mut Vec<Sys::State>,
@@ -1035,7 +1061,6 @@ where
         tracer: &mut dyn Tracer,
     ) -> (usize, usize) {
         let sys = self.sys;
-        let seed = self.seed;
         let canon = self.canon;
         let cap = Cap::At(self.max_states);
         let nparts = self.partitions;
@@ -1044,7 +1069,15 @@ where
         let mut expansions = 0usize;
         let mut dedup_hits = 0usize;
         let mut canon_hits = 0usize;
+        // Per-partition staging for the batched fingerprint phase:
+        // `(canonical child, action, parent fp)` in generation order. The
+        // buffer is reused across the level's partitions.
+        let mut pending: Vec<(Sys::State, Sys::Action, u64)> = Vec::new();
         for part in parts {
+            // Phase A — generate this partition's children in the j-major
+            // reference order (frontier order, in-state action order).
+            // Terminals and children land in separate streams, each keeping
+            // its own order, so splitting the phases reorders nothing.
             for (pfp, s) in part {
                 expansions += 1;
                 let acts = sys.enabled(s);
@@ -1064,37 +1097,42 @@ where
                             cs
                         }
                     };
-                    let fp_t = tc.fingerprint_with(seed, scratch);
                     level_children += 1;
                     transitions += 1;
-                    match visited.try_insert_with(fp_t, cap, || {
-                        Parent::Child {
-                            parent: *pfp,
-                            action: a,
+                    pending.push((tc, a, *pfp));
+                }
+            }
+            // Phase B — fingerprint the whole batch in one tight loop
+            // (bit-identical to the scalar path per the BatchScratch
+            // contract).
+            let fps = batch.fingerprints(pending.iter().map(|(tc, _, _)| tc));
+            // Phase C — dedup + insert, same j-major order, cap checked
+            // inline per child exactly as the fused loop always has.
+            for ((tc, a, pfp), &fp_t) in pending.drain(..).zip(fps) {
+                match visited.try_insert_with(fp_t, cap, || {
+                    Parent::Child { parent: pfp, action: a }
+                }) {
+                    TryInsert::Present => {
+                        dedup_hits += 1;
+                        if AUDIT {
+                            self.audit_check_slow(audit_states, fp_t, &tc);
                         }
-                    }) {
-                        TryInsert::Present => {
-                            dedup_hits += 1;
-                            if AUDIT {
-                                self.audit_check_slow(audit_states, fp_t, &tc);
-                            }
+                    }
+                    TryInsert::Full => {
+                        if truncated_by.is_none() {
+                            trace_event!(tracer, "search", "truncate",
+                                "cause": "states",
+                                "level": depth,
+                            );
                         }
-                        TryInsert::Full => {
-                            if truncated_by.is_none() {
-                                trace_event!(tracer, "search", "truncate",
-                                    "cause": "states",
-                                    "level": depth,
-                                );
-                            }
-                            truncated_by.get_or_insert(Truncation::States);
+                        truncated_by.get_or_insert(Truncation::States);
+                    }
+                    TryInsert::Inserted => {
+                        if AUDIT {
+                            audit_states.insert(fp_t, tc.clone());
                         }
-                        TryInsert::Inserted => {
-                            if AUDIT {
-                                audit_states.insert(fp_t, tc.clone());
-                            }
-                            let k = shard_index(fp_t, nparts);
-                            next_parts[k].push((fp_t, tc));
-                        }
+                        let k = shard_index(fp_t, nparts);
+                        next_parts[k].push((fp_t, tc));
                     }
                 }
             }
@@ -1143,9 +1181,13 @@ where
             by_shard: (0..shard_n).map(|_| Vec::new()).collect(),
             route: Vec::new(),
         };
-        // One scratch per partition-expansion (i.e. worker-local),
-        // reused across every state the partition fingerprints.
-        let mut scratch = EncodeScratch::new();
+        // One batch pipeline per partition-expansion (i.e. worker-local):
+        // the seeded hasher init and the staging buffers are shared by
+        // every state the partition fingerprints.
+        let mut batch = BatchScratch::new(seed);
+        // Phase A — generate the partition's children in traversal order
+        // (frontier order, in-state action order), staged for the batch.
+        let mut pending: Vec<(Sys::State, Sys::Action, u64)> = Vec::new();
         for (pfp, s) in part {
             rec.expansions += 1;
             let acts = sys.enabled(s);
@@ -1165,12 +1207,19 @@ where
                         tc
                     }
                 };
-                let fp = tc.fingerprint_with(seed, &mut scratch);
-                let k = shard_index(fp, shard_n);
-                rec.by_shard[k].push((fp, tc, a, *pfp));
-                rec.route.push(k as u32);
-                rec.children += 1;
+                pending.push((tc, a, *pfp));
             }
+        }
+        // Phase B — fingerprint the batch in one tight loop (bit-identical
+        // to the scalar path per the BatchScratch contract).
+        let fps = batch.fingerprints(pending.iter().map(|(tc, _, _)| tc));
+        // Phase C — bucket by destination shard in the same traversal
+        // order, recording the route so cap levels can replay it exactly.
+        for ((tc, a, pfp), &fp) in pending.into_iter().zip(fps) {
+            let k = shard_index(fp, shard_n);
+            rec.by_shard[k].push((fp, tc, a, pfp));
+            rec.route.push(k as u32);
+            rec.children += 1;
         }
         rec
     }

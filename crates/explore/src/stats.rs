@@ -43,6 +43,19 @@ pub struct SearchStats {
     /// stat that legitimately differs between a resident and a spilled run
     /// of the same model — report comparisons mask it.
     pub peak_bytes: usize,
+    /// Parallel pool passes in which at least one shard was claimed as a
+    /// steal (an idle worker taking a whole shard beyond its first from the
+    /// shared claim counter). A deterministic projection of the claim
+    /// protocol: a pass over `n` items with `W` workers steals exactly
+    /// `n - min(W, n)` of them, so the count is a pure function of the run
+    /// shape and worker count — never of thread scheduling. Always 0 at
+    /// `workers == 1` (the fused inline path uses no pool). Like
+    /// [`SearchStats::workers`], legitimately differs *across* worker
+    /// counts; determinism tests zero both before comparing.
+    pub steals: usize,
+    /// Total whole shards claimed as steals across those passes (same
+    /// determinism contract as [`SearchStats::steals`]).
+    pub stolen_shards: usize,
 }
 
 impl SearchStats {
@@ -59,6 +72,8 @@ impl SearchStats {
             peak_frontier: 0,
             cap_fallbacks: 0,
             peak_bytes: 0,
+            steals: 0,
+            stolen_shards: 0,
         }
     }
 
@@ -66,7 +81,7 @@ impl SearchStats {
     /// variation, integers only. Equal stats encode to equal bytes.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"strategy\":\"{}\",\"workers\":{},\"partitions\":{},\"seed\":{},\"levels\":{},\"expansions\":{},\"dedup_hits\":{},\"canon_hits\":{},\"peak_frontier\":{},\"cap_fallbacks\":{},\"peak_bytes\":{}}}",
+            "{{\"strategy\":\"{}\",\"workers\":{},\"partitions\":{},\"seed\":{},\"levels\":{},\"expansions\":{},\"dedup_hits\":{},\"canon_hits\":{},\"peak_frontier\":{},\"cap_fallbacks\":{},\"peak_bytes\":{},\"steals\":{},\"stolen_shards\":{}}}",
             self.strategy,
             self.workers,
             self.partitions,
@@ -78,6 +93,8 @@ impl SearchStats {
             self.peak_frontier,
             self.cap_fallbacks,
             self.peak_bytes,
+            self.steals,
+            self.stolen_shards,
         )
     }
 }
@@ -96,9 +113,11 @@ mod tests {
         s.peak_frontier = 5;
         s.cap_fallbacks = 2;
         s.peak_bytes = 99;
+        s.steals = 6;
+        s.stolen_shards = 372;
         assert_eq!(
             s.to_json(),
-            "{\"strategy\":\"bfs\",\"workers\":2,\"partitions\":64,\"seed\":7,\"levels\":3,\"expansions\":10,\"dedup_hits\":4,\"canon_hits\":1,\"peak_frontier\":5,\"cap_fallbacks\":2,\"peak_bytes\":99}"
+            "{\"strategy\":\"bfs\",\"workers\":2,\"partitions\":64,\"seed\":7,\"levels\":3,\"expansions\":10,\"dedup_hits\":4,\"canon_hits\":1,\"peak_frontier\":5,\"cap_fallbacks\":2,\"peak_bytes\":99,\"steals\":6,\"stolen_shards\":372}"
         );
         // Byte-determinism: same stats, same bytes.
         assert_eq!(s.to_json(), s.clone().to_json());

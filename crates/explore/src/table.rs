@@ -14,10 +14,11 @@
 //! * [`ShardedFpMap`] — a fixed number of independent `FpMap` shards, where
 //!   fingerprint `fp` lives in shard `fp % shards`. The shard function is
 //!   the *same* fixed partition function the search engine uses to split
-//!   BFS frontiers, so the worker that owns partition `k` also owns shard
-//!   `k` — dedup and insert run worker-locally with no locks, and the
-//!   sequential merge degrades to stitching per-shard outputs in shard
-//!   order (see `docs/EXPLORE.md`, "Sharding & determinism").
+//!   BFS frontiers, so whichever worker claims partition `k` off the shared
+//!   claim counter gets shard `k` with it — dedup and insert run
+//!   worker-locally with no locks, and the sequential merge degrades to
+//!   stitching per-shard outputs in shard order (see `docs/EXPLORE.md`,
+//!   "Sharding & determinism").
 //!
 //! Determinism: the tables are only ever *probed* (by fingerprint) on hot
 //! paths — nothing hot iterates them — so neither probe order nor growth
@@ -88,8 +89,8 @@ pub(crate) fn key_of(fp: u64) -> u64 {
 
 /// The shard/partition owning fingerprint `fp` out of `shards` — the one
 /// routing function shared by [`ShardedFpMap`] and the search engine's
-/// frontier partitioner, so the worker that expands partition `k` is
-/// exactly the owner of visited shard `k`.
+/// frontier partitioner, so whichever worker claims partition `k` holds
+/// visited shard `k` exclusively for that pass.
 ///
 /// Routing happens on the *stored key* (fingerprint `0` folds onto `1`,
 /// matching the table's sentinel fold): the flat and sharded tables must
@@ -271,8 +272,10 @@ impl<V> Default for FpMap<V> {
 ///
 /// The shard function is a pure function of the fingerprint — never of the
 /// schedule — which is what lets the search engine hand each worker
-/// exclusive `&mut` access to the shards it owns ([`Self::shards_mut`])
-/// while keeping reports byte-identical for any worker count. Each shard
+/// exclusive `&mut` access to whole shards ([`Self::shards_mut`]): a shard
+/// is claimed atomically as a unit, mutated by exactly one worker per pass,
+/// and merged back in fixed shard order, so reports stay byte-identical for
+/// any worker count and any steal schedule. Each shard
 /// grows independently, so a hot shard doubling never rehashes the others.
 #[derive(Debug, Clone)]
 pub struct ShardedFpMap<V> {
@@ -367,10 +370,10 @@ impl<V> ShardedFpMap<V> {
         &self.shards
     }
 
-    /// Exclusive access to the shard array, for the worker pool: worker `w`
-    /// mutates only shards `w, w+W, w+2W, …` (its frontier partitions), so
-    /// the borrows are disjoint by construction. Call
-    /// [`Self::refresh_len`] afterwards.
+    /// Exclusive access to the shard array, for the worker pool: each shard
+    /// is claimed by exactly one worker per pass (whole shards off the
+    /// atomic claim counter), so the borrows are disjoint by construction.
+    /// Call [`Self::refresh_len`] afterwards.
     pub fn shards_mut(&mut self) -> &mut [FpMap<V>] {
         &mut self.shards
     }

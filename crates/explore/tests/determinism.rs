@@ -24,11 +24,15 @@ fn run(workers: usize, seed: u64) -> (String, String) {
     (strip_workers(&full), strip_workers(&hunt))
 }
 
-/// Everything except `stats.workers` (which records the pool size by
-/// design) must match byte-for-byte.
+/// Everything except `stats.workers` and the steal counters (all three
+/// record the pool size / claim-protocol shape by design — deterministic
+/// *at* a worker count, deliberately different *across* worker counts) must
+/// match byte-for-byte.
 fn strip_workers(r: &SearchReport<Vec<u8>, usize>) -> String {
     let mut stats = r.stats;
     stats.workers = 0;
+    stats.steals = 0;
+    stats.stolen_shards = 0;
     format!(
         "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
         r.num_states, r.num_transitions, r.terminal_states, r.truncated_by, r.witness, stats
@@ -56,6 +60,60 @@ fn truncated_searches_are_also_worker_invariant() {
     let one = render(1);
     assert_eq!(one, render(2));
     assert_eq!(one, render(8));
+}
+
+#[test]
+fn single_worker_runs_never_steal() {
+    // Pinned regression: the claim protocol is bypassed entirely at w=1
+    // (and for degenerate item counts), so a sequential run must report
+    // exactly zero steal activity — both in explore and in a witness hunt.
+    let sys = Grid { n: 4, max: 3 };
+    let full = Search::new(&sys).workers(1).explore();
+    assert_eq!(full.stats.steals, 0);
+    assert_eq!(full.stats.stolen_shards, 0);
+    let hunt = Search::new(&sys)
+        .workers(1)
+        .search(|s| s.iter().all(|&c| c == 3));
+    assert_eq!(hunt.stats.steals, 0);
+    assert_eq!(hunt.stats.stolen_shards, 0);
+}
+
+#[test]
+fn steal_counters_are_derivable_from_the_report() {
+    // Each expanded level submits two parallel passes of `partitions`
+    // items (minus one pass per cap-fallback level, which runs the exact
+    // sequential insert instead). A pass with W workers claims
+    // min(W, partitions) shards eagerly; the remainder are steals. The
+    // counters are therefore a pure function of the report's own
+    // `levels`/`cap_fallbacks`/`partitions` — schedule noise must never
+    // leak in, and repeated runs must agree to the byte.
+    let sys = Grid { n: 4, max: 3 };
+    for w in [2usize, 8] {
+        let r = Search::new(&sys).workers(w).explore();
+        assert_eq!(r.stats.cap_fallbacks, 0, "uncapped run");
+        let passes = 2 * r.stats.levels;
+        let per_pass = r.stats.partitions - w.min(r.stats.partitions);
+        assert!(r.stats.steals > 0, "w={w} ran the claim protocol");
+        assert_eq!(r.stats.steals, passes, "w={w}");
+        assert_eq!(r.stats.stolen_shards, passes * per_pass, "w={w}");
+        let again = Search::new(&sys).workers(w).explore();
+        assert_eq!(r.stats.steals, again.stats.steals);
+        assert_eq!(r.stats.stolen_shards, again.stats.stolen_shards);
+    }
+}
+
+#[test]
+fn cap_fallback_levels_skip_the_second_steal_pass() {
+    // When the cap forces the sequential exact-insert fallback, that
+    // level runs only one parallel pass — the steal counters must track
+    // `2 * levels - cap_fallbacks`, not `2 * levels`.
+    let sys = Grid { n: 4, max: 4 };
+    let r = Search::new(&sys).max_states(301).workers(2).explore();
+    assert!(r.stats.cap_fallbacks > 0, "the cap must bind mid-level");
+    let passes = 2 * r.stats.levels - r.stats.cap_fallbacks;
+    let per_pass = r.stats.partitions - 2;
+    assert_eq!(r.stats.steals, passes);
+    assert_eq!(r.stats.stolen_shards, passes * per_pass);
 }
 
 det_prop! {

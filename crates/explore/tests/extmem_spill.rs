@@ -17,12 +17,14 @@ fn tmp(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
 }
 
-/// Strip the two legitimately-differing stats (worker count is recorded by
-/// design, `peak_bytes` is the whole point of spilling) before byte
-/// comparison.
+/// Strip the legitimately-differing stats (worker count and the steal
+/// counters are recorded by design and vary with the pool size,
+/// `peak_bytes` is the whole point of spilling) before byte comparison.
 fn masked(r: &SearchReport<Vec<u8>, usize>) -> String {
     let mut stats = r.stats;
     stats.workers = 0;
+    stats.steals = 0;
+    stats.stolen_shards = 0;
     stats.peak_bytes = 0;
     format!(
         "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
@@ -116,6 +118,29 @@ fn depth_truncation_is_exact_under_spill() {
         .spill_frontier(true);
     let spilled = Search::new(&sys).max_depth(3).explore_extmem(&policy);
     assert_eq!(masked(&spilled), masked(&resident));
+}
+
+#[test]
+fn spilled_runs_record_the_same_steal_counters_as_resident() {
+    // The extmem engine drives the identical two-pass pool schedule per
+    // level (expansion, then shard classify/merge), so its steal counters
+    // must equal the resident engine's at the same worker count — and
+    // stay zero at w=1 where the claim protocol is bypassed.
+    let sys = Grid { n: 4, max: 3 };
+    let resident = Search::new(&sys).workers(2).explore();
+    let policy = SpillPolicy::new(tmp("spill-steals"))
+        .ram_keys(0)
+        .spill_frontier(true);
+    let spilled = Search::new(&sys).workers(2).explore_extmem(&policy);
+    assert!(spilled.stats.steals > 0, "w=2 spill ran the claim protocol");
+    assert_eq!(spilled.stats.steals, resident.stats.steals);
+    assert_eq!(spilled.stats.stolen_shards, resident.stats.stolen_shards);
+
+    let w1 = Search::new(&sys)
+        .workers(1)
+        .explore_extmem(&SpillPolicy::new(tmp("spill-steals-w1")).ram_keys(0));
+    assert_eq!(w1.stats.steals, 0);
+    assert_eq!(w1.stats.stolen_shards, 0);
 }
 
 #[test]

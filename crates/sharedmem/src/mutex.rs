@@ -106,6 +106,43 @@ impl<L: impossible_explore::Encode> impossible_explore::Encode for MutexState<L>
     }
 }
 
+/// Canonicalization hook for **process-symmetric** algorithms: permuting
+/// process indices is a system automorphism whenever every process runs
+/// identical code — `on_try`/`on_exit`/`target`/`step` ignore `i` — and all
+/// processes participate. Shared variables are global (not per-process), so
+/// only `locals` is permuted; `vars` rides along unchanged. The hook returns
+/// the `Ord`-minimum of `locals` over the full symmetric group
+/// ([`impossible_explore::canon::all_permutations`] of `locals.len()`),
+/// which is idempotent because the minimum of an orbit is a fixed
+/// representative of that orbit. The §2.1 counting arguments are themselves
+/// symmetric (mutual exclusion, deadlock and value-space predicates are
+/// invariant under relabeling), so checking representatives suffices —
+/// mirror of `consensus::quorum::value_swap_canon` on the shared-memory
+/// side.
+///
+/// **Not** sound for asymmetric algorithms (distinct roles, per-process
+/// variable targets, or restricted participant sets); the caller owns that
+/// precondition, exactly as with every [`impossible_explore::Search::canon`]
+/// hook.
+pub fn process_perm_canon<L: Clone + Ord>(s: &MutexState<L>) -> MutexState<L> {
+    let perms = impossible_explore::canon::all_permutations(s.locals.len());
+    let locals = impossible_explore::canon::min_under_permutations(
+        &s.locals,
+        &perms,
+        |ls: &Vec<L>, p: &[usize]| {
+            let mut t = ls.clone();
+            for (i, l) in ls.iter().enumerate() {
+                t[p[i]] = l.clone();
+            }
+            t
+        },
+    );
+    MutexState {
+        locals,
+        vars: s.vars.clone(),
+    }
+}
+
 /// Actions of the composed system. `Try` and `Exit` belong to the
 /// environment (but are attributed to the process for fairness accounting);
 /// `Step` is one atomic variable access by the algorithm.
@@ -313,5 +350,86 @@ mod tests {
         let report = Explorer::new(&sys).explore();
         assert!(!report.truncated);
         assert!(report.num_states < 100, "{} states", report.num_states);
+    }
+
+    #[test]
+    fn process_perm_canon_shrinks_the_symmetric_space() {
+        // TasLock is process-oblivious, so the permutation quotient is
+        // sound. Not every orbit has full size n! (states with equal locals
+        // are permutation-fixed), so assert a strict shrink plus recorded
+        // canon hits rather than an exact divisor.
+        use impossible_explore::Search;
+        for n in [2usize, 3] {
+            let alg = TasLock::new(n);
+            let sys = MutexSystem::new(&alg);
+            let resident = Search::new(&sys).explore();
+            let quotient = Search::new(&sys).canon(process_perm_canon).explore();
+            assert!(!resident.truncated() && !quotient.truncated());
+            assert!(
+                quotient.num_states < resident.num_states,
+                "n={n}: quotient {} must beat resident {}",
+                quotient.num_states,
+                resident.num_states
+            );
+            assert!(quotient.stats.canon_hits > 0, "n={n}: hook never fired");
+            // Idempotence on every representative the search kept.
+            for s in &quotient.terminal_states {
+                assert_eq!(process_perm_canon(&process_perm_canon(s)), process_perm_canon(s));
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_preserves_mutex_safety_and_progress_verdicts() {
+        // The §2.1 verdicts are permutation-invariant predicates, so the
+        // quotient search must reproduce them: TAS is safe (no two
+        // processes critical) and deadlock-free, and the shared variable
+        // still takes exactly its two values across representatives.
+        use impossible_explore::Search;
+        let alg = TasLock::new(3);
+        let sys = MutexSystem::new(&alg);
+        let violation = Search::new(&sys)
+            .canon(process_perm_canon)
+            .search(|s: &MutexState<_>| sys.critical_processes(s).len() >= 2);
+        assert!(violation.witness.is_none(), "TAS stays safe in the quotient");
+
+        // Every representative with a trying process can still reach a
+        // critical region — progress survives the quotient.
+        let g = Search::new(&sys).canon(process_perm_canon).graph();
+        let mut can_reach_crit = vec![false; g.order.len()];
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); g.order.len()];
+        for (i, ts) in g.succ.iter().enumerate() {
+            for &(_, t) in ts {
+                preds[t].push(i);
+            }
+        }
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for (i, s) in g.order.iter().enumerate() {
+            if !sys.critical_processes(s).is_empty() {
+                can_reach_crit[i] = true;
+                queue.push_back(i);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for &p in &preds[i] {
+                if !can_reach_crit[p] {
+                    can_reach_crit[p] = true;
+                    queue.push_back(p);
+                }
+            }
+        }
+        for (i, s) in g.order.iter().enumerate() {
+            if !sys.trying_processes(s).is_empty() {
+                assert!(can_reach_crit[i], "quotient state {i} lost progress");
+            }
+        }
+
+        // Value space is preserved: the lock variable still shows both
+        // values across the representatives.
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &g.order {
+            seen.insert(s.vars[0]);
+        }
+        assert_eq!(seen.len(), 2, "quotient kept both lock values");
     }
 }

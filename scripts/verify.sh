@@ -72,6 +72,15 @@ if ! cmp -s "$check_tmp/ext_resident.txt" "$check_tmp/ext_spilled.txt"; then
     exit 1
 fi
 echo "extmem smoke: OK (spilled == resident bytes)"
+# Work-stealing byte-identity: the claim-counter pool must keep reports
+# byte-identical at w ∈ {1,2,4,8}. Valid on any core count — the speedup
+# floor itself lives in `bench.sh --scaling` and only gates on nproc >= 2.
+scaling_out="$(./target/release/check scaling)"
+printf '%s\n' "$scaling_out"
+if ! printf '%s' "$scaling_out" | grep -q "check: scaling OK"; then
+    echo "error: check scaling did not report byte-identity across worker counts" >&2
+    exit 1
+fi
 
 echo "== bench harness smoke (1 sample, tiny grid) =="
 bench_out="$(./scripts/bench.sh --check)"

@@ -10,6 +10,7 @@
 //! cargo run --bin check -- straight          # the same search, uninterrupted
 //! cargo run --bin check -- extmem            # reference search, fully resident
 //! cargo run --bin check -- extmem-spill <dir> # same search, spilled to <dir>
+//! cargo run --bin check -- scaling           # w ∈ {1,2,4,8} byte-identity probe
 //! ```
 //!
 //! Manifest lines are `<model> <params…> <property>`, one job per line
@@ -55,7 +56,7 @@ const PROBE_PAUSE: usize = 60;
 fn usage() -> String {
     "usage: check manifest <path> [--cache <path>] [--workers N]\n\
      \x20      check snapshot <path> | resume <path> | straight\n\
-     \x20      check extmem | extmem-spill <dir>"
+     \x20      check extmem | extmem-spill <dir> | scaling"
         .to_string()
 }
 
@@ -234,6 +235,54 @@ fn extmem_mode() -> Result<(), String> {
     Ok(())
 }
 
+/// The work-stealing byte-identity probe: the same search at w ∈ {1,2,4,8}
+/// must render identical lines once `stats.workers` and the steal counters
+/// — the three deliberately pool-shaped stats — are masked. Unlike the
+/// bench-side speedup gate this holds on *any* machine, single-core
+/// included, so `scripts/verify.sh` runs it unconditionally.
+fn scaling_mode() -> Result<(), String> {
+    let run = |workers: usize| Search::new(&EXT_PROBE).workers(workers).explore();
+    let masked = |r: &SearchReport<Vec<u8>, usize>| {
+        let mut stats = r.stats;
+        stats.workers = 0;
+        stats.steals = 0;
+        stats.stolen_shards = 0;
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            r.num_states, r.num_transitions, r.terminal_states, r.truncated_by, r.witness, stats
+        )
+    };
+    let base = run(1);
+    if base.stats.steals != 0 || base.stats.stolen_shards != 0 {
+        return Err(format!(
+            "w=1 must never steal, recorded steals={} stolen_shards={}",
+            base.stats.steals, base.stats.stolen_shards
+        ));
+    }
+    let want = masked(&base);
+    let mut w2_steals = 0usize;
+    for w in [2usize, 4, 8] {
+        let r = run(w);
+        if w == 2 {
+            w2_steals = r.stats.steals;
+            if r.stats.steals == 0 {
+                return Err("w=2 ran the claim protocol but recorded zero steal passes".into());
+            }
+        }
+        let got = masked(&r);
+        if got != want {
+            return Err(format!(
+                "scaling divergence at w={w}:\n  w1: {want}\n  w{w}: {got}"
+            ));
+        }
+    }
+    println!(
+        "check: scaling OK (states={} workers=1/2/4/8 byte-identical, w2 steal passes={})",
+        base.num_states, w2_steals
+    );
+    Ok(())
+}
+
 fn extmem_spill_mode(dir: &str) -> Result<(), String> {
     // ram_keys(0) evicts every shard at every level and pages the
     // frontier too: the maximally hostile spill schedule.
@@ -268,6 +317,7 @@ fn main() -> Result<(), String> {
         ["straight"] => straight_mode(),
         ["extmem"] => extmem_mode(),
         ["extmem-spill", dir] => extmem_spill_mode(dir),
+        ["scaling"] => scaling_mode(),
         _ => Err(usage()),
     }
 }
